@@ -1,0 +1,55 @@
+"""Ablation: sentence window dT and service definition.
+
+The paper states dT has marginal impact (footnote 5) and that the
+service definition is the critical design choice.  This ablation
+verifies both on a shortened training window.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.core import DarkVec, DarkVecConfig
+from repro.utils.tables import format_table
+
+_DELTA_T = (900.0, 3600.0, 14_400.0)
+_ABLATION_DAYS = 12.0
+_ABLATION_EPOCHS = 5
+
+
+def test_ablation_delta_t_and_services(benchmark, bench_bundle):
+    trace = bench_bundle.trace.last_days(_ABLATION_DAYS)
+    truth = bench_bundle.truth
+
+    def compute():
+        results = {}
+        for service in ("domain", "single"):
+            for delta_t in _DELTA_T:
+                config = DarkVecConfig(
+                    service=service,
+                    delta_t=delta_t,
+                    epochs=_ABLATION_EPOCHS,
+                    seed=1,
+                )
+                report = DarkVec(config).fit(trace).evaluate(truth, k=7)
+                results[(service, delta_t)] = report.accuracy
+        return results
+
+    results = run_once(benchmark, compute)
+    emit("")
+    rows = [
+        [service] + [f"{results[(service, dt)]:.3f}" for dt in _DELTA_T]
+        for service in ("domain", "single")
+    ]
+    emit(
+        format_table(
+            ["Service \\ dT [s]"] + [str(int(dt)) for dt in _DELTA_T],
+            rows,
+            title="Ablation - accuracy vs dT and service definition",
+        )
+    )
+
+    # dT has modest impact within a service definition (very short
+    # windows fragment sentences and lose some co-occurrence)...
+    domain_values = [results[("domain", dt)] for dt in _DELTA_T]
+    assert max(domain_values) - min(domain_values) < 0.2
+    # ...while the service definition dominates at every dT.
+    for delta_t in _DELTA_T:
+        assert results[("domain", delta_t)] > results[("single", delta_t)]

@@ -1,0 +1,46 @@
+"""Figure 11: average silhouette of the detected clusters, ranked.
+
+Paper shape: more than half of the clusters have silhouette > 0.5
+(excellent cohesion); a few clusters are noisy with scores near or
+below zero (e.g. the Mirai-like mega-cluster at 0.08 and incoherent
+groups).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.utils.ascii_plot import line_chart
+
+
+def test_fig11_cluster_silhouettes(
+    benchmark, cluster_result, cluster_silhouette_map
+):
+    def compute():
+        return sorted(cluster_silhouette_map.values(), reverse=True)
+
+    ranked = run_once(benchmark, compute)
+
+    emit("")
+    emit(
+        line_chart(
+            np.arange(len(ranked)),
+            ranked,
+            title="Figure 11 - average silhouette per cluster, ranked",
+            x_label="cluster rank",
+            y_label="avg silhouette",
+        )
+    )
+    positive = sum(1 for s in ranked if s > 0.5)
+    emit(
+        f"  {len(ranked)} clusters; {positive} with silhouette > 0.5; "
+        f"min {ranked[-1]:.2f}, max {ranked[0]:.2f}"
+    )
+
+    assert len(ranked) == cluster_result.n_clusters
+    # A solid share of clusters has strong cohesion (the paper's 46
+    # clusters are finer-grained than our ~22, so merged clusters pull
+    # the high-silhouette share down a little)...
+    assert positive >= max(3, int(len(ranked) * 0.2))
+    assert ranked[0] > 0.6
+    # ...and the tail contains weak/noisy clusters, as in the paper.
+    assert ranked[-1] < 0.3

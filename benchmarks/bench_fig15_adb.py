@@ -1,0 +1,57 @@
+"""Figure 15: the unknown4 ADB worm ramp-up.
+
+Paper shape: a mass scan of 5555/tcp (75% of the group's traffic)
+whose sender population grows through the month, consistent with the
+spread of an ADB worm reported by the Internet Storm Center.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.patterns import activity_matrix, arrival_order
+from repro.trace.packet import SECONDS_PER_DAY, TCP
+from repro.utils.ascii_plot import line_chart, raster
+
+
+def test_fig15_adb_worm(benchmark, bench_bundle):
+    trace = bench_bundle.trace
+    senders = bench_bundle.sender_indices_of("unknown4_adb")
+
+    def compute():
+        order = arrival_order(trace, senders)
+        matrix = activity_matrix(
+            trace, senders, bin_seconds=SECONDS_PER_DAY, order=order
+        )
+        sub = trace.from_senders(senders)
+        counts = sub.port_packet_counts()
+        share_5555 = counts.get((5555, TCP), 0) / max(sub.n_packets, 1)
+        return matrix, share_5555
+
+    matrix, share_5555 = run_once(benchmark, compute)
+
+    emit("")
+    emit(
+        raster(
+            matrix,
+            title="Figure 15 - ADB mass scan, senders ordered by first "
+            "appearance",
+        )
+    )
+    active_per_day = matrix.sum(axis=0)
+    emit(
+        line_chart(
+            np.arange(len(active_per_day)),
+            active_per_day,
+            title="Active ADB-worm senders per day (ramp-up)",
+            x_label="day",
+            y_label="active senders",
+        )
+    )
+    emit(f"  {share_5555:.0%} of the group's traffic targets 5555/tcp")
+
+    # 5555/tcp dominates (paper: 75%).
+    assert share_5555 > 0.55
+    # The active population ramps up: the last third of the trace has
+    # at least twice the active senders of the first third.
+    third = len(active_per_day) // 3
+    assert active_per_day[-third:].mean() > active_per_day[:third].mean() * 2

@@ -1,0 +1,76 @@
+"""Figure 1: darknet traffic overview.
+
+(a) ECDF of packets per port rank with the top-14 port inset: traffic
+is heavily concentrated on a few well-known ports while every port
+receives something.
+(b) Sender-arrival raster: senders sorted by first appearance, showing
+persistent senders, sporadic ones and continuous arrival of new ones.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.patterns import activity_matrix, arrival_order
+from repro.analysis.stats import port_rank_ecdf, top_ports
+from repro.trace.packet import SECONDS_PER_DAY
+from repro.utils.ascii_plot import line_chart, raster
+from repro.utils.tables import format_table
+
+
+def test_fig1a_port_ranking(benchmark, bench_bundle):
+    trace = bench_bundle.trace
+
+    def compute():
+        return port_rank_ecdf(trace), top_ports(trace, n=14)
+
+    (ranks, share), top = run_once(benchmark, compute)
+
+    emit("")
+    emit(
+        line_chart(
+            np.log10(ranks),
+            share,
+            title="Figure 1a - cumulative traffic share by port rank (log10 rank)",
+            x_label="log10(port rank)",
+            y_label="ECDF",
+        )
+    )
+    emit(
+        format_table(
+            ["Port", "Packets"],
+            [[name, count] for name, count in top],
+            title="Top-14 ports (Figure 1a inset)",
+        )
+    )
+
+    # Heavy concentration: the top 1% of ports carries the majority of
+    # the traffic, yet thousands of ports are touched.
+    one_percent = max(int(len(ranks) * 0.01), 1)
+    assert share[one_percent - 1] > 0.3
+    assert len(ranks) > 1000
+    top_names = [name for name, _ in top]
+    assert any(name in top_names for name in ("23/tcp", "445/tcp", "5555/tcp"))
+
+
+def test_fig1b_sender_arrival(benchmark, bench_bundle):
+    trace = bench_bundle.trace
+    senders = trace.observed_senders()
+
+    def compute():
+        order = arrival_order(trace, senders)
+        return activity_matrix(
+            trace, senders, bin_seconds=SECONDS_PER_DAY / 4, order=order
+        )
+
+    matrix = run_once(benchmark, compute)
+    emit("")
+    emit(raster(matrix, title="Figure 1b - sender activity over time"))
+
+    # New senders keep arriving: the late half of the (arrival-ordered)
+    # rows has no activity in the first day.
+    first_day_bins = 4
+    late_half = matrix[len(matrix) // 2 :]
+    assert not late_half[:, :first_day_bins].any()
+    # Some senders are persistently active (>80% of bins).
+    persistence = matrix.mean(axis=1)
+    assert persistence.max() > 0.8

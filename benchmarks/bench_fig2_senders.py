@@ -1,0 +1,86 @@
+"""Figure 2: sender characterisation and the activity filter.
+
+(a) ECDF of monthly packets per sender: ~36% of senders are seen only
+once (backscatter); the 10-packet threshold keeps ~20% of senders that
+carry the majority of traffic.
+(b) Cumulative distinct senders over time, unfiltered vs filtered.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.analysis.stats import cumulative_senders, packets_per_sender_ecdf
+from repro.utils.ascii_plot import line_chart
+
+
+def test_fig2a_packets_per_sender(benchmark, bench_bundle):
+    trace = bench_bundle.trace
+
+    def compute():
+        return packets_per_sender_ecdf(trace)
+
+    ecdf = run_once(benchmark, compute)
+    emit("")
+    emit(
+        line_chart(
+            np.log10(ecdf.values),
+            ecdf.probabilities,
+            title="Figure 2a - packets per sender in the full trace (log10)",
+            x_label="log10(monthly packets)",
+            y_label="ECDF",
+        )
+    )
+    seen_once = ecdf.at(1)
+    below_filter = ecdf.at(9)
+    emit(
+        f"  seen exactly once: {seen_once:.1%}; below the 10-packet "
+        f"filter: {below_filter:.1%}; active: {1 - below_filter:.1%}"
+    )
+
+    # Paper: 36% seen once, ~80% below the filter.
+    assert 0.15 < seen_once < 0.6
+    assert below_filter > 0.5
+    # Active senders carry the majority of packets.
+    counts = trace.packet_counts()
+    active_share = counts[counts >= 10].sum() / counts.sum()
+    emit(f"  share of traffic from active senders: {active_share:.1%}")
+    assert active_share > 0.6
+
+
+def test_fig2b_cumulative_senders(benchmark, bench_bundle):
+    trace = bench_bundle.trace
+
+    def compute():
+        return cumulative_senders(trace, min_packets=10)
+
+    days, unfiltered, filtered = run_once(benchmark, compute)
+    emit("")
+    emit(
+        line_chart(
+            days,
+            unfiltered,
+            title="Figure 2b - distinct senders over time (unfiltered)",
+            x_label="days",
+            y_label="senders",
+        )
+    )
+    emit(
+        line_chart(
+            days,
+            filtered,
+            title="Figure 2b - distinct active senders over time (filtered)",
+            x_label="days",
+            y_label="senders",
+        )
+    )
+    emit(
+        f"  day 1: {unfiltered[0]} senders; day {int(days[-1])}: "
+        f"{unfiltered[-1]} ({filtered[-1]} active)"
+    )
+
+    # Continuous growth; filtered counts grow with the window (the
+    # Figure 6 coverage effect).
+    assert unfiltered[-1] > unfiltered[0] * 2
+    assert np.all(np.diff(unfiltered) >= 0)
+    assert filtered[-1] > filtered[0]
+    assert filtered[-1] < unfiltered[-1] * 0.6

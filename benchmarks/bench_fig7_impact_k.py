@@ -1,0 +1,62 @@
+"""Figure 7: impact of k on the k-NN classifier.
+
+Paper shape: the single-service embedding is far below the other two
+for every k; accuracy improves with k up to a plateau and eventually
+degrades as Unknown senders dominate large neighbourhoods.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.utils.ascii_plot import line_chart
+from repro.utils.tables import format_table
+
+K_VALUES = (1, 3, 7, 17, 25, 35)
+
+
+def test_fig7_impact_of_k(
+    benchmark, bench_bundle, darkvec_domain, darkvec_auto, darkvec_single
+):
+    truth = bench_bundle.truth
+
+    def compute():
+        curves = {}
+        for name, model in (
+            ("domain", darkvec_domain),
+            ("auto", darkvec_auto),
+            ("single", darkvec_single),
+        ):
+            curves[name] = [
+                model.evaluate(truth, k=k).accuracy for k in K_VALUES
+            ]
+        return curves
+
+    curves = run_once(benchmark, compute)
+    emit("")
+    rows = [
+        [k] + [f"{curves[name][i]:.3f}" for name in ("domain", "auto", "single")]
+        for i, k in enumerate(K_VALUES)
+    ]
+    emit(
+        format_table(
+            ["k", "Domain", "Auto", "Single"],
+            rows,
+            title="Figure 7 - k-NN accuracy vs k per service definition",
+        )
+    )
+    emit(
+        line_chart(
+            K_VALUES,
+            curves["domain"],
+            title="Figure 7 - domain-knowledge services",
+            x_label="k",
+            y_label="accuracy",
+        )
+    )
+
+    # Single service is clearly below the other definitions for k >= 3.
+    for i, k in enumerate(K_VALUES):
+        if k >= 3:
+            assert curves["single"][i] < curves["domain"][i] - 0.05, k
+            assert curves["single"][i] < curves["auto"][i] - 0.05, k
+    # k = 7 performs within 2 points of the best k for proper services.
+    best_domain = max(curves["domain"])
+    assert curves["domain"][K_VALUES.index(7)] > best_domain - 0.03

@@ -1,0 +1,66 @@
+"""Table 2: ground-truth classes present in the last day.
+
+For each GT class: active senders, packets, distinct ports, top-5 ports
+with traffic shares.  Shapes to match the paper: Mirai-like is the
+largest class and sends ~90% of its traffic to 23/TCP; Censys has the
+widest port coverage; Engin-Umich uses 53/udp exclusively.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.labels.groundtruth import GT_CLASSES, UNKNOWN
+from repro.services.ports import format_port
+from repro.utils.tables import format_table
+
+
+def test_table2_ground_truth_classes(benchmark, bench_bundle, eval_senders):
+    trace = bench_bundle.trace
+    labels = bench_bundle.truth.labels_for(trace)
+
+    def compute():
+        rows = []
+        for name in GT_CLASSES + (UNKNOWN,):
+            members = eval_senders[labels[eval_senders] == name]
+            if not len(members):
+                rows.append([name, 0, 0, 0, "-", 0.0])
+                continue
+            sub = trace.from_senders(members)
+            port_counts = sorted(
+                sub.port_packet_counts().items(),
+                key=lambda kv: kv[1],
+                reverse=True,
+            )
+            total = sub.n_packets
+            top5 = port_counts[:5]
+            top_text = ", ".join(
+                f"{format_port(*key)} ({count / total:.1%})" for key, count in top5
+            )
+            top_share = 100.0 * sum(count for _, count in top5) / total
+            rows.append(
+                [name, len(members), total, len(port_counts), top_text, top_share]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    emit("")
+    emit(
+        format_table(
+            ["Class", "Senders", "Packets", "Ports", "Top-5 ports", "Top-5 [%]"],
+            rows,
+            title="Table 2 - ground truth classes active in the last day",
+        )
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # Mirai-like is the largest class; its top port is 23/tcp.
+    assert by_name["Mirai-like"][1] == max(
+        by_name[c][1] for c in GT_CLASSES
+    )
+    assert by_name["Mirai-like"][4].startswith("23/tcp")
+    # Censys covers the most ports of all GT classes.
+    assert by_name["Censys"][3] == max(by_name[c][3] for c in GT_CLASSES)
+    # Engin-Umich is DNS-only.
+    assert by_name["Engin-umich"][4].startswith("53/udp (100.0%)")
+    # Unknown senders are the majority, as in the paper.
+    assert by_name[UNKNOWN][1] > sum(by_name[c][1] for c in GT_CLASSES) * 0.5

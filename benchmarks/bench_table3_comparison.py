@@ -1,0 +1,133 @@
+"""Table 3: DarkVec vs IP2VEC vs DANTE (5-day and 30-day datasets).
+
+Paper values: DarkVec 17 M skip-grams / 14 min / 0.93 accuracy on 5
+days and 486 M / 1.2 h / 0.96 on 30 days (coverage 82% -> 100%);
+IP2VEC 38 M skip-grams / 60 min / 0.67 on 5 days and does not finish
+the 30-day corpus; DANTE generates ~7 B skip-grams and never completes
+training because it fits one Word2Vec language per sender.
+
+Shapes to reproduce at simulation scale: DarkVec beats IP2VEC on
+accuracy while training on a *filtered* corpus; IP2VEC processes every
+packet (5 pairs each, no activity filter); DANTE's per-language model
+count equals the sender count, which dominates its runtime.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_EPOCHS, emit, run_once
+from repro.baselines.dante import Dante
+from repro.baselines.ip2vec import Ip2Vec
+from repro.core import DarkVec, DarkVecConfig, coverage
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+
+_PAPER_SCALE_PACKETS = 63_562_427  # 30-day packet count in the paper
+
+
+def test_table3_comparison(benchmark, bench_bundle, eval_senders):
+    trace = bench_bundle.trace
+    truth = bench_bundle.truth
+    five_day = trace.last_days(5.0)
+
+    rows = []
+    notes = []
+
+    def evaluate_darkvec(window_trace, label):
+        config = DarkVecConfig(service="domain", epochs=BENCH_EPOCHS, seed=1)
+        with Timer() as timer:
+            darkvec = DarkVec(config).fit(window_trace)
+            report = darkvec.evaluate(truth, k=7, eval_days=1.0)
+        skipgrams = darkvec.corpus.skipgram_count(config.context)
+        window_coverage = coverage(
+            window_trace, trace.last_days(1.0), eval_senders=eval_senders
+        )
+        rows.append(
+            [
+                f"DarkVec ({label})",
+                skipgrams,
+                f"{timer.elapsed:.1f}",
+                f"{report.accuracy:.3f}",
+                f"{window_coverage:.0%}",
+            ]
+        )
+        return report
+
+    def evaluate_ip2vec(window_trace, label):
+        ip2vec = Ip2Vec(epochs=BENCH_EPOCHS, seed=1)
+        with Timer() as timer:
+            report = ip2vec.evaluate(window_trace, truth, eval_senders, k=7)
+        rows.append(
+            [
+                f"IP2VEC ({label})",
+                ip2vec.pair_count(window_trace),
+                f"{timer.elapsed:.1f}",
+                f"{report.accuracy:.3f}",
+                "-",
+            ]
+        )
+        return report
+
+    def compute():
+        dark5 = evaluate_darkvec(five_day, "5 days")
+        dark30 = evaluate_darkvec(trace, "30 days")
+        ip5 = evaluate_ip2vec(five_day, "5 days")
+        ip30 = evaluate_ip2vec(trace, "30 days")
+
+        dante = Dante(context=25, per_receiver=False, epochs=BENCH_EPOCHS)
+        dante_skipgrams = dante.skipgram_count(trace)
+        n_languages = len(trace.observed_senders())
+        # Train DANTE on a small sender sample to measure the
+        # per-language cost, then extrapolate to the full population
+        # (the paper aborted DANTE after ten days for the same reason).
+        sample = np.random.default_rng(0).choice(
+            trace.observed_senders(), size=200, replace=False
+        )
+        with Timer() as timer:
+            dante.fit_sender_vectors(trace.from_senders(sample))
+        per_language = timer.elapsed / 200
+        projected = per_language * n_languages
+        rows.append(
+            [
+                "DANTE (30 days)",
+                dante_skipgrams,
+                f">{projected:.0f} (projected)",
+                "-",
+                "-",
+            ]
+        )
+        notes.append(
+            f"DANTE: {n_languages} per-sender Word2Vec languages at "
+            f"{per_language * 1e3:.1f} ms each -> {projected:.0f} s projected "
+            f"for this trace (measured on a 200-language sample). At the "
+            f"paper's scale both the language count (543 900) and the "
+            f"per-language corpus (~200x more packets each) grow, so the "
+            f"projection is "
+            f"{per_language * 543_900 * 200 / 86_400:.0f}+ days — the "
+            f"paper's 'did not finish in ten days'."
+        )
+        scale_factor = _PAPER_SCALE_PACKETS / max(trace.n_packets, 1)
+        notes.append(
+            f"Simulated trace is {scale_factor:.0f}x smaller than the "
+            f"paper's; skip-gram counts scale accordingly."
+        )
+        return dark5, dark30, ip5, ip30
+
+    dark5, dark30, ip5, ip30 = run_once(benchmark, compute)
+
+    emit("")
+    emit(
+        format_table(
+            ["Method", "Skip-grams", "Time [s]", "Accuracy", "Coverage"],
+            rows,
+            title="Table 3 - comparison between DarkVec, IP2VEC and DANTE",
+        )
+    )
+    for note in notes:
+        emit(f"  note: {note}")
+
+    # Shape assertions (paper: DarkVec wins on accuracy, grows with
+    # more data, IP2VEC clearly behind).
+    assert dark30.accuracy > ip30.accuracy + 0.05
+    assert dark30.accuracy > 0.75
+    assert dark5.accuracy > ip5.accuracy
+    assert dark30.accuracy >= dark5.accuracy - 0.02

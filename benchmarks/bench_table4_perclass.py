@@ -1,0 +1,49 @@
+"""Table 4: per-class 7-NN report for the three service definitions.
+
+Paper shapes: the single-service embedding only works for Mirai-like
+and fails on most minority classes; auto-defined and domain-knowledge
+services recover almost every class; Stretchoid keeps low recall under
+every definition (its senders have no coherent temporal pattern).
+"""
+
+from benchmarks.conftest import emit, run_once
+
+
+def test_table4_per_class_reports(
+    benchmark, bench_bundle, darkvec_domain, darkvec_auto, darkvec_single
+):
+    truth = bench_bundle.truth
+
+    def compute():
+        return {
+            "Single service": darkvec_single.evaluate(truth, k=7),
+            "Auto-defined services": darkvec_auto.evaluate(truth, k=7),
+            "Domain knowledge based": darkvec_domain.evaluate(truth, k=7),
+        }
+
+    reports = run_once(benchmark, compute)
+    emit("")
+    for name, report in reports.items():
+        emit(report.to_text(title=f"Table 4 - {name}"))
+        emit("")
+
+    single = reports["Single service"]
+    auto = reports["Auto-defined services"]
+    domain = reports["Domain knowledge based"]
+
+    # The single-service embedding is clearly worse overall...
+    assert single.accuracy < auto.accuracy - 0.1
+    assert single.accuracy < domain.accuracy - 0.1
+    # ...and even the dominant Mirai-like class degrades sharply
+    # without service separation (paper: 0.86 recall; here the
+    # port-identical unknown mimics pull it lower still).
+    assert single.per_class["Mirai-like"].f_score >= 0.4
+    assert (
+        single.per_class["Mirai-like"].f_score
+        < domain.per_class["Mirai-like"].f_score - 0.2
+    )
+    # Proper services recover the coordinated minority classes.
+    for name in ("Binaryedge", "Internet-census", "Engin-umich", "Sharashka"):
+        assert domain.per_class[name].f_score > 0.7, name
+    # Stretchoid stays hard (paper: recall 0.35 at best).
+    assert domain.per_class["Stretchoid"].recall < 0.6

@@ -1,0 +1,141 @@
+"""Table 5: summary of extracted coordinated sender groups.
+
+The paper's analysts inspected each Louvain cluster by hand (reverse
+DNS, whois, abuse pages).  Here the simulator's hidden actors play the
+role of those databases: for each detected cluster we report size,
+ports, silhouette and address layout, then check that the paper's
+groups (Censys shifts, Shadowserver, NetBIOS /24 scanner, ADB worm,
+fingerprint-less Mirai, SSH bots...) are recovered.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.core.inspection import inspect_clusters
+from repro.core.report import describe_clusters
+from repro.trace.scenario import PAPER_GROUP_NOTES
+from repro.utils.tables import format_table
+
+
+def _actor_recovery(bundle, profiles, embedding):
+    """For each hidden actor: best-cluster overlap statistics."""
+    rows = []
+    for actor_name, description in PAPER_GROUP_NOTES.items():
+        senders = bundle.sender_indices_of(actor_name)
+        embedded_rows = embedding.rows_of(senders)
+        embedded = set(senders[embedded_rows >= 0].tolist())
+        if not embedded:
+            continue
+        best = max(
+            profiles,
+            key=lambda p: len(set(p.senders.tolist()) & embedded),
+        )
+        overlap = len(set(best.senders.tolist()) & embedded)
+        rows.append(
+            (
+                actor_name,
+                description,
+                len(embedded),
+                best,
+                overlap / len(embedded),
+            )
+        )
+    return rows
+
+
+def test_table5_coordinated_groups(
+    benchmark,
+    bench_bundle,
+    darkvec_domain,
+    cluster_result,
+    cluster_silhouette_map,
+):
+    trace = bench_bundle.trace
+    embedding = darkvec_domain.embedding
+    labels = bench_bundle.truth.labels_for(trace)
+
+    def compute():
+        profiles = inspect_clusters(
+            trace,
+            embedding.tokens,
+            cluster_result.communities,
+            silhouettes=cluster_silhouette_map,
+            labels=labels,
+            min_size=5,
+        )
+        return profiles, _actor_recovery(bench_bundle, profiles, embedding)
+
+    profiles, recovery = run_once(benchmark, compute)
+
+    emit("")
+    emit(
+        f"Clustering: {cluster_result.n_clusters} clusters, "
+        f"modularity {cluster_result.modularity:.3f}"
+    )
+    table_rows = []
+    for actor_name, description, n_embedded, best, fraction in recovery:
+        top = ", ".join(
+            f"{name} ({share:.0%})" for name, share in best.top_ports[:2]
+        )
+        table_rows.append(
+            [
+                actor_name,
+                f"C{best.cluster_id}",
+                best.size,
+                best.n_ports,
+                f"{best.silhouette:.2f}",
+                best.n_subnets24,
+                f"{fraction:.0%}",
+                top,
+            ]
+        )
+    emit(
+        format_table(
+            ["Hidden group", "Cluster", "IPs", "Ports", "Sh", "/24s", "Found", "Top ports"],
+            table_rows,
+            title="Table 5 - coordinated sender groups recovered by clustering",
+        )
+    )
+    for actor_name, description, *_ in recovery:
+        emit(f"  {actor_name}: {description}")
+
+    # Automatic characterisation (the paper's §7.3 narratives, derived
+    # without the simulator's ground truth).
+    emit("")
+    emit("Automatic cluster characterisation (largest 12 clusters):")
+    for finding in describe_clusters(trace, profiles[:12]):
+        emit(f"  {finding.headline}")
+
+    by_actor = {row[0]: row for row in recovery}
+
+    # The single-/24 NetBIOS scanner is recovered nearly completely in
+    # a cluster dominated by 137/udp.  (It may share that cluster with
+    # the Shadowserver C37 sub-group, whose signature is also 137/udp —
+    # a merge the paper's finer-grained clustering avoids — so the
+    # subnet check applies to the recovered members, not the cluster.)
+    netbios = by_actor["unknown1_netbios"]
+    assert netbios[4] > 0.7
+    assert netbios[3].top_ports[0][0] == "137/udp"
+    members = np.intersect1d(
+        netbios[3].senders, bench_bundle.sender_indices_of("unknown1_netbios")
+    )
+    member_subnets = {
+        int(ip) >> 8 for ip in trace.sender_ips[members]
+    }
+    assert len(member_subnets) == 1
+
+    # The ADB worm cluster is dominated by 5555/tcp.
+    adb = by_actor["unknown4_adb"]
+    assert adb[4] > 0.5
+    assert adb[3].top_ports[0][0] == "5555/tcp"
+
+    # The fingerprint-less Mirai variants land in a Mirai-dominated,
+    # telnet-heavy cluster (the paper's unknown5 / C18).
+    nofp = by_actor["mirai_nofp"]
+    assert nofp[3].top_ports[0][0] == "23/tcp"
+    assert nofp[3].label_composition.get("Mirai-like", 0) > 0
+
+    # SSH bots concentrate in a 22/tcp-dominated cluster.
+    ssh = by_actor["unknown6_ssh"]
+    assert ssh[3].top_ports[0][0] == "22/tcp"
+    assert ssh[4] > 0.5

@@ -1,0 +1,62 @@
+"""Table 7: the domain-knowledge service definition.
+
+Regenerates the service -> ports table and reports how the simulated
+trace's traffic distributes over the 15 services.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.services.domain import DOMAIN_SERVICE_PORTS, DomainServiceMap
+from repro.utils.tables import format_table
+
+
+def test_table7_domain_services(benchmark, bench_bundle):
+    trace = bench_bundle.trace
+    service_map = DomainServiceMap()
+
+    def compute():
+        ids = service_map.service_ids(trace.ports, trace.protos)
+        return np.bincount(ids, minlength=service_map.n_services)
+
+    packet_counts = run_once(benchmark, compute)
+
+    rows = []
+    for service, specs in DOMAIN_SERVICE_PORTS.items():
+        service_id = service_map.names.index(service)
+        ports_text = ", ".join(specs[:6]) + (", ..." if len(specs) > 6 else "")
+        rows.append(
+            [
+                service,
+                len(specs),
+                int(packet_counts[service_id]),
+                f"{packet_counts[service_id] / trace.n_packets:.2%}",
+                ports_text,
+            ]
+        )
+    for fallback in ("Unknown System", "Unknown User", "Unknown Ephemeral"):
+        service_id = service_map.names.index(fallback)
+        rows.append(
+            [
+                fallback,
+                "-",
+                int(packet_counts[service_id]),
+                f"{packet_counts[service_id] / trace.n_packets:.2%}",
+                "(range fallback)",
+            ]
+        )
+    emit("")
+    emit(
+        format_table(
+            ["Service", "Ports", "Packets", "Share", "Port list"],
+            rows,
+            title="Table 7 - domain-knowledge service definition",
+        )
+    )
+
+    assert service_map.n_services == 15
+    assert packet_counts.sum() == trace.n_packets
+    # Telnet is among the heaviest named services (Mirai's 23/tcp).
+    telnet = packet_counts[service_map.names.index("Telnet")]
+    named = packet_counts[:12]
+    assert telnet >= np.sort(named)[-3]

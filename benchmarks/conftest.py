@@ -1,0 +1,104 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper from the same
+simulated 30-day trace.  Scale and training length are tunable through
+environment variables so the harness can be sized to the machine:
+
+    REPRO_BENCH_SCALE   population scale factor   (default 0.15)
+    REPRO_BENCH_DAYS    trace length in days      (default 30)
+    REPRO_BENCH_EPOCHS  Word2Vec training epochs  (default 10)
+    REPRO_BENCH_SEED    master seed               (default 7)
+
+Expensive artefacts (the trace, the three embeddings, the clustering)
+are session fixtures shared by all benches.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import DarkVec, DarkVecConfig
+from repro.graph.silhouette import cluster_silhouettes
+from repro.trace import default_scenario, generate_trace
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+BENCH_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "30"))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "10"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+def emit(text: str) -> None:
+    """Print to the real stdout, bypassing pytest capture.
+
+    Benchmark output is the deliverable (the regenerated tables), so it
+    must reach the terminal / tee even without ``-s``.
+    """
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print(text, flush=True)
+    else:
+        print(text, file=sys.__stdout__, flush=True)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavy step exactly once (no calibration loops)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def bench_bundle():
+    scenario = default_scenario(scale=BENCH_SCALE, days=BENCH_DAYS, seed=BENCH_SEED)
+    return generate_trace(scenario)
+
+
+@pytest.fixture(scope="session")
+def eval_senders(bench_bundle):
+    """Active senders present in the last day (the evaluation set)."""
+    trace = bench_bundle.trace
+    active = trace.active_senders(10)
+    present = trace.last_days(1.0).observed_senders()
+    return np.intersect1d(active, present)
+
+
+def _fit(bundle, service: str) -> DarkVec:
+    config = DarkVecConfig(service=service, epochs=BENCH_EPOCHS, seed=1)
+    return DarkVec(config).fit(bundle.trace)
+
+
+@pytest.fixture(scope="session")
+def darkvec_domain(bench_bundle):
+    return _fit(bench_bundle, "domain")
+
+
+@pytest.fixture(scope="session")
+def darkvec_auto(bench_bundle):
+    return _fit(bench_bundle, "auto")
+
+
+@pytest.fixture(scope="session")
+def darkvec_single(bench_bundle):
+    return _fit(bench_bundle, "single")
+
+
+@pytest.fixture(scope="session")
+def cluster_result(darkvec_domain):
+    return darkvec_domain.cluster(k_prime=3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def cluster_silhouette_map(darkvec_domain, cluster_result):
+    return cluster_silhouettes(
+        darkvec_domain.embedding.vectors, cluster_result.communities
+    )

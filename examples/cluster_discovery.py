@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Unsupervised discovery of coordinated sender groups (paper §7).
+
+Builds the k'-NN graph over the embedding, extracts Louvain
+communities, and characterises each discovered cluster the way the
+paper's Table 5 does: size, targeted ports, address layout, silhouette
+— then checks the findings against the simulator's hidden actors.
+
+Run with::
+
+    python examples/cluster_discovery.py
+"""
+
+import numpy as np
+
+from repro import DarkVec, DarkVecConfig, default_scenario, generate_trace
+from repro.core.inspection import inspect_clusters
+from repro.graph.silhouette import cluster_silhouettes
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Simulating 15 days of darknet traffic...")
+    bundle = generate_trace(default_scenario(scale=0.08, days=15, seed=7))
+    trace = bundle.trace
+
+    print("Training the embedding...")
+    darkvec = DarkVec(DarkVecConfig(service="domain", epochs=8, seed=1)).fit(trace)
+    assert darkvec.embedding is not None
+
+    print("Clustering (k'-NN graph + Louvain)...")
+    result = darkvec.cluster(k_prime=3, seed=0)
+    print(
+        f"  {result.n_clusters} clusters, modularity {result.modularity:.3f}"
+    )
+
+    silhouettes = cluster_silhouettes(
+        darkvec.embedding.vectors, result.communities
+    )
+    labels = bundle.truth.labels_for(trace)
+    profiles = inspect_clusters(
+        trace,
+        darkvec.embedding.tokens,
+        result.communities,
+        silhouettes=silhouettes,
+        labels=labels,
+        min_size=8,
+    )
+
+    rows = []
+    for profile in profiles[:15]:
+        top = ", ".join(
+            f"{name} ({share:.0%})" for name, share in profile.top_ports[:2]
+        )
+        rows.append(
+            [
+                f"C{profile.cluster_id}",
+                profile.size,
+                profile.n_ports,
+                f"{profile.silhouette:.2f}",
+                profile.n_subnets24,
+                profile.dominant_label,
+                top,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Cluster", "IPs", "Ports", "Sh", "/24s", "Dominant", "Top ports"],
+            rows,
+            title="Largest discovered clusters (cf. paper Table 5)",
+        )
+    )
+
+    # Cross-check one discovery against the simulator's hidden truth:
+    # the cluster dominated by 137/udp should be the unknown1 scanner.
+    unknown1 = set(bundle.sender_indices_of("unknown1_netbios").tolist())
+    for profile in profiles:
+        if profile.top_ports and profile.top_ports[0][0] == "137/udp":
+            overlap = len(set(profile.senders.tolist()) & unknown1)
+            print(
+                f"\nCluster C{profile.cluster_id} is NetBIOS-dominated: "
+                f"{overlap}/{len(unknown1)} members of the hidden "
+                f"'unknown1' /24 scanner recovered "
+                f"({profile.n_subnets24} distinct /24s in the cluster)."
+            )
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Semi-supervised ground-truth extension (paper §6.4).
+
+Uses the embedding to find Unknown senders that behave exactly like a
+known class — here, Mirai-variant bots that do *not* carry the Mirai
+fingerprint — and proposes them as new class members, stopping at the
+maximum in-class neighbour distance as the paper does.
+
+Run with::
+
+    python examples/extend_ground_truth.py
+"""
+
+from repro import DarkVec, DarkVecConfig, default_scenario, generate_trace
+from repro.core.extension import extend_ground_truth
+from repro.trace.address import ip_to_str
+
+
+def main() -> None:
+    print("Simulating 15 days of darknet traffic...")
+    bundle = generate_trace(default_scenario(scale=0.08, days=15, seed=21))
+    trace = bundle.trace
+
+    print("Training the embedding...")
+    darkvec = DarkVec(DarkVecConfig(service="domain", epochs=8, seed=1)).fit(trace)
+    embedding = darkvec.embedding
+    assert embedding is not None
+
+    labels = bundle.truth.labels_for(trace)[embedding.tokens]
+    print("Proposing new class members among the Unknown senders...")
+    result = extend_ground_truth(embedding.vectors, labels, k=7)
+
+    # The simulator knows which Unknowns really are Mirai variants.
+    hidden = set(bundle.sender_indices_of("mirai_nofp").tolist())
+    for class_name in sorted(result.accepted):
+        rows = result.accepted[class_name]
+        if not len(rows):
+            continue
+        distances = result.distances[class_name]
+        senders = embedding.tokens[rows]
+        print(f"\n{class_name}: {len(rows)} Unknown senders accepted")
+        for sender, distance in list(zip(senders, distances))[:5]:
+            truly_hidden = "  <- hidden Mirai variant" if int(sender) in hidden else ""
+            print(
+                f"  {ip_to_str(trace.sender_ips[sender]):<16} "
+                f"mean 7-NN distance {distance:.4f}{truly_hidden}"
+            )
+        if class_name == "Mirai-like":
+            found = sum(1 for s in senders if int(s) in hidden)
+            present = sum(1 for s in hidden if s in embedding)
+            print(
+                f"  -> {found} of the {present} embedded fingerprint-less "
+                f"Mirai bots were recovered; precision "
+                f"{found / max(len(rows), 1):.0%}"
+            )
+
+
+if __name__ == "__main__":
+    main()

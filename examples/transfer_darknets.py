@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Embedding transfer between darknets and over time (paper §8).
+
+The paper closes by asking whether a DarkVec embedding trained on one
+darknet is useful on another darknet, or at another time.  This example
+measures both on the simulator:
+
+* two /25 views of the same /24 observe the same coordinated events ->
+  structure and classification transfer well;
+* two halves of the month observe different sender populations and
+  behaviours -> transfer degrades, matching the paper's conjecture.
+
+Run with::
+
+    python examples/transfer_darknets.py
+"""
+
+import numpy as np
+
+from repro import DarkVec, DarkVecConfig, default_scenario, generate_trace
+from repro.transfer import (
+    apply_alignment,
+    cross_embedding_report,
+    orthogonal_alignment,
+    partition_agreement,
+    shared_tokens,
+    split_vantage_points,
+)
+
+
+def embed(trace):
+    return DarkVec(DarkVecConfig(service="domain", epochs=8, seed=1)).fit(
+        trace
+    ).embedding
+
+
+def measure(trace_a, trace_b, truth, full_trace, setting):
+    print(f"\n{setting}")
+    embedding_a = embed(trace_a)
+    embedding_b = embed(trace_b)
+    common = shared_tokens(embedding_a, embedding_b)
+    print(f"  shared embedded senders: {len(common)}")
+
+    agreement = partition_agreement(embedding_a, embedding_b, k_prime=3)
+    print(f"  cluster-structure agreement (ARI): {agreement:.3f}")
+
+    rotation = orthogonal_alignment(embedding_b, embedding_a)
+    aligned = apply_alignment(embedding_b, rotation)
+    labels = truth.labels_for(full_trace)
+    labels_of_token = {int(t): labels[t] for t in common}
+    queries = np.array(
+        [t for t in common if labels[t] != "Unknown"], dtype=np.int64
+    )
+    report = cross_embedding_report(
+        embedding_a, aligned, labels_of_token, queries, k=7
+    )
+    print(
+        f"  task transfer: classify {len(queries)} GT senders of the "
+        f"second embedding against the first -> accuracy "
+        f"{report.accuracy:.3f}"
+    )
+    return agreement, report.accuracy
+
+
+def main() -> None:
+    print("Simulating 14 days of darknet traffic...")
+    bundle = generate_trace(default_scenario(scale=0.08, days=14, seed=9))
+    trace = bundle.trace
+
+    view_a, view_b = split_vantage_points(trace)
+    vantage = measure(
+        view_a,
+        view_b,
+        bundle.truth,
+        trace,
+        "Two darknets (/25 halves), same period:",
+    )
+
+    half = trace.duration_days / 2
+    temporal = measure(
+        trace.first_days(half),
+        trace.last_days(half),
+        bundle.truth,
+        trace,
+        "Same darknet, first vs second week:",
+    )
+
+    print(
+        "\nConclusion: across simultaneous vantage points the embedding "
+        f"transfers well (ARI {vantage[0]:.2f}, task accuracy "
+        f"{vantage[1]:.2f}); across time the task accuracy drops to "
+        f"{temporal[1]:.2f} as the sender population churns — supporting "
+        "the paper's closing discussion on the limits of darknet "
+        "embedding transfer."
+    )
+
+
+if __name__ == "__main__":
+    main()

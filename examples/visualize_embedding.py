@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Visualise the DarkVec embedding in 2-D (terminal scatter plot).
+
+Projects the trained 50-dimensional sender embedding down to two PCA
+components and renders an ASCII scatter, one glyph per ground-truth
+class — the "senders performing the same activity land in the same
+region" picture from the paper, without a plotting backend.
+
+Run with::
+
+    python examples/visualize_embedding.py
+"""
+
+import numpy as np
+
+from repro import DarkVec, DarkVecConfig, default_scenario, generate_trace
+from repro.analysis.projection import fit_pca, scatter_text
+from repro.labels.groundtruth import UNKNOWN
+
+
+def main() -> None:
+    print("Simulating 10 days of darknet traffic...")
+    bundle = generate_trace(default_scenario(scale=0.06, days=10, seed=13))
+
+    print("Training the embedding...")
+    darkvec = DarkVec(DarkVecConfig(service="domain", epochs=8, seed=1)).fit(
+        bundle.trace
+    )
+    embedding = darkvec.embedding
+    assert embedding is not None
+
+    labels = bundle.truth.labels_for(bundle.trace)[embedding.tokens]
+    # Plot a readable subset: all labelled senders plus a sample of
+    # unknowns for context.
+    known = np.flatnonzero(labels != UNKNOWN)
+    unknown = np.flatnonzero(labels == UNKNOWN)
+    rng = np.random.default_rng(0)
+    sample = np.concatenate(
+        [known, rng.choice(unknown, size=min(150, len(unknown)), replace=False)]
+    )
+
+    model = fit_pca(embedding.vectors, n_components=2)
+    points = model.transform(embedding.vectors[sample])
+    print(
+        f"PCA explains "
+        f"{model.explained_variance_ratio.sum():.0%} of the variance "
+        f"in 2 components.\n"
+    )
+    print(
+        scatter_text(
+            points,
+            labels[sample],
+            width=90,
+            height=30,
+            title="DarkVec embedding, 2-D PCA projection",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

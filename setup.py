@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments where
+the ``wheel`` package (required by the PEP 660 editable path) is not
+available.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

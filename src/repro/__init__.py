@@ -1,0 +1,43 @@
+"""DarkVec reproduction: darknet traffic analysis with word embeddings.
+
+Reproduction of Gioacchini et al., "DarkVec: Automatic Analysis of
+Darknet Traffic with Word Embeddings" (CoNEXT 2021), including every
+substrate the paper relies on: a darknet traffic simulator, Word2Vec
+(SGNS) from scratch, cosine k-NN classification, k'-NN-graph + Louvain
+clustering, and the DANTE / IP2VEC / port-feature baselines.
+
+Quickstart::
+
+    from repro import DarkVec, DarkVecConfig, default_scenario, generate_trace
+
+    bundle = generate_trace(default_scenario(scale=0.1, days=30))
+    darkvec = DarkVec(DarkVecConfig(service="domain")).fit(bundle.trace)
+    report = darkvec.evaluate(bundle.truth)
+    print(report.to_text())
+"""
+
+from repro.core.config import DarkVecConfig
+from repro.core.pipeline import ClusterResult, DarkVec
+from repro.labels.groundtruth import GroundTruth
+from repro.trace.generator import TraceBundle, generate_trace
+from repro.trace.packet import Trace
+from repro.trace.scenario import Scenario, default_scenario
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.model import Word2Vec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterResult",
+    "DarkVec",
+    "DarkVecConfig",
+    "GroundTruth",
+    "KeyedVectors",
+    "Scenario",
+    "Trace",
+    "TraceBundle",
+    "Word2Vec",
+    "default_scenario",
+    "generate_trace",
+    "__version__",
+]

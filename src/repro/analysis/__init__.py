@@ -1,0 +1,42 @@
+"""Trace analysis: dataset statistics, heatmaps, activity patterns.
+
+These functions compute the raw series behind the paper's overview
+tables and figures (Table 1, Figures 1-3, 9, 12-15).
+"""
+
+from repro.analysis.heatmap import service_class_heatmap
+from repro.analysis.patterns import activity_matrix, arrival_order
+from repro.analysis.projection import PcaModel, fit_pca, scatter_text
+from repro.analysis.regularity import (
+    PeriodicityResult,
+    activity_series,
+    autocorrelation,
+    periodicity,
+)
+from repro.analysis.stats import (
+    DatasetStats,
+    cumulative_senders,
+    dataset_stats,
+    packets_per_sender_ecdf,
+    port_rank_ecdf,
+    top_ports,
+)
+
+__all__ = [
+    "DatasetStats",
+    "PcaModel",
+    "PeriodicityResult",
+    "fit_pca",
+    "scatter_text",
+    "activity_matrix",
+    "activity_series",
+    "arrival_order",
+    "autocorrelation",
+    "cumulative_senders",
+    "periodicity",
+    "dataset_stats",
+    "packets_per_sender_ecdf",
+    "port_rank_ecdf",
+    "service_class_heatmap",
+    "top_ports",
+]

@@ -1,0 +1,48 @@
+"""Figure 3: traffic of each ground-truth class per generic service."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.labels.groundtruth import GroundTruth, UNKNOWN
+from repro.services.base import ServiceMap
+from repro.services.domain import DomainServiceMap
+from repro.trace.packet import Trace
+
+
+def service_class_heatmap(
+    trace: Trace,
+    truth: GroundTruth,
+    service_map: ServiceMap | None = None,
+    eval_senders: np.ndarray | None = None,
+) -> tuple[np.ndarray, tuple[str, ...], tuple[str, ...]]:
+    """Fraction of each class's packets going to each generic service.
+
+    Args:
+        trace: the (typically last-day) trace.
+        truth: ground-truth labels.
+        service_map: generic services; defaults to the Table 7 map.
+        eval_senders: restrict to these sender indices (e.g. actives).
+
+    Returns:
+        ``(matrix, service_names, class_names)`` where ``matrix[i, j]``
+        is the fraction of class ``j``'s packets hitting service ``i``
+        (columns sum to 1, matching the paper's normalisation).
+    """
+    if service_map is None:
+        service_map = DomainServiceMap()
+    if eval_senders is not None:
+        trace = trace.from_senders(np.asarray(eval_senders))
+    labels = truth.labels_for(trace)
+    class_names = tuple(sorted(set(truth.by_ip.values()))) + (UNKNOWN,)
+    class_index = {name: j for j, name in enumerate(class_names)}
+    service_ids = service_map.service_ids(trace.ports, trace.protos)
+    packet_classes = np.array(
+        [class_index[labels[s]] for s in trace.senders], dtype=np.int64
+    )
+
+    matrix = np.zeros((service_map.n_services, len(class_names)))
+    np.add.at(matrix, (service_ids, packet_classes), 1.0)
+    column_sums = matrix.sum(axis=0, keepdims=True)
+    column_sums[column_sums == 0] = 1.0
+    return matrix / column_sums, service_map.names, class_names

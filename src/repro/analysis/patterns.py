@@ -1,0 +1,61 @@
+"""Sender activity rasters (Figures 1b, 9, 12-15).
+
+An activity matrix is a boolean (senders x time-bins) raster: cell
+``(i, t)`` is True when sender ``i`` sent at least one packet during
+time bin ``t``.  The paper's scatter figures are these matrices with
+senders ordered by first appearance or by cluster id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.packet import SECONDS_PER_DAY, Trace
+
+
+def activity_matrix(
+    trace: Trace,
+    senders: np.ndarray,
+    bin_seconds: float = SECONDS_PER_DAY / 4,
+    order: np.ndarray | None = None,
+    t_start: float | None = None,
+    t_end: float | None = None,
+) -> np.ndarray:
+    """Boolean activity raster for the given senders.
+
+    Args:
+        trace: packet trace.
+        senders: sender indices (rows of the raster, in this order
+            unless ``order`` is given).
+        bin_seconds: raster resolution.
+        order: optional permutation of ``senders`` for the row order.
+        t_start, t_end: raster time range; defaults to the trace span.
+    """
+    senders = np.asarray(senders, dtype=np.int64)
+    if order is not None:
+        senders = senders[np.asarray(order, dtype=np.int64)]
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    if t_start is None:
+        t_start = trace.start_time if len(trace) else 0.0
+    if t_end is None:
+        t_end = trace.end_time + 1e-9 if len(trace) else bin_seconds
+    n_bins = max(int(np.ceil((t_end - t_start) / bin_seconds)), 1)
+
+    row_of = np.full(trace.n_senders, -1, dtype=np.int64)
+    row_of[senders] = np.arange(len(senders))
+    rows = row_of[trace.senders]
+    in_range = (rows >= 0) & (trace.times >= t_start) & (trace.times < t_end)
+    bins = ((trace.times[in_range] - t_start) / bin_seconds).astype(np.int64)
+    matrix = np.zeros((len(senders), n_bins), dtype=bool)
+    matrix[rows[in_range], bins] = True
+    return matrix
+
+
+def arrival_order(trace: Trace, senders: np.ndarray) -> np.ndarray:
+    """Permutation sorting ``senders`` by first-packet time (Figure 1b)."""
+    senders = np.asarray(senders, dtype=np.int64)
+    first_seen = np.full(trace.n_senders, np.inf)
+    # Times are sorted, so traversing backwards leaves the first packet.
+    np.minimum.at(first_seen, trace.senders, trace.times)
+    return np.argsort(first_seen[senders], kind="stable")

@@ -1,0 +1,104 @@
+"""Low-dimensional projections of the embedding space.
+
+The paper's narrative ("senders performing the same activity are
+projected into the same latent-space regions") is easiest to *see* in
+two dimensions.  PCA is implemented directly on top of numpy's SVD so
+examples can scatter-plot the embedding without extra dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PcaModel:
+    """A fitted PCA projection.
+
+    Attributes:
+        mean: feature means subtracted before projection.
+        components: principal axes, shape (n_components, n_features).
+        explained_variance_ratio: variance share of each component.
+    """
+
+    mean: np.ndarray
+    components: np.ndarray
+    explained_variance_ratio: np.ndarray
+
+    def transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Project vectors onto the principal components."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.shape[1] != self.mean.shape[0]:
+            raise ValueError("feature dimension mismatch")
+        return (vectors - self.mean) @ self.components.T
+
+
+def fit_pca(vectors: np.ndarray, n_components: int = 2) -> PcaModel:
+    """Fit PCA via SVD of the centred data matrix."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ValueError("vectors must be a 2-D matrix")
+    n, d = vectors.shape
+    if not 1 <= n_components <= min(n, d):
+        raise ValueError(
+            f"n_components must be in [1, {min(n, d)}], got {n_components}"
+        )
+    mean = vectors.mean(axis=0)
+    centered = vectors - mean
+    _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+    variances = singular_values**2
+    total = variances.sum()
+    ratio = variances / total if total > 0 else np.zeros_like(variances)
+    return PcaModel(
+        mean=mean,
+        components=vt[:n_components],
+        explained_variance_ratio=ratio[:n_components],
+    )
+
+
+def scatter_text(
+    points: np.ndarray,
+    labels: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+    title: str | None = None,
+) -> str:
+    """ASCII scatter plot of 2-D points, one glyph per label.
+
+    Up to 20 distinct labels get their own letter; overlapping cells
+    show the label that appears last.
+    """
+    points = np.asarray(points, dtype=float)
+    labels = np.asarray(labels, dtype=object)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    if len(points) != len(labels):
+        raise ValueError("points and labels must align")
+    if len(points) == 0:
+        raise ValueError("nothing to plot")
+
+    distinct = list(dict.fromkeys(labels.tolist()))
+    glyphs = "ABCDEFGHIJKLMNOPQRST"
+    if len(distinct) > len(glyphs):
+        raise ValueError(f"at most {len(glyphs)} labels supported")
+    glyph_of = {label: glyphs[i] for i, label in enumerate(distinct)}
+
+    x, y = points[:, 0], points[:, 1]
+    x_span = x.max() - x.min() or 1.0
+    y_span = y.max() - y.min() or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi, label in zip(x, y, labels):
+        col = int((xi - x.min()) / x_span * (width - 1))
+        row = height - 1 - int((yi - y.min()) / y_span * (height - 1))
+        grid[row][col] = glyph_of[label]
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    legend = ", ".join(f"{glyph_of[label]}={label}" for label in distinct)
+    lines.append(f" {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Dataset statistics (Table 1, Figures 1a, 2a, 2b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.services.ports import format_port
+from repro.trace.packet import SECONDS_PER_DAY, TCP, Trace
+from repro.utils.ecdf import Ecdf, ecdf
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table 1."""
+
+    n_sources: int
+    n_packets: int
+    n_ports: int
+    top_tcp_ports: list[tuple[int, float, int]]
+    """``(port, traffic_share_percent, n_sources)`` for top TCP ports."""
+
+
+def dataset_stats(trace: Trace, n_top: int = 3) -> DatasetStats:
+    """Compute the Table 1 row of a trace."""
+    observed = trace.observed_senders()
+    tcp_mask = trace.protos == TCP
+    tcp_ports = trace.ports[tcp_mask]
+    tcp_senders = trace.senders[tcp_mask]
+    top: list[tuple[int, float, int]] = []
+    if len(tcp_ports):
+        ports, counts = np.unique(tcp_ports, return_counts=True)
+        order = np.argsort(counts)[::-1][:n_top]
+        for idx in order:
+            port = int(ports[idx])
+            share = 100.0 * counts[idx] / trace.n_packets
+            n_sources = len(np.unique(tcp_senders[tcp_ports == port]))
+            top.append((port, float(share), n_sources))
+    return DatasetStats(
+        n_sources=len(observed),
+        n_packets=trace.n_packets,
+        n_ports=trace.distinct_ports(),
+        top_tcp_ports=top,
+    )
+
+
+def port_rank_ecdf(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 1a: cumulative traffic share by port rank.
+
+    Returns ``(ranks, cumulative_share)`` with ports ranked by
+    decreasing packet count (TCP and UDP summed, as in the paper).
+    """
+    if not len(trace):
+        return np.empty(0), np.empty(0)
+    ports, counts = np.unique(trace.ports, return_counts=True)
+    counts = np.sort(counts)[::-1]
+    share = np.cumsum(counts) / counts.sum()
+    return np.arange(1, len(ports) + 1), share
+
+
+def top_ports(trace: Trace, n: int = 14) -> list[tuple[str, int]]:
+    """The inset of Figure 1a: the top-``n`` ports by packets."""
+    ranked = sorted(
+        trace.port_packet_counts().items(), key=lambda kv: kv[1], reverse=True
+    )
+    return [(format_port(port, proto), count) for (port, proto), count in ranked[:n]]
+
+
+def packets_per_sender_ecdf(trace: Trace) -> Ecdf:
+    """Figure 2a: ECDF of monthly packets per sender."""
+    counts = trace.packet_counts()
+    return ecdf(counts[counts > 0])
+
+
+def cumulative_senders(
+    trace: Trace, min_packets: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Figure 2b: distinct senders seen in the first ``d`` days.
+
+    Returns ``(days, unfiltered, filtered)`` where ``filtered`` counts
+    senders with at least ``min_packets`` packets in those days.
+    """
+    if not len(trace):
+        return np.empty(0), np.empty(0), np.empty(0)
+    n_days = int(np.ceil(trace.duration_days))
+    days = np.arange(1, n_days + 1)
+    unfiltered = np.empty(n_days, dtype=np.int64)
+    filtered = np.empty(n_days, dtype=np.int64)
+    for i, d in enumerate(days):
+        cutoff = trace.start_time + d * SECONDS_PER_DAY
+        hi = int(np.searchsorted(trace.times, cutoff, side="left"))
+        counts = np.bincount(trace.senders[:hi], minlength=trace.n_senders)
+        unfiltered[i] = int((counts > 0).sum())
+        filtered[i] = int((counts >= min_packets).sum())
+    return days, unfiltered, filtered

@@ -1,0 +1,24 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.port_features` — the Section 4 feature-based
+  7-NN classifier (Table 6).
+* :mod:`repro.baselines.dante` — DANTE (Cohen et al.): per-sender port
+  sentences, one embedding language per (sender, receiver) pair.
+* :mod:`repro.baselines.ip2vec` — IP2VEC (Ring et al.): flow-field
+  token pairs trained with negative sampling.
+* :mod:`repro.baselines.bipartite` — sender-port bipartite graph with
+  Louvain (Soro et al., the paper's reference [39]).
+"""
+
+from repro.baselines.bipartite import BipartiteCommunities, bipartite_communities
+from repro.baselines.dante import Dante
+from repro.baselines.ip2vec import Ip2Vec
+from repro.baselines.port_features import PortFeatureClassifier
+
+__all__ = [
+    "BipartiteCommunities",
+    "Dante",
+    "Ip2Vec",
+    "PortFeatureClassifier",
+    "bipartite_communities",
+]

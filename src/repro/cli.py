@@ -1,0 +1,275 @@
+"""Command-line interface.
+
+Subcommands mirror the DarkVec workflow:
+
+    repro simulate  --out trace.csv [--scale S --days D --seed N]
+    repro stats     --trace trace.csv
+    repro train     --trace trace.csv --out vectors.npz [--service ...]
+    repro evaluate  --trace trace.csv --vectors vectors.npz --labels labels.csv
+    repro cluster   --trace trace.csv --vectors vectors.npz [--k-prime K]
+
+``simulate`` also writes ``<out>.labels.csv`` with the ground truth so
+the evaluate step can be run on the simulated data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.stats import dataset_stats
+from repro.core import DarkVec, DarkVecConfig
+from repro.core.inspection import inspect_clusters
+from repro.graph.silhouette import cluster_silhouettes
+from repro.io.csvio import read_trace_csv, write_trace_csv
+from repro.knn.loo import leave_one_out_predictions
+from repro.knn.report import classification_report
+from repro.labels.groundtruth import GroundTruth
+from repro.trace.address import ip_to_str, str_to_ip
+from repro.trace.generator import generate_trace
+from repro.trace.scenario import default_scenario
+from repro.utils.tables import format_table
+from repro.w2v.keyedvectors import KeyedVectors
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DarkVec reproduction: darknet traffic analysis "
+        "with word embeddings",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a synthetic trace")
+    simulate.add_argument("--out", required=True, type=Path)
+    simulate.add_argument("--scale", type=float, default=0.05)
+    simulate.add_argument("--days", type=float, default=10.0)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument(
+        "--preset",
+        choices=("default", "minimal", "worm", "quiet"),
+        default="default",
+        help="scenario preset (scale only applies to 'default')",
+    )
+    simulate.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="JSON scenario document (overrides --preset/--scale)",
+    )
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table 1)")
+    stats.add_argument("--trace", required=True, type=Path)
+
+    train = sub.add_parser("train", help="train the DarkVec embedding")
+    train.add_argument("--trace", required=True, type=Path)
+    train.add_argument("--out", required=True, type=Path)
+    train.add_argument(
+        "--service", choices=("single", "auto", "domain"), default="domain"
+    )
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--vector-size", type=int, default=50)
+    train.add_argument("--context", type=int, default=25)
+    train.add_argument("--seed", type=int, default=1)
+
+    evaluate = sub.add_parser("evaluate", help="leave-one-out 7-NN report")
+    evaluate.add_argument("--trace", required=True, type=Path)
+    evaluate.add_argument("--vectors", required=True, type=Path)
+    evaluate.add_argument("--labels", required=True, type=Path)
+    evaluate.add_argument("--k", type=int, default=7)
+
+    cluster = sub.add_parser("cluster", help="Louvain cluster discovery")
+    cluster.add_argument("--trace", required=True, type=Path)
+    cluster.add_argument("--vectors", required=True, type=Path)
+    cluster.add_argument("--k-prime", type=int, default=3)
+    cluster.add_argument("--min-size", type=int, default=5)
+    cluster.add_argument("--top", type=int, default=20)
+
+    return parser
+
+
+def _labels_path(trace_path: Path) -> Path:
+    return trace_path.with_suffix(trace_path.suffix + ".labels.csv")
+
+
+def _write_labels(path: Path, truth: GroundTruth) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["src_ip", "label"])
+        for ip, label in sorted(truth.by_ip.items()):
+            writer.writerow([ip_to_str(ip), label])
+
+
+def _read_labels(path: Path) -> GroundTruth:
+    truth = GroundTruth()
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["src_ip", "label"]:
+            raise ValueError(f"unexpected labels header: {header}")
+        for ip_text, label in reader:
+            truth.add_class(label, np.array([str_to_ip(ip_text)]))
+    return truth
+
+
+def _cmd_simulate(args) -> int:
+    if args.config is not None:
+        from repro.trace.config import scenario_from_json
+
+        scenario = scenario_from_json(args.config)
+    elif args.preset == "default":
+        scenario = default_scenario(
+            scale=args.scale, days=args.days, seed=args.seed
+        )
+    else:
+        from repro.trace.presets import PRESETS
+
+        scenario = PRESETS[args.preset](days=args.days, seed=args.seed)
+    bundle = generate_trace(scenario)
+    write_trace_csv(bundle.trace, args.out)
+    labels_file = _labels_path(args.out)
+    _write_labels(labels_file, bundle.truth)
+    print(
+        f"wrote {bundle.trace.n_packets} packets from "
+        f"{bundle.trace.n_senders} senders to {args.out}"
+    )
+    print(f"wrote ground-truth labels to {labels_file}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    trace = read_trace_csv(args.trace)
+    for name, window in (("full trace", trace), ("last day", trace.last_days(1.0))):
+        stats = dataset_stats(window)
+        top = "; ".join(
+            f"{port}/tcp {share:.2f}%" for port, share, _ in stats.top_tcp_ports
+        )
+        print(
+            f"{name}: {stats.n_sources} sources, {stats.n_packets} packets, "
+            f"{stats.n_ports} ports, top TCP: {top}"
+        )
+    print(f"active senders (>=10 packets): {len(trace.active_senders(10))}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    trace = read_trace_csv(args.trace)
+    config = DarkVecConfig(
+        service=args.service,
+        epochs=args.epochs,
+        vector_size=args.vector_size,
+        context=args.context,
+        seed=args.seed,
+    )
+    darkvec = DarkVec(config).fit(trace)
+    embedding = darkvec.embedding
+    assert embedding is not None and darkvec.corpus is not None
+    # Persist keyed by IP address (sender indices are trace-specific).
+    ips = trace.sender_ips[embedding.tokens].astype(np.int64)
+    order = np.argsort(ips)
+    KeyedVectors(tokens=ips[order], vectors=embedding.vectors[order]).save(
+        args.out
+    )
+    print(
+        f"trained on {darkvec.corpus.n_tokens} tokens; embedded "
+        f"{len(embedding)} senders -> {args.out}"
+    )
+    return 0
+
+
+def _load_embedding_for(trace, path: Path) -> KeyedVectors:
+    """Load an IP-keyed embedding and re-key it by sender index."""
+    keyed = KeyedVectors.load(path)
+    positions = np.searchsorted(trace.sender_ips, keyed.tokens)
+    positions = np.clip(positions, 0, max(trace.n_senders - 1, 0))
+    hit = trace.sender_ips[positions.astype(int)] == keyed.tokens
+    senders = positions[hit].astype(np.int64)
+    order = np.argsort(senders)
+    return KeyedVectors(
+        tokens=senders[order], vectors=keyed.vectors[hit][order]
+    )
+
+
+def _cmd_evaluate(args) -> int:
+    trace = read_trace_csv(args.trace)
+    truth = _read_labels(args.labels)
+    embedding = _load_embedding_for(trace, args.vectors)
+    labels = truth.labels_for(trace)[embedding.tokens]
+    eval_senders = trace.last_days(1.0).observed_senders()
+    rows = embedding.rows_of(eval_senders)
+    rows = rows[rows >= 0]
+    predictions = leave_one_out_predictions(
+        embedding.vectors, labels, rows, k=args.k
+    )
+    report = classification_report(labels[rows], predictions)
+    print(report.to_text(title=f"{args.k}-NN leave-one-out report"))
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    trace = read_trace_csv(args.trace)
+    embedding = _load_embedding_for(trace, args.vectors)
+    from repro.graph.knn_graph import build_knn_graph
+    from repro.graph.louvain import louvain_communities
+    from repro.graph.modularity import modularity
+
+    graph = build_knn_graph(embedding.vectors, k_prime=args.k_prime)
+    adjacency = graph.symmetric_adjacency()
+    communities = louvain_communities(adjacency, seed=0)
+    score = modularity(adjacency, communities)
+    silhouettes = cluster_silhouettes(embedding.vectors, communities)
+    profiles = inspect_clusters(
+        trace,
+        embedding.tokens,
+        communities,
+        silhouettes=silhouettes,
+        min_size=args.min_size,
+    )
+    print(
+        f"{len(set(communities.tolist()))} clusters, modularity {score:.3f}"
+    )
+    rows = []
+    for profile in profiles[: args.top]:
+        top_ports = ", ".join(
+            f"{name} ({share:.0%})" for name, share in profile.top_ports[:2]
+        )
+        rows.append(
+            [
+                f"C{profile.cluster_id}",
+                profile.size,
+                profile.n_ports,
+                f"{profile.silhouette:.2f}",
+                profile.n_subnets24,
+                top_ports,
+            ]
+        )
+    print(
+        format_table(
+            ["Cluster", "IPs", "Ports", "Sh", "/24s", "Top ports"], rows
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "cluster": _cmd_cluster,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""DarkVec core pipeline (the paper's primary contribution).
+
+Ties the substrates together: activity filtering, service definition,
+corpus construction, Word2Vec embedding, semi-supervised k-NN
+evaluation, unsupervised graph clustering, and cluster inspection.
+"""
+
+from repro.core.config import DarkVecConfig
+from repro.core.extension import extend_ground_truth
+from repro.core.filtering import active_filter, coverage
+from repro.core.inspection import ClusterProfile, inspect_clusters
+from repro.core.pipeline import ClusterResult, DarkVec
+from repro.core.report import ClusterFinding, describe_cluster, describe_clusters
+
+__all__ = [
+    "ClusterFinding",
+    "ClusterProfile",
+    "ClusterResult",
+    "describe_cluster",
+    "describe_clusters",
+    "DarkVec",
+    "DarkVecConfig",
+    "active_filter",
+    "coverage",
+    "extend_ground_truth",
+    "inspect_clusters",
+]

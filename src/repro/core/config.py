@@ -1,0 +1,64 @@
+"""DarkVec configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.services.auto import AutoServiceMap
+from repro.services.base import ServiceMap
+from repro.services.domain import DomainServiceMap
+from repro.services.single import SingleServiceMap
+from repro.trace.packet import Trace
+
+#: The paper's default parameters (Section 6.2): domain-knowledge
+#: services, dT = 1 hour, c = 25, V = 50, 10 epochs, k = 7.
+_SERVICE_CHOICES = ("single", "auto", "domain")
+
+
+@dataclass
+class DarkVecConfig:
+    """All knobs of the DarkVec pipeline.
+
+    Attributes:
+        service: ``"single"``, ``"auto"``, ``"domain"``, or a custom
+            :class:`~repro.services.base.ServiceMap` instance.
+        auto_top_n: number of per-port services for ``"auto"``.
+        delta_t: sentence window dT in seconds.
+        min_packets: activity filter threshold (paper: 10).
+        vector_size: embedding dimension V.
+        context: one-sided context window c.
+        negative: negative samples per positive pair.
+        epochs: training epochs.
+        seed: randomness seed (model init, window shrink, negatives).
+    """
+
+    service: str | ServiceMap = "domain"
+    auto_top_n: int = 10
+    delta_t: float = 3600.0
+    min_packets: int = 10
+    vector_size: int = 50
+    context: int = 25
+    negative: int = 5
+    epochs: int = 10
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.service, str) and self.service not in _SERVICE_CHOICES:
+            raise ValueError(
+                f"service must be one of {_SERVICE_CHOICES} or a ServiceMap, "
+                f"got {self.service!r}"
+            )
+        if self.min_packets < 1:
+            raise ValueError("min_packets must be positive")
+        if self.auto_top_n < 1:
+            raise ValueError("auto_top_n must be positive")
+
+    def resolve_service_map(self, trace: Trace) -> ServiceMap:
+        """Materialise the service map (auto services need the trace)."""
+        if isinstance(self.service, ServiceMap):
+            return self.service
+        if self.service == "single":
+            return SingleServiceMap()
+        if self.service == "auto":
+            return AutoServiceMap.from_trace(trace, n=self.auto_top_n)
+        return DomainServiceMap()

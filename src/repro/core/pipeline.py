@@ -1,0 +1,132 @@
+"""The DarkVec end-to-end pipeline.
+
+Usage sketch::
+
+    config = DarkVecConfig(service="domain")
+    darkvec = DarkVec(config)
+    darkvec.fit(trace)                      # corpus + embedding
+    report = darkvec.evaluate(truth)        # Table 4-style LOO report
+    clusters = darkvec.cluster(k_prime=3)   # Louvain communities
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DarkVecConfig
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.document import Corpus
+from repro.graph.knn_graph import KnnGraph, build_knn_graph
+from repro.graph.louvain import louvain_communities
+from repro.graph.modularity import modularity
+from repro.knn.loo import leave_one_out_predictions
+from repro.knn.report import ClassificationReport, classification_report
+from repro.labels.groundtruth import GroundTruth
+from repro.trace.packet import Trace
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.model import Word2Vec
+
+
+@dataclass
+class ClusterResult:
+    """Output of the unsupervised stage.
+
+    Attributes:
+        communities: community id per embedded sender, aligned with
+            ``embedding.tokens``.
+        modularity: modularity of the partition on the symmetrised
+            k'-NN graph.
+        graph: the directed k'-NN graph itself.
+    """
+
+    communities: np.ndarray
+    modularity: float
+    graph: KnnGraph
+
+    @property
+    def n_clusters(self) -> int:
+        return len(np.unique(self.communities)) if len(self.communities) else 0
+
+
+class DarkVec:
+    """DarkVec pipeline: trace -> corpus -> embedding -> analyses."""
+
+    def __init__(self, config: DarkVecConfig | None = None) -> None:
+        self.config = config or DarkVecConfig()
+        self.trace: Trace | None = None
+        self.corpus: Corpus | None = None
+        self.embedding: KeyedVectors | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(self, trace: Trace) -> "DarkVec":
+        """Build the corpus of ``trace`` and train the embedding."""
+        config = self.config
+        active = trace.active_senders(config.min_packets)
+        service_map = config.resolve_service_map(trace)
+        builder = CorpusBuilder(service_map, delta_t=config.delta_t)
+        corpus = builder.build(trace, keep_senders=active)
+        model = Word2Vec(
+            vector_size=config.vector_size,
+            context=config.context,
+            negative=config.negative,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        self.embedding = model.fit([sentence.tokens for sentence in corpus])
+        self.trace = trace
+        self.corpus = corpus
+        return self
+
+    def _require_fit(self) -> tuple[Trace, KeyedVectors]:
+        if self.trace is None or self.embedding is None:
+            raise RuntimeError("call fit() before analysing")
+        return self.trace, self.embedding
+
+    # ------------------------------------------------------------------
+    # Semi-supervised analysis
+    # ------------------------------------------------------------------
+
+    def evaluation_rows(self, eval_days: float | None = 1.0) -> np.ndarray:
+        """Embedding rows of senders present in the evaluation window.
+
+        The paper evaluates on the senders of the last collection day
+        that are covered by the embedding; ``eval_days=None`` evaluates
+        every embedded sender.
+        """
+        trace, embedding = self._require_fit()
+        if eval_days is None:
+            return np.arange(len(embedding))
+        eval_senders = trace.last_days(eval_days).observed_senders()
+        rows = embedding.rows_of(eval_senders)
+        return rows[rows >= 0]
+
+    def evaluate(
+        self,
+        truth: GroundTruth,
+        k: int = 7,
+        eval_days: float | None = 1.0,
+    ) -> ClassificationReport:
+        """Leave-one-out k-NN evaluation (the Table 3/4 protocol)."""
+        trace, embedding = self._require_fit()
+        labels = truth.labels_for(trace)[embedding.tokens]
+        rows = self.evaluation_rows(eval_days)
+        predictions = leave_one_out_predictions(embedding.vectors, labels, rows, k=k)
+        return classification_report(labels[rows], predictions)
+
+    # ------------------------------------------------------------------
+    # Unsupervised analysis
+    # ------------------------------------------------------------------
+
+    def cluster(self, k_prime: int = 3, seed: int = 0) -> ClusterResult:
+        """k'-NN graph + Louvain clustering of all embedded senders."""
+        _, embedding = self._require_fit()
+        graph = build_knn_graph(embedding.vectors, k_prime=k_prime)
+        adjacency = graph.symmetric_adjacency()
+        communities = louvain_communities(adjacency, seed=seed)
+        score = modularity(adjacency, communities)
+        return ClusterResult(communities=communities, modularity=score, graph=graph)

@@ -1,0 +1,135 @@
+"""Automatic cluster characterisation (automates Section 7.3).
+
+The paper's analysts labelled each cluster by hand from port
+fingerprints, address layout and temporal shape.  This module encodes
+those heuristics so the unsupervised pipeline can annotate its own
+findings: subnet-confined scanners, Mirai-fingerprinted botnets,
+worm-like ramp-ups, horizontal scanners with flat port shares, and
+periodic campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.regularity import PeriodicityResult, periodicity
+from repro.core.inspection import ClusterProfile
+from repro.trace.packet import SECONDS_PER_DAY, Trace
+
+
+@dataclass
+class ClusterFinding:
+    """A cluster plus the automatically derived narrative."""
+
+    profile: ClusterProfile
+    traits: list[str] = field(default_factory=list)
+    period: PeriodicityResult | None = None
+
+    @property
+    def headline(self) -> str:
+        """One-line description in the style of Table 5."""
+        top = self.profile.top_ports[0][0] if self.profile.top_ports else "?"
+        traits = "; ".join(self.traits) if self.traits else "no clear traits"
+        return (
+            f"C{self.profile.cluster_id}: {self.profile.size} IPs, "
+            f"top port {top} — {traits}"
+        )
+
+
+def _mirai_share(trace: Trace, senders: np.ndarray) -> float:
+    sub = trace.from_senders(senders)
+    if not len(sub):
+        return 0.0
+    flagged = np.unique(sub.senders[sub.mirai])
+    return len(flagged) / len(np.unique(sub.senders))
+
+
+def _is_ramping(trace: Trace, senders: np.ndarray) -> bool:
+    sub = trace.from_senders(senders)
+    if len(sub) < 20 or trace.duration_days < 3:
+        return False
+    bins = (
+        (sub.times - trace.start_time) / SECONDS_PER_DAY
+    ).astype(int)
+    n_days = int(np.ceil(trace.duration_days))
+    daily: list[int] = []
+    for day in range(n_days):
+        daily.append(len(np.unique(sub.senders[bins == day])))
+    third = max(n_days // 3, 1)
+    early = float(np.mean(daily[:third]))
+    late = float(np.mean(daily[-third:]))
+    return late > max(early, 1.0) * 2.0
+
+
+def _port_share_flatness(profile: ClusterProfile) -> float:
+    """Top-port dominance: low values mean an equal-share scan."""
+    if not profile.top_ports:
+        return 1.0
+    return profile.top_ports[0][1]
+
+
+def _dominant_subnet24_share(trace: Trace, senders: np.ndarray) -> float:
+    ips = trace.sender_ips[np.asarray(senders, dtype=np.int64)]
+    subnets = (ips.astype(np.int64) >> 8).astype(np.int64)
+    if not len(subnets):
+        return 0.0
+    _, counts = np.unique(subnets, return_counts=True)
+    return float(counts.max() / len(subnets))
+
+
+def describe_cluster(
+    trace: Trace,
+    profile: ClusterProfile,
+    check_period: bool = True,
+) -> ClusterFinding:
+    """Derive the Table 5-style traits of one cluster."""
+    traits: list[str] = []
+
+    subnet_share = _dominant_subnet24_share(trace, profile.senders)
+    if subnet_share >= 0.8 and profile.size >= 5:
+        traits.append(
+            f"{subnet_share:.0%} of senders in one /24 subnet"
+        )
+    elif profile.n_subnets16 == 1 and profile.n_subnets24 > 1:
+        traits.append("all senders in one /16 block")
+    elif profile.n_subnets24 >= profile.size * 0.9 and profile.size >= 20:
+        traits.append("senders scattered across subnets (botnet-like)")
+
+    mirai = _mirai_share(trace, profile.senders)
+    if mirai > 0.5:
+        traits.append(f"{mirai:.0%} of senders carry the Mirai fingerprint")
+
+    if _is_ramping(trace, profile.senders):
+        traits.append("sender population ramps up (worm-like spread)")
+
+    if (
+        profile.n_ports >= 30
+        and _port_share_flatness(profile) < 0.1
+    ):
+        traits.append(
+            f"almost equal share over {profile.n_ports} ports "
+            "(horizontal scan)"
+        )
+
+    period = None
+    if check_period:
+        period = periodicity(trace, profile.senders)
+        if period.is_regular:
+            hours = period.period_seconds / 3600.0
+            traits.append(f"regular activity with ~{hours:.1f} h period")
+
+    return ClusterFinding(profile=profile, traits=traits, period=period)
+
+
+def describe_clusters(
+    trace: Trace,
+    profiles: list[ClusterProfile],
+    check_period: bool = True,
+) -> list[ClusterFinding]:
+    """Characterise every cluster, largest first."""
+    return [
+        describe_cluster(trace, profile, check_period=check_period)
+        for profile in profiles
+    ]

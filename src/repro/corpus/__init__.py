@@ -1,0 +1,7 @@
+"""Corpus construction: from packets to per-service sender sentences."""
+
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.document import Corpus, Sentence
+from repro.corpus.windows import window_indices
+
+__all__ = ["Corpus", "CorpusBuilder", "Sentence", "window_indices"]

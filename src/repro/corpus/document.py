@@ -1,0 +1,104 @@
+"""Corpus containers.
+
+A :class:`Sentence` is the time-ordered sequence of sender tokens seen
+by one service within one ΔT window; a :class:`Corpus` is the union of
+all sentences over all services and windows (paper Section 5.2).
+Tokens are integers — trace sender indices for DarkVec, encoded field
+values for the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """One per-service, per-window token sequence."""
+
+    tokens: np.ndarray
+    service_id: int
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.tokens.ndim != 1:
+            raise ValueError("sentence tokens must be one-dimensional")
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass
+class Corpus:
+    """A bag of sentences with bookkeeping for the experiments."""
+
+    sentences: list[Sentence]
+    service_names: tuple[str, ...] = ()
+    _token_counts: dict[int, int] | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    def __iter__(self):
+        return iter(self.sentences)
+
+    @property
+    def n_tokens(self) -> int:
+        """Total tokens across all sentences."""
+        return sum(len(sentence) for sentence in self.sentences)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct tokens."""
+        return len(self.token_counts())
+
+    def token_counts(self) -> dict[int, int]:
+        """Occurrences of each distinct token across the corpus."""
+        if self._token_counts is None:
+            counts: dict[int, int] = {}
+            for sentence in self.sentences:
+                uniq, freq = np.unique(sentence.tokens, return_counts=True)
+                for token, count in zip(uniq, freq):
+                    token = int(token)
+                    counts[token] = counts.get(token, 0) + int(count)
+            self._token_counts = counts
+        return self._token_counts
+
+    def skipgram_count(self, context: int) -> int:
+        """Number of skip-grams a full context window ``c`` generates.
+
+        For a sentence of length ``n`` every position contributes up to
+        ``2c`` (center, context) pairs, truncated at the sentence
+        boundaries.  This is the quantity compared in Table 3.
+        """
+        if context < 1:
+            raise ValueError("context must be positive")
+        total = 0
+        for sentence in self.sentences:
+            n = len(sentence)
+            if n < 2:
+                continue
+            # Sum over positions of min(i, c) + min(n - 1 - i, c); the
+            # closed form avoids a per-position loop.
+            total += 2 * _one_sided_pairs(n, context)
+        return total
+
+    def sentence_length_stats(self) -> dict[str, float]:
+        """Min / mean / max sentence length (0s when empty)."""
+        lengths = np.array([len(s) for s in self.sentences])
+        if lengths.size == 0:
+            return {"min": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "min": float(lengths.min()),
+            "mean": float(lengths.mean()),
+            "max": float(lengths.max()),
+        }
+
+
+def _one_sided_pairs(n: int, c: int) -> int:
+    """``sum_i min(i, c)`` for ``i`` in ``0..n-1``."""
+    if n <= c:
+        return n * (n - 1) // 2
+    return c * (c - 1) // 2 + (n - c) * c  # ramp + plateau

@@ -1,0 +1,22 @@
+"""Time-window assignment for corpus sentences (ΔT splitting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def window_indices(
+    times: np.ndarray, t_start: float, delta_t: float
+) -> np.ndarray:
+    """Index of the ``[t_start + i*delta_t, t_start + (i+1)*delta_t)``
+    window containing each timestamp.
+
+    Timestamps before ``t_start`` raise, as they would silently land in
+    negative windows.
+    """
+    if delta_t <= 0:
+        raise ValueError("delta_t must be positive")
+    times = np.asarray(times, dtype=np.float64)
+    if len(times) and times.min() < t_start:
+        raise ValueError("timestamps before the corpus start")
+    return np.floor((times - t_start) / delta_t).astype(np.int64)

@@ -1,0 +1,23 @@
+"""Unsupervised analysis: k'-NN graph + Louvain clustering (Section 7)."""
+
+from repro.graph.classic import (
+    cosine_agglomerative,
+    cosine_dbscan,
+    cosine_kmeans,
+)
+from repro.graph.knn_graph import KnnGraph, build_knn_graph
+from repro.graph.louvain import louvain_communities
+from repro.graph.modularity import modularity
+from repro.graph.silhouette import cosine_silhouette, cluster_silhouettes
+
+__all__ = [
+    "KnnGraph",
+    "build_knn_graph",
+    "cluster_silhouettes",
+    "cosine_agglomerative",
+    "cosine_dbscan",
+    "cosine_kmeans",
+    "cosine_silhouette",
+    "louvain_communities",
+    "modularity",
+]

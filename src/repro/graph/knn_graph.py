@@ -1,0 +1,88 @@
+"""Directed k'-NN similarity graph over an embedding (Section 7.1).
+
+Each embedded sender becomes a vertex connected to its k' nearest
+neighbours; edge weights are cosine similarities.  The graph is directed
+(neighbourhood is not symmetric); community detection symmetrises it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.knn.classifier import knn_search
+from repro.w2v.mathutils import unit_rows
+
+
+@dataclass
+class KnnGraph:
+    """Edge-list representation of the directed k'-NN graph.
+
+    Attributes:
+        n_nodes: number of vertices (= embedded senders).
+        sources, targets: aligned edge endpoint arrays.
+        weights: cosine similarity of each edge, clipped to >= 0.
+    """
+
+    n_nodes: int
+    sources: np.ndarray
+    targets: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.sources) == len(self.targets) == len(self.weights)):
+            raise ValueError("edge columns must align")
+        if len(self.sources) and (
+            self.sources.max() >= self.n_nodes or self.targets.max() >= self.n_nodes
+        ):
+            raise ValueError("edge endpoint out of range")
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.sources)
+
+    def symmetric_adjacency(self) -> list[dict[int, float]]:
+        """Undirected weighted adjacency: ``w[i][j] = w_ij + w_ji``.
+
+        Self-loops are dropped.  This is the input Louvain consumes.
+        """
+        adjacency: list[dict[int, float]] = [dict() for _ in range(self.n_nodes)]
+        for u, v, w in zip(self.sources, self.targets, self.weights):
+            u, v, w = int(u), int(v), float(w)
+            if u == v:
+                continue
+            adjacency[u][v] = adjacency[u].get(v, 0.0) + w
+            adjacency[v][u] = adjacency[v].get(u, 0.0) + w
+        return adjacency
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (for validation/analysis)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.n_nodes))
+        graph.add_weighted_edges_from(
+            (int(u), int(v), float(w))
+            for u, v, w in zip(self.sources, self.targets, self.weights)
+        )
+        return graph
+
+
+def build_knn_graph(vectors: np.ndarray, k_prime: int = 3) -> KnnGraph:
+    """Connect every embedded point to its ``k_prime`` nearest points.
+
+    Cosine similarities can be negative; negative-weight edges would
+    break modularity, so weights are clipped at zero (the edge remains,
+    with zero influence).
+    """
+    if k_prime < 1:
+        raise ValueError("k_prime must be positive")
+    units = unit_rows(np.asarray(vectors))
+    n = len(units)
+    all_rows = np.arange(n)
+    neighbors, sims = knn_search(units, all_rows, k_prime, exclude_self=True)
+    sources = np.repeat(all_rows, k_prime)
+    targets = neighbors.reshape(-1)
+    weights = np.clip(sims.reshape(-1), 0.0, None)
+    return KnnGraph(n_nodes=n, sources=sources, targets=targets, weights=weights)

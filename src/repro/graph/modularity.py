@@ -1,0 +1,44 @@
+"""Weighted undirected modularity (Newman).
+
+Louvain maximises this quantity; it is also reported directly in
+Figure 10 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def modularity(
+    adjacency: list[dict[int, float]],
+    communities: np.ndarray,
+    resolution: float = 1.0,
+) -> float:
+    """Modularity of a node->community assignment.
+
+    Args:
+        adjacency: symmetric weighted adjacency (``w[i][j] == w[j][i]``).
+        communities: community id per node.
+        resolution: resolution parameter gamma (1.0 = classic).
+    """
+    communities = np.asarray(communities)
+    n = len(adjacency)
+    if len(communities) != n:
+        raise ValueError("communities must align with adjacency")
+    degrees = np.array([sum(neigh.values()) for neigh in adjacency])
+    two_m = degrees.sum()
+    if two_m == 0:
+        return 0.0
+
+    internal = 0.0
+    for u, neigh in enumerate(adjacency):
+        for v, w in neigh.items():
+            if communities[u] == communities[v]:
+                internal += w  # each undirected edge counted twice
+
+    community_degree: dict[int, float] = {}
+    for u in range(n):
+        c = int(communities[u])
+        community_degree[c] = community_degree.get(c, 0.0) + degrees[u]
+    expected = sum(d * d for d in community_degree.values()) / (two_m * two_m)
+    return internal / two_m - resolution * expected

@@ -1,0 +1,13 @@
+"""Trace serialisation and anonymisation."""
+
+from repro.io.anonymize import anonymize_trace
+from repro.io.csvio import read_trace_csv, write_trace_csv
+from repro.io.ndjson import read_trace_ndjson, write_trace_ndjson
+
+__all__ = [
+    "anonymize_trace",
+    "read_trace_csv",
+    "read_trace_ndjson",
+    "write_trace_csv",
+    "write_trace_ndjson",
+]

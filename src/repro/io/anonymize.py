@@ -1,0 +1,67 @@
+"""Prefix-preserving sender anonymisation.
+
+The paper releases an *anonymised* version of its dataset.  This
+implements the same idea: sender addresses are permuted by a keyed
+mapping that preserves subnet structure — two addresses in the same /24
+(or /16) stay in the same anonymised /24 (or /16) — so subnet-level
+analyses (Table 5's "same /24 subnet" findings) survive anonymisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.trace.packet import Trace
+
+
+def _keyed_octet_perm(key: bytes, level: bytes) -> np.ndarray:
+    """Deterministic permutation of 0..255 derived from ``key``."""
+    digest = hashlib.sha256(key + b"/" + level).digest()
+    seed = int.from_bytes(digest[:8], "big")
+    return np.random.default_rng(seed).permutation(256)
+
+
+def anonymize_trace(trace: Trace, key: str = "darkvec") -> Trace:
+    """Return a trace with prefix-preserving anonymised sender IPs.
+
+    Each octet is permuted with a permutation keyed on ``key`` and the
+    more-significant octets, so equal prefixes map to equal prefixes
+    and distinct prefixes stay distinct (a lightweight Crypto-PAn).
+    """
+    key_bytes = key.encode("utf-8")
+    ips = trace.sender_ips.astype(np.uint64)
+    octets = [(ips >> shift).astype(np.int64) & 0xFF for shift in (24, 16, 8, 0)]
+
+    anonymized = np.zeros(len(ips), dtype=np.uint64)
+    prefix_strings = np.array([""] * len(ips), dtype=object)
+    for level, octet in enumerate(octets):
+        # The permutation of this octet depends on the (anonymised)
+        # prefix above it, computed per distinct prefix.
+        new_octet = np.zeros(len(ips), dtype=np.uint64)
+        for prefix in np.unique(prefix_strings):
+            mask = prefix_strings == prefix
+            perm = _keyed_octet_perm(key_bytes, f"{level}:{prefix}".encode())
+            new_octet[mask] = perm[octet[mask]]
+        anonymized = (anonymized << 8) | new_octet
+        prefix_strings = np.array(
+            [f"{p}.{o}" for p, o in zip(prefix_strings, new_octet)], dtype=object
+        )
+
+    new_ips = anonymized.astype(np.uint32)
+    order = np.argsort(new_ips)
+    if len(np.unique(new_ips)) != len(new_ips):
+        raise RuntimeError("anonymisation collision — should be impossible")
+    # Remap the sender column to the re-sorted anonymised table.
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(len(order))
+    return Trace(
+        times=trace.times.copy(),
+        senders=inverse[trace.senders].astype(np.int32),
+        ports=trace.ports.copy(),
+        protos=trace.protos.copy(),
+        receivers=trace.receivers.copy(),
+        mirai=trace.mirai.copy(),
+        sender_ips=new_ips[order],
+    )

@@ -1,0 +1,71 @@
+"""CSV trace serialisation.
+
+The released DarkVec datasets ship as per-packet CSV files; this module
+reads and writes the same layout:
+
+    timestamp,src_ip,dst_host,dst_port,proto,mirai
+
+``dst_host`` is the last octet of the darknet /24 address, ``proto`` is
+``tcp``/``udp``/``icmp`` and ``mirai`` flags the fingerprint.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.address import ip_to_str, str_to_ip
+from repro.trace.packet import Trace, proto_name
+
+_HEADER = ["timestamp", "src_ip", "dst_host", "dst_port", "proto", "mirai"]
+_PROTO_NUM = {"tcp": 6, "udp": 17, "icmp": 1}
+
+
+def write_trace_csv(trace: Trace, path: str | Path) -> None:
+    """Write a trace as CSV (one packet per row, time order)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        ips = trace.sender_ips
+        for i in range(len(trace)):
+            writer.writerow(
+                [
+                    f"{trace.times[i]:.6f}",
+                    ip_to_str(ips[trace.senders[i]]),
+                    int(trace.receivers[i]),
+                    int(trace.ports[i]),
+                    proto_name(trace.protos[i]),
+                    int(trace.mirai[i]),
+                ]
+            )
+
+
+def read_trace_csv(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace_csv`."""
+    path = Path(path)
+    times, ips, receivers, ports, protos, mirai = [], [], [], [], [], []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValueError(f"unexpected CSV header in {path}: {header}")
+        for row in reader:
+            if len(row) != len(_HEADER):
+                raise ValueError(f"malformed row in {path}: {row}")
+            times.append(float(row[0]))
+            ips.append(str_to_ip(row[1]))
+            receivers.append(int(row[2]))
+            ports.append(int(row[3]))
+            protos.append(_PROTO_NUM[row[4]])
+            mirai.append(bool(int(row[5])))
+    return Trace.from_events(
+        times=np.array(times),
+        sender_ips_per_packet=np.array(ips, dtype=np.uint64),
+        ports=np.array(ports),
+        protos=np.array(protos),
+        receivers=np.array(receivers),
+        mirai=np.array(mirai),
+    )

@@ -1,0 +1,13 @@
+"""Semi-supervised analysis: cosine k-NN classification (Section 6)."""
+
+from repro.knn.classifier import CosineKnn, knn_search
+from repro.knn.loo import leave_one_out_predictions
+from repro.knn.report import ClassificationReport, classification_report
+
+__all__ = [
+    "ClassificationReport",
+    "CosineKnn",
+    "classification_report",
+    "knn_search",
+    "leave_one_out_predictions",
+]

@@ -1,0 +1,27 @@
+"""Leave-one-out evaluation over an embedded, labelled population.
+
+This is the validation protocol of Sections 4 and 6: for every labelled
+sender, hide its label, find its k nearest neighbours among *all*
+senders (including Unknown ones), and predict by majority vote.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.knn.classifier import CosineKnn
+
+
+def leave_one_out_predictions(
+    vectors: np.ndarray,
+    labels: np.ndarray,
+    eval_rows: np.ndarray,
+    k: int = 7,
+) -> np.ndarray:
+    """LOO predictions for ``eval_rows``.
+
+    Each evaluated row is excluded from its own neighbourhood; all other
+    rows (whatever their label, Unknown included) may vote.
+    """
+    classifier = CosineKnn(vectors, labels, k=k)
+    return classifier.predict_rows(np.asarray(eval_rows), exclude_self=True)

@@ -1,0 +1,104 @@
+"""Per-class precision / recall / F-score reports (Tables 4 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.labels.groundtruth import UNKNOWN
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Precision, recall, F-score and support of one class."""
+
+    precision: float
+    recall: float
+    f_score: float
+    support: int
+
+
+@dataclass
+class ClassificationReport:
+    """Evaluation summary in the paper's format.
+
+    ``accuracy`` is the weighted average recall over the ground-truth
+    classes, *excluding* Unknown — the paper skips Unknown senders when
+    computing accuracy because their true class is unknowable.  The
+    Unknown row still reports recall, as in Table 4.
+    """
+
+    per_class: dict[str, ClassMetrics]
+    accuracy: float
+
+    def macro_f(self, include_unknown: bool = False) -> float:
+        """Unweighted mean F-score across classes."""
+        scores = [
+            metrics.f_score
+            for name, metrics in self.per_class.items()
+            if include_unknown or name != UNKNOWN
+        ]
+        return float(np.mean(scores)) if scores else 0.0
+
+    def to_text(self, title: str | None = None) -> str:
+        """Render as an aligned table, Unknown last (paper layout)."""
+        names = [n for n in self.per_class if n != UNKNOWN]
+        if UNKNOWN in self.per_class:
+            names.append(UNKNOWN)
+        rows = []
+        for name in names:
+            m = self.per_class[name]
+            precision = f"{m.precision:.2f}" if name != UNKNOWN else "-"
+            f_score = f"{m.f_score:.2f}" if name != UNKNOWN else "-"
+            rows.append([name, precision, f"{m.recall:.2f}", f_score, m.support])
+        table = format_table(
+            ["Class", "Precision", "Recall", "F-Score", "Support"], rows, title=title
+        )
+        return f"{table}\nAccuracy (GT classes): {self.accuracy:.4f}"
+
+
+def classification_report(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    classes: tuple[str, ...] | None = None,
+) -> ClassificationReport:
+    """Compute the per-class report from true/predicted label arrays.
+
+    Args:
+        y_true: true labels (may include ``Unknown``).
+        y_pred: predicted labels, aligned with ``y_true``.
+        classes: class ordering; defaults to classes present in
+            ``y_true`` (Unknown last).
+    """
+    y_true = np.asarray(y_true, dtype=object)
+    y_pred = np.asarray(y_pred, dtype=object)
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred must align")
+    if classes is None:
+        present = sorted({label for label in y_true if label != UNKNOWN})
+        classes = tuple(present) + ((UNKNOWN,) if UNKNOWN in set(y_true) else ())
+
+    per_class: dict[str, ClassMetrics] = {}
+    for name in classes:
+        true_mask = y_true == name
+        pred_mask = y_pred == name
+        tp = int(np.sum(true_mask & pred_mask))
+        support = int(true_mask.sum())
+        predicted = int(pred_mask.sum())
+        precision = tp / predicted if predicted else 0.0
+        recall = tp / support if support else 0.0
+        f_score = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        per_class[name] = ClassMetrics(
+            precision=precision, recall=recall, f_score=f_score, support=support
+        )
+
+    gt_mask = y_true != UNKNOWN
+    n_gt = int(gt_mask.sum())
+    accuracy = float(np.sum(y_true[gt_mask] == y_pred[gt_mask]) / n_gt) if n_gt else 0.0
+    return ClassificationReport(per_class=per_class, accuracy=accuracy)

@@ -1,0 +1,9 @@
+"""Ground-truth label management (paper Section 3.2)."""
+
+from repro.labels.groundtruth import (
+    GT_CLASSES,
+    UNKNOWN,
+    GroundTruth,
+)
+
+__all__ = ["GT_CLASSES", "GroundTruth", "UNKNOWN"]

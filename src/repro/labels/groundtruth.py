@@ -1,0 +1,96 @@
+"""Ground-truth classes and sender labelling.
+
+The paper labels senders from two sources: the Mirai fingerprint found
+in packets, and published address lists of known scan projects
+(Table 2).  In this reproduction the simulator plays the role of those
+sources: actor groups with a ``label`` contribute their addresses to
+the ground truth, every other sender is ``Unknown``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.packet import Trace
+
+UNKNOWN = "Unknown"
+
+#: The nine ground-truth classes of Table 2, in the paper's order.
+GT_CLASSES = (
+    "Mirai-like",
+    "Censys",
+    "Stretchoid",
+    "Internet-census",
+    "Binaryedge",
+    "Sharashka",
+    "Ipip",
+    "Shodan",
+    "Engin-umich",
+)
+
+
+@dataclass
+class GroundTruth:
+    """Mapping from sender IP addresses to class labels.
+
+    Senders absent from the mapping are implicitly ``Unknown``.
+    """
+
+    by_ip: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for ip, label in self.by_ip.items():
+            if label == UNKNOWN:
+                raise ValueError(
+                    f"ip {ip}: do not store Unknown explicitly; omit the entry"
+                )
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """Distinct labels present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for label in self.by_ip.values():
+            seen.setdefault(label)
+        return tuple(seen)
+
+    def label_of(self, ip: int) -> str:
+        """Label of a single address (``Unknown`` when unlabeled)."""
+        return self.by_ip.get(int(ip), UNKNOWN)
+
+    def labels_for(self, trace: Trace) -> np.ndarray:
+        """Per-sender-index label array aligned with ``trace.sender_ips``."""
+        return np.array(
+            [self.by_ip.get(int(ip), UNKNOWN) for ip in trace.sender_ips],
+            dtype=object,
+        )
+
+    def class_counts(self, trace: Trace, sender_indices: np.ndarray) -> dict[str, int]:
+        """Number of the given senders in each class (including Unknown)."""
+        labels = self.labels_for(trace)
+        counts: dict[str, int] = {}
+        for idx in sender_indices:
+            label = labels[idx]
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def add_class(self, label: str, ips: np.ndarray) -> None:
+        """Register all ``ips`` as members of ``label``."""
+        if label == UNKNOWN:
+            raise ValueError("Unknown is implicit; do not add it")
+        for ip in ips:
+            ip = int(ip)
+            existing = self.by_ip.get(ip)
+            if existing is not None and existing != label:
+                raise ValueError(
+                    f"ip {ip} already labeled {existing}, cannot relabel {label}"
+                )
+            self.by_ip[ip] = label
+
+    def merge(self, other: "GroundTruth") -> "GroundTruth":
+        """New ground truth with the union of both mappings."""
+        merged = GroundTruth(dict(self.by_ip))
+        for ip, label in other.by_ip.items():
+            merged.add_class(label, np.array([ip]))
+        return merged

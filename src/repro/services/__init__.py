@@ -1,0 +1,27 @@
+"""Service definitions (paper Section 5.2).
+
+A *service* is a set of destination (port, protocol) pairs.  The corpus
+builder splits darknet packets into per-service sequences; the three
+definitions studied in the paper are:
+
+* :class:`SingleServiceMap` — every packet in one service;
+* :class:`AutoServiceMap` — one service per top-``n`` port, one shared
+  service for the rest;
+* :class:`DomainServiceMap` — the 15 hand-curated services of Table 7.
+"""
+
+from repro.services.auto import AutoServiceMap
+from repro.services.base import ServiceMap
+from repro.services.domain import DOMAIN_SERVICE_PORTS, DomainServiceMap
+from repro.services.ports import format_port, parse_port
+from repro.services.single import SingleServiceMap
+
+__all__ = [
+    "AutoServiceMap",
+    "DOMAIN_SERVICE_PORTS",
+    "DomainServiceMap",
+    "ServiceMap",
+    "SingleServiceMap",
+    "format_port",
+    "parse_port",
+]

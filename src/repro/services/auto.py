@@ -1,0 +1,49 @@
+"""Auto-defined services: one per top-n port, one for the rest."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.services.base import ServiceMap
+from repro.services.ports import format_port, port_keys, unpack_key
+from repro.trace.packet import Trace
+
+
+class AutoServiceMap(ServiceMap):
+    """Services derived from traffic volume.
+
+    The top-``n`` (port, protocol) pairs by packet count each become a
+    dedicated service; every other pair falls into the ``other``
+    service.  The paper uses ``n = 10``.
+    """
+
+    def __init__(self, top_keys: np.ndarray) -> None:
+        self._top_keys = np.sort(np.asarray(top_keys, dtype=np.int64))
+        self._names = tuple(
+            format_port(*unpack_key(key)) for key in self._top_keys
+        ) + ("other",)
+
+    @staticmethod
+    def from_trace(trace: Trace, n: int = 10) -> "AutoServiceMap":
+        """Pick the top-``n`` ports of ``trace`` and build the map."""
+        if n < 1:
+            raise ValueError("need at least one top port")
+        if not len(trace):
+            raise ValueError("cannot derive services from an empty trace")
+        keys = port_keys(trace.ports, trace.protos)
+        uniq, counts = np.unique(keys, return_counts=True)
+        order = np.argsort(counts)[::-1]
+        return AutoServiceMap(uniq[order[:n]])
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def service_ids(self, ports: np.ndarray, protos: np.ndarray) -> np.ndarray:
+        keys = port_keys(ports, protos)
+        positions = np.searchsorted(self._top_keys, keys)
+        positions = np.clip(positions, 0, len(self._top_keys) - 1)
+        hit = self._top_keys[positions] == keys
+        ids = np.full(len(keys), len(self._top_keys), dtype=np.int32)
+        ids[hit] = positions[hit]
+        return ids

@@ -1,0 +1,35 @@
+"""Abstract service map."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ServiceMap(ABC):
+    """Assigns every packet to exactly one service.
+
+    Implementations must be *total*: any (port, protocol) pair maps to
+    some service, so no packet is ever dropped by the corpus builder.
+    """
+
+    @property
+    @abstractmethod
+    def names(self) -> tuple[str, ...]:
+        """Service names; index in this tuple is the service id."""
+
+    @abstractmethod
+    def service_ids(self, ports: np.ndarray, protos: np.ndarray) -> np.ndarray:
+        """Vectorised mapping of packet columns to service ids."""
+
+    @property
+    def n_services(self) -> int:
+        return len(self.names)
+
+    def service_of(self, port: int, proto: int) -> str:
+        """Service name of a single (port, protocol) pair."""
+        ids = self.service_ids(
+            np.array([port], dtype=np.int64), np.array([proto], dtype=np.int64)
+        )
+        return self.names[int(ids[0])]

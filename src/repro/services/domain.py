@@ -1,0 +1,104 @@
+"""Domain-knowledge service definition (paper Table 7).
+
+Fifteen services: twelve built from explicit port lists plus three
+catch-all ranges (system / user / ephemeral ports).  ICMP traffic has no
+port; the paper's table does not list it, so it is assigned to the
+system catch-all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.services.base import ServiceMap
+from repro.services.ports import parse_port, port_keys
+from repro.trace.packet import ICMP
+
+#: Table 7, verbatim.  Keys are service names, values the port specs.
+DOMAIN_SERVICE_PORTS: dict[str, tuple[str, ...]] = {
+    "Telnet": ("23/tcp", "992/tcp"),
+    "SSH": ("22/tcp",),
+    "Kerberos": (
+        "88/tcp", "88/udp", "543/tcp", "544/tcp", "749/tcp", "7004/tcp",
+        "750/udp", "750/tcp", "751/tcp", "752/udp", "754/tcp", "464/udp",
+        "464/tcp",
+    ),
+    "HTTP": ("80/tcp", "443/tcp", "8080/tcp"),
+    "Proxy": ("1080/tcp", "6446/tcp", "2121/tcp", "8081/tcp", "57000/tcp"),
+    "Mail": (
+        "25/tcp", "143/tcp", "174/tcp", "209/tcp", "465/tcp", "587/tcp",
+        "110/tcp", "995/tcp", "993/tcp",
+    ),
+    "Database": (
+        "210/tcp", "5432/tcp", "775/tcp", "1433/tcp", "1433/udp",
+        "1434/tcp", "1434/udp", "3306/tcp", "27017/tcp", "27018/tcp",
+        "27019/tcp", "3050/tcp", "3351/tcp", "1583/tcp",
+    ),
+    "DNS": ("853/tcp", "853/udp", "5353/udp", "53/tcp", "53/udp"),
+    "Netbios": (
+        "137/tcp", "137/udp", "138/tcp", "138/udp", "139/tcp", "139/udp",
+    ),
+    "Netbios-SMB": ("445/tcp",),
+    "P2P": (
+        "119/tcp", "375/tcp", "425/tcp", "1214/tcp", "412/tcp", "1412/tcp",
+        "2412/tcp", "4662/tcp", "12155/udp", "6771/udp", "6881/udp",
+        "6882/udp", "6883/udp", "6884/udp", "6885/udp", "6886/udp",
+        "6887/udp", "6881/tcp", "6882/tcp", "6883/tcp", "6884/tcp",
+        "6885/tcp", "6886/tcp", "6887/tcp", "6969/tcp", "7000/tcp",
+        "9000/tcp", "9091/tcp", "6346/tcp", "6346/udp", "6347/tcp",
+        "6347/udp",
+    ),
+    "FTP": (
+        "20/tcp", "21/tcp", "69/udp", "989/tcp", "990/tcp", "2431/udp",
+        "2433/udp", "2811/tcp", "8021/tcp",
+    ),
+}
+
+#: Catch-all services for ports not named in Table 7, by port range.
+FALLBACK_SERVICES = ("Unknown System", "Unknown User", "Unknown Ephemeral")
+
+
+class DomainServiceMap(ServiceMap):
+    """The 15-service domain-knowledge definition of Table 7."""
+
+    def __init__(self) -> None:
+        self._names = tuple(DOMAIN_SERVICE_PORTS) + FALLBACK_SERVICES
+        keys: list[int] = []
+        ids: list[int] = []
+        for service_id, specs in enumerate(DOMAIN_SERVICE_PORTS.values()):
+            for spec in specs:
+                port, proto = parse_port(spec)
+                keys.append(port * 256 + proto)
+                ids.append(service_id)
+        order = np.argsort(keys)
+        self._keys = np.asarray(keys, dtype=np.int64)[order]
+        self._ids = np.asarray(ids, dtype=np.int32)[order]
+        if len(np.unique(self._keys)) != len(self._keys):
+            raise ValueError("Table 7 assigns some port to two services")
+        self._system_id = self._names.index("Unknown System")
+        self._user_id = self._names.index("Unknown User")
+        self._ephemeral_id = self._names.index("Unknown Ephemeral")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def service_ids(self, ports: np.ndarray, protos: np.ndarray) -> np.ndarray:
+        ports = np.asarray(ports, dtype=np.int64)
+        protos = np.asarray(protos, dtype=np.int64)
+        keys = port_keys(ports, protos)
+        positions = np.searchsorted(self._keys, keys)
+        positions = np.clip(positions, 0, len(self._keys) - 1)
+        hit = self._keys[positions] == keys
+
+        ids = np.empty(len(keys), dtype=np.int32)
+        ids[hit] = self._ids[positions[hit]]
+        miss = ~hit
+        miss_ports = ports[miss]
+        fallback = np.full(miss_ports.shape, self._user_id, dtype=np.int32)
+        fallback[miss_ports <= 1023] = self._system_id
+        fallback[miss_ports >= 49_152] = self._ephemeral_id
+        # ICMP has no port: count it with the system range.
+        fallback[protos[miss] == ICMP] = self._system_id
+        ids[miss] = fallback
+        return ids

@@ -1,0 +1,42 @@
+"""Port/protocol helpers shared by the service definitions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.packet import ICMP, TCP, UDP, proto_name
+
+_PROTO_BY_NAME = {"tcp": TCP, "udp": UDP, "icmp": ICMP}
+
+
+def format_port(port: int, proto: int) -> str:
+    """``"23/tcp"``-style rendering of a (port, protocol) pair."""
+    if proto == ICMP:
+        return "icmp"
+    return f"{port}/{proto_name(proto)}"
+
+
+def parse_port(text: str) -> tuple[int, int]:
+    """Parse ``"23/tcp"`` (or ``"icmp"``) into a (port, proto) pair."""
+    text = text.strip().lower()
+    if text == "icmp":
+        return 0, ICMP
+    try:
+        port_text, proto_text = text.split("/")
+        port = int(port_text)
+        proto = _PROTO_BY_NAME[proto_text]
+    except (ValueError, KeyError):
+        raise ValueError(f"malformed port spec: {text!r}") from None
+    if not 0 <= port <= 65_535:
+        raise ValueError(f"port {port} out of range")
+    return port, proto
+
+
+def port_keys(ports: np.ndarray, protos: np.ndarray) -> np.ndarray:
+    """Pack (port, proto) columns into single int64 keys."""
+    return np.asarray(ports, dtype=np.int64) * 256 + np.asarray(protos, dtype=np.int64)
+
+
+def unpack_key(key: int) -> tuple[int, int]:
+    """Inverse of :func:`port_keys` for a single key."""
+    return int(key) // 256, int(key) % 256

@@ -1,0 +1,22 @@
+"""The degenerate single-service definition."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.services.base import ServiceMap
+
+
+class SingleServiceMap(ServiceMap):
+    """All ports belong to one service.
+
+    The paper shows this definition collapses minority classes into the
+    Mirai-dominated background (Table 4, left block).
+    """
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return ("all",)
+
+    def service_ids(self, ports: np.ndarray, protos: np.ndarray) -> np.ndarray:
+        return np.zeros(len(ports), dtype=np.int32)

@@ -1,0 +1,59 @@
+"""Darknet traffic simulator.
+
+The paper analyses a 30-day trace from a /24 darknet.  That trace is not
+redistributable at full fidelity, so this package synthesises a trace
+with the same population structure: the nine labelled ground-truth
+groups of Table 2, the unlabeled coordinated groups of Table 5,
+unstructured active senders and one-shot backscatter noise.
+
+The entry point is :func:`repro.trace.scenario.default_scenario`
+followed by :func:`repro.trace.generator.generate_trace`.
+"""
+
+from repro.trace.actors import ActorGroup, PortProfile
+from repro.trace.flows import FlowTable, aggregate_flows
+from repro.trace.generator import generate_trace
+from repro.trace.packet import ICMP, TCP, UDP, Trace, proto_name
+from repro.trace.presets import minimal_scenario, quiet_scenario, worm_outbreak_scenario
+from repro.trace.scenario import Scenario, default_scenario
+from repro.trace.validation import ValidationReport, validate_trace
+from repro.trace.schedule import (
+    BurstSchedule,
+    ChurnSchedule,
+    CompositeSchedule,
+    ContinuousSchedule,
+    PeriodicSchedule,
+    RampSchedule,
+    Schedule,
+    SparseSchedule,
+    StaggeredSchedule,
+)
+
+__all__ = [
+    "ActorGroup",
+    "BurstSchedule",
+    "FlowTable",
+    "ValidationReport",
+    "aggregate_flows",
+    "minimal_scenario",
+    "quiet_scenario",
+    "validate_trace",
+    "worm_outbreak_scenario",
+    "ChurnSchedule",
+    "CompositeSchedule",
+    "ContinuousSchedule",
+    "ICMP",
+    "PeriodicSchedule",
+    "PortProfile",
+    "RampSchedule",
+    "Scenario",
+    "Schedule",
+    "SparseSchedule",
+    "StaggeredSchedule",
+    "TCP",
+    "Trace",
+    "UDP",
+    "default_scenario",
+    "generate_trace",
+    "proto_name",
+]

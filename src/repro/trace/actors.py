@@ -1,0 +1,265 @@
+"""Scan actors: coordinated groups of senders with a port profile.
+
+An :class:`ActorGroup` couples *who* (an address pool), *when* (a
+:class:`~repro.trace.schedule.Schedule`) and *what* (a
+:class:`PortProfile`).  Rendering an actor yields raw packet events that
+the generator merges into a :class:`~repro.trace.packet.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.packet import ICMP, TCP, UDP
+from repro.trace.schedule import Schedule
+from repro.utils.rng import child_rng
+
+
+@dataclass(frozen=True)
+class PortProfile:
+    """Distribution over destination (port, protocol) pairs.
+
+    ``head`` lists explicit heavy hitters as ``(port, proto, weight)``;
+    the remaining probability mass is spread uniformly over
+    ``tail_ports``.  This mirrors how Table 2 reports each class: a few
+    named top ports plus a long tail.
+    """
+
+    head: tuple[tuple[int, int, float], ...] = ()
+    tail_ports: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        head_weight = sum(weight for _, _, weight in self.head)
+        if head_weight > 1.0 + 1e-9:
+            raise ValueError(f"head weights sum to {head_weight} > 1")
+        if head_weight < 1.0 - 1e-9 and not self.tail_ports:
+            raise ValueError("head weights below 1 require tail ports")
+        for port, proto, weight in self.head:
+            _validate_port(port, proto)
+            if weight < 0:
+                raise ValueError("head weights must be non-negative")
+        for port, proto in self.tail_ports:
+            _validate_port(port, proto)
+
+    @property
+    def n_ports(self) -> int:
+        """Number of distinct (port, proto) pairs the profile can emit."""
+        pairs = {(p, pr) for p, pr, _ in self.head} | set(self.tail_ports)
+        return len(pairs)
+
+    def sample(self, rng: np.random.Generator, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` (ports, protos) pairs."""
+        ports = np.empty(n, dtype=np.int32)
+        protos = np.empty(n, dtype=np.uint8)
+        head_weight = sum(weight for _, _, weight in self.head)
+        tail_weight = max(1.0 - head_weight, 0.0)
+        choices = len(self.head) + (1 if self.tail_ports else 0)
+        probs = [weight for _, _, weight in self.head]
+        if self.tail_ports:
+            probs.append(tail_weight)
+        probs_arr = np.array(probs)
+        probs_arr = probs_arr / probs_arr.sum()
+        picks = rng.choice(choices, size=n, p=probs_arr)
+        for idx, (port, proto, _) in enumerate(self.head):
+            mask = picks == idx
+            ports[mask] = port
+            protos[mask] = proto
+        if self.tail_ports:
+            mask = picks == len(self.head)
+            count = int(mask.sum())
+            if count:
+                tail = rng.integers(0, len(self.tail_ports), size=count)
+                tail_arr = np.array(self.tail_ports, dtype=np.int64)
+                ports[mask] = tail_arr[tail, 0]
+                protos[mask] = tail_arr[tail, 1]
+        return ports, protos
+
+    @staticmethod
+    def uniform(ports: list[tuple[int, int]]) -> "PortProfile":
+        """Equal share over an explicit port set (unknown7/unknown8)."""
+        return PortProfile(head=(), tail_ports=tuple(ports))
+
+    @staticmethod
+    def random_tail(
+        rng: np.random.Generator,
+        n_ports: int,
+        proto: int = TCP,
+        low: int = 1,
+        high: int = 65_535,
+    ) -> tuple[tuple[int, int], ...]:
+        """A deterministic random set of tail ports for a profile."""
+        if n_ports > high - low:
+            raise ValueError("tail larger than port range")
+        ports = rng.choice(np.arange(low, high), size=n_ports, replace=False)
+        return tuple((int(p), proto) for p in np.sort(ports))
+
+
+def _validate_port(port: int, proto: int) -> None:
+    if proto not in (TCP, UDP, ICMP):
+        raise ValueError(f"unsupported protocol {proto}")
+    if proto == ICMP:
+        if port != 0:
+            raise ValueError("ICMP pseudo-port must be 0")
+    elif not 0 <= port <= 65_535:
+        raise ValueError(f"port {port} out of range")
+
+
+@dataclass
+class ActorGroup:
+    """A coordinated population of senders.
+
+    Attributes:
+        name: unique group identifier (e.g. ``"censys"``).
+        label: ground-truth class name, or ``None`` when the group is
+            part of the Unknown class (Table 5 groups, noise).
+        addresses: uint32 sender addresses of the group.
+        schedule: temporal behaviour of the group.
+        profile: port distribution (used when no subgroup profiles).
+        subgroup_profiles: optional per-subgroup port profiles; the
+            subgroup of each sender comes from ``schedule.subgroups``.
+        mirai_probability: fraction of senders carrying the Mirai
+            fingerprint in all their packets.
+        tail_fraction: fraction of the group's tail ports each *sender*
+            actually probes (its own random slice).  Real scanner
+            fleets divide the port space between hosts, so individual
+            port histograms differ within a class even though the
+            group-level distribution matches the profile.
+        head_jitter: lognormal sigma perturbing each sender's head
+            weights (0 disables), for the same reason.
+        volume_sigma: lognormal sigma of per-sender traffic volume.
+            Each sender keeps only a random fraction of its scheduled
+            events, giving the heavy-tailed per-sender packet counts
+            real traces show; without it, packet volume becomes an
+            artificially clean class fingerprint.
+    """
+
+    name: str
+    label: str | None
+    addresses: np.ndarray
+    schedule: Schedule
+    profile: PortProfile | None = None
+    subgroup_profiles: tuple[PortProfile, ...] = field(default=())
+    mirai_probability: float = 0.0
+    tail_fraction: float = 1.0
+    head_jitter: float = 0.0
+    volume_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.profile is None and not self.subgroup_profiles:
+            raise ValueError(f"actor {self.name}: needs a profile")
+        if not 0.0 <= self.mirai_probability <= 1.0:
+            raise ValueError("mirai_probability must be in [0, 1]")
+        if len(self.addresses) == 0:
+            raise ValueError(f"actor {self.name}: needs at least one sender")
+        if not 0.0 < self.tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in (0, 1]")
+        if self.head_jitter < 0.0:
+            raise ValueError("head_jitter must be non-negative")
+        if self.volume_sigma < 0.0:
+            raise ValueError("volume_sigma must be non-negative")
+
+    @property
+    def n_senders(self) -> int:
+        return len(self.addresses)
+
+    def sender_subgroups(self) -> np.ndarray:
+        """Sub-cluster assignment of each sender."""
+        return self.schedule.subgroups(self.n_senders)
+
+    def render(
+        self,
+        rng: np.random.Generator,
+        t_start: float,
+        t_end: float,
+    ) -> dict[str, np.ndarray]:
+        """Generate the raw packet events of this group.
+
+        Returns a dict of aligned columns: ``times``, ``ips``,
+        ``ports``, ``protos``, ``mirai``.
+        """
+        schedule_rng = child_rng(rng, self.name, "schedule")
+        port_rng = child_rng(rng, self.name, "ports")
+        flag_rng = child_rng(rng, self.name, "mirai")
+        per_sender_times = self.schedule.sample(
+            schedule_rng, t_start, t_end, self.n_senders
+        )
+        subgroups = self.sender_subgroups()
+        fingerprinted = flag_rng.random(self.n_senders) < self.mirai_probability
+
+        times_chunks, ip_chunks = [], []
+        port_chunks, proto_chunks, mirai_chunks = [], [], []
+        volume_rng = child_rng(rng, self.name, "volume")
+        keep_fractions = (
+            np.minimum(
+                volume_rng.lognormal(0.0, self.volume_sigma, self.n_senders), 1.0
+            )
+            if self.volume_sigma > 0
+            else np.ones(self.n_senders)
+        )
+        for i, times in enumerate(per_sender_times):
+            times = np.asarray(times)
+            if keep_fractions[i] < 1.0 and len(times):
+                times = times[volume_rng.random(len(times)) < keep_fractions[i]]
+            count = len(times)
+            if count == 0:
+                continue
+            profile = self._sender_profile(self._profile_for(subgroups[i]), port_rng)
+            ports, protos = profile.sample(port_rng, count)
+            times_chunks.append(np.asarray(times, dtype=np.float64))
+            ip_chunks.append(np.full(count, self.addresses[i], dtype=np.uint32))
+            port_chunks.append(ports)
+            proto_chunks.append(protos)
+            mirai_chunks.append(np.full(count, fingerprinted[i], dtype=bool))
+        if not times_chunks:
+            return {
+                "times": np.empty(0),
+                "ips": np.empty(0, dtype=np.uint32),
+                "ports": np.empty(0, dtype=np.int32),
+                "protos": np.empty(0, dtype=np.uint8),
+                "mirai": np.empty(0, dtype=bool),
+            }
+        return {
+            "times": np.concatenate(times_chunks),
+            "ips": np.concatenate(ip_chunks),
+            "ports": np.concatenate(port_chunks),
+            "protos": np.concatenate(proto_chunks),
+            "mirai": np.concatenate(mirai_chunks),
+        }
+
+    def _profile_for(self, subgroup: int) -> PortProfile:
+        if self.subgroup_profiles:
+            return self.subgroup_profiles[subgroup % len(self.subgroup_profiles)]
+        assert self.profile is not None
+        return self.profile
+
+    def _sender_profile(
+        self, base: PortProfile, rng: np.random.Generator
+    ) -> PortProfile:
+        """Derive one sender's personal realisation of the group profile."""
+        if self.tail_fraction >= 1.0 and self.head_jitter == 0.0:
+            return base
+        head = base.head
+        if self.head_jitter > 0.0 and head:
+            weights = np.array([w for _, _, w in head])
+            total = weights.sum()
+            # Jitter both the relative head weights and the head/tail
+            # split (the latter only when a tail exists to absorb it).
+            if base.tail_ports:
+                total = min(
+                    total * rng.lognormal(0.0, self.head_jitter / 2), 0.99
+                )
+            jittered = weights * rng.lognormal(0.0, self.head_jitter, len(weights))
+            if jittered.sum() > 0:
+                jittered *= total / jittered.sum()
+            head = tuple(
+                (port, proto, float(w))
+                for (port, proto, _), w in zip(head, jittered)
+            )
+        tail = base.tail_ports
+        if self.tail_fraction < 1.0 and len(tail) > 1:
+            keep = max(int(round(len(tail) * self.tail_fraction)), 1)
+            idx = rng.choice(len(tail), size=keep, replace=False)
+            tail = tuple(tail[i] for i in np.sort(idx))
+        return PortProfile(head=head, tail_ports=tail)

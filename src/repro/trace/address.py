@@ -1,0 +1,136 @@
+"""IPv4 address pools for the simulator.
+
+Scanner groups in the paper are recognisable by their address layout:
+Censys scans from a few known subnets, Shadowserver from one /16, the
+"unknown1" NetBIOS scanner from a single /24, Mirai-like bots from IoT
+devices scattered across the whole address space.  The
+:class:`AddressSpace` hands out non-overlapping pools with those shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+# First octets we never allocate, to keep generated traffic plausible:
+# 0 (this network), 10 (private), 127 (loopback), 224+ (multicast and
+# reserved).
+_FORBIDDEN_FIRST_OCTETS = frozenset({0, 10, 127}) | set(range(224, 256))
+
+
+def ip_to_str(ip: int) -> str:
+    """Dotted-quad representation of a uint32 address."""
+    ip = int(ip)
+    if not 0 <= ip < 2**32:
+        raise ValueError(f"address {ip} out of IPv4 range")
+    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def str_to_ip(text: str) -> int:
+    """Parse a dotted quad into a uint32 address."""
+    octets = text.split(".")
+    if len(octets) != 4:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for octet in octets:
+        part = int(octet)
+        if not 0 <= part <= 255:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = (value << 8) | part
+    return value
+
+
+def subnet24(ip: int) -> int:
+    """The /24 network base of an address."""
+    return int(ip) & 0xFFFFFF00
+
+
+def subnet16(ip: int) -> int:
+    """The /16 network base of an address."""
+    return int(ip) & 0xFFFF0000
+
+
+class AddressSpace:
+    """Allocator of disjoint sender-address pools.
+
+    All allocations from one instance are guaranteed disjoint, so every
+    simulated sender has a unique address and subnet-level fingerprints
+    (e.g. "85 addresses in the same /24") are unambiguous.
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = 0) -> None:
+        self._rng = make_rng(seed)
+        self._used: set[int] = set()
+        self._used_sub16: set[int] = set()
+
+    def _random_first_octet(self) -> int:
+        while True:
+            octet = int(self._rng.integers(1, 224))
+            if octet not in _FORBIDDEN_FIRST_OCTETS:
+                return octet
+
+    def _fresh_subnet16(self) -> int:
+        while True:
+            base = (self._random_first_octet() << 24) | (
+                int(self._rng.integers(0, 256)) << 16
+            )
+            if base not in self._used_sub16:
+                self._used_sub16.add(base)
+                return base
+
+    def allocate_subnet24(self, n: int) -> np.ndarray:
+        """``n`` distinct addresses inside one fresh /24 (n <= 254)."""
+        if not 1 <= n <= 254:
+            raise ValueError(f"a /24 holds at most 254 hosts, requested {n}")
+        base = self._fresh_subnet16() | (int(self._rng.integers(0, 256)) << 8)
+        hosts = self._rng.choice(np.arange(1, 255), size=n, replace=False)
+        ips = base + np.sort(hosts)
+        self._used.update(int(ip) for ip in ips)
+        return ips.astype(np.uint32)
+
+    def allocate_subnet16(self, n: int) -> np.ndarray:
+        """``n`` distinct addresses inside one fresh /16."""
+        if not 1 <= n <= 60_000:
+            raise ValueError(f"unreasonable /16 allocation of {n} hosts")
+        base = self._fresh_subnet16()
+        offsets = self._rng.choice(np.arange(256, 65_280), size=n, replace=False)
+        ips = base + np.sort(offsets)
+        self._used.update(int(ip) for ip in ips)
+        return ips.astype(np.uint32)
+
+    def allocate_multi_subnet24(self, n: int, n_subnets: int) -> np.ndarray:
+        """``n`` addresses spread evenly across ``n_subnets`` fresh /24s."""
+        if n_subnets < 1:
+            raise ValueError("need at least one subnet")
+        per_subnet = np.full(n_subnets, n // n_subnets)
+        per_subnet[: n % n_subnets] += 1
+        chunks = [self.allocate_subnet24(int(count)) for count in per_subnet if count]
+        return np.concatenate(chunks).astype(np.uint32)
+
+    def allocate_scattered(self, n: int) -> np.ndarray:
+        """``n`` addresses scattered across the whole address space.
+
+        Each address lands in its own random /24 with high probability,
+        modelling botnet members on residential/IoT networks.
+        """
+        if n < 0:
+            raise ValueError("cannot allocate a negative number of addresses")
+        ips: list[int] = []
+        while len(ips) < n:
+            batch = n - len(ips)
+            firsts = np.array([self._random_first_octet() for _ in range(batch)])
+            rest = self._rng.integers(0, 2**24, size=batch)
+            candidates = (firsts.astype(np.uint64) << 24) | rest.astype(np.uint64)
+            for ip in candidates:
+                ip = int(ip)
+                host = ip & 0xFF
+                if host in (0, 255) or ip in self._used:
+                    continue
+                if subnet16(ip) in self._used_sub16:
+                    continue
+                self._used.add(ip)
+                ips.append(ip)
+                if len(ips) == n:
+                    break
+        return np.array(sorted(ips), dtype=np.uint32)

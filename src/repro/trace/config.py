@@ -1,0 +1,203 @@
+"""Declarative scenario configuration.
+
+Lets users define custom darknet scenarios as JSON/dict documents
+instead of Python code — the natural interface for the CLI and for
+experiment sweeps.  Example::
+
+    {
+      "days": 10,
+      "seed": 3,
+      "backscatter": 2000,
+      "actors": [
+        {
+          "name": "botnet",
+          "label": "Mirai-like",
+          "senders": {"kind": "scattered", "count": 300},
+          "schedule": {"kind": "churn", "rate_per_day": 6, "mean_lifetime_days": 5},
+          "ports": {"head": [["23/tcp", 0.9]], "tail": {"count": 60}},
+          "mirai_probability": 1.0
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.services.ports import parse_port
+from repro.trace.actors import ActorGroup, PortProfile
+from repro.trace.address import AddressSpace
+from repro.trace.packet import TCP
+from repro.trace.scenario import TRACE_START, Scenario
+from repro.trace.schedule import (
+    BurstSchedule,
+    ChurnSchedule,
+    ContinuousSchedule,
+    DesyncPeriodicSchedule,
+    GatedSchedule,
+    PeriodicSchedule,
+    RampSchedule,
+    Schedule,
+    SparseSchedule,
+    StaggeredSchedule,
+)
+from repro.utils.rng import make_rng
+
+
+class ScenarioConfigError(ValueError):
+    """Raised for malformed scenario documents, with a field path."""
+
+
+_SCHEDULE_KINDS: dict[str, type] = {
+    "continuous": ContinuousSchedule,
+    "churn": ChurnSchedule,
+    "periodic": PeriodicSchedule,
+    "desync_periodic": DesyncPeriodicSchedule,
+    "burst": BurstSchedule,
+    "sparse": SparseSchedule,
+    "staggered": StaggeredSchedule,
+    "ramp": RampSchedule,
+}
+
+
+def _build_schedule(spec: dict[str, Any], path: str) -> Schedule:
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ScenarioConfigError(f"{path}: schedule needs a 'kind'")
+    kind = spec["kind"]
+    params = {k: v for k, v in spec.items() if k != "kind"}
+    if kind == "gated":
+        base_spec = params.pop("base", None)
+        if base_spec is None:
+            raise ScenarioConfigError(f"{path}: gated schedule needs 'base'")
+        base = _build_schedule(base_spec, f"{path}.base")
+        try:
+            return GatedSchedule(base, **params)
+        except (TypeError, ValueError) as exc:
+            raise ScenarioConfigError(f"{path}: {exc}") from None
+    schedule_cls = _SCHEDULE_KINDS.get(kind)
+    if schedule_cls is None:
+        raise ScenarioConfigError(
+            f"{path}: unknown schedule kind {kind!r} "
+            f"(choose from {sorted(_SCHEDULE_KINDS)} or 'gated')"
+        )
+    try:
+        return schedule_cls(**params)
+    except (TypeError, ValueError) as exc:
+        raise ScenarioConfigError(f"{path}: {exc}") from None
+
+
+def _build_profile(
+    spec: dict[str, Any], tail_rng, path: str
+) -> PortProfile:
+    if not isinstance(spec, dict):
+        raise ScenarioConfigError(f"{path}: ports must be an object")
+    head_entries = []
+    for i, entry in enumerate(spec.get("head", [])):
+        try:
+            port_text, weight = entry
+            port, proto = parse_port(str(port_text))
+            head_entries.append((port, proto, float(weight)))
+        except (TypeError, ValueError) as exc:
+            raise ScenarioConfigError(f"{path}.head[{i}]: {exc}") from None
+    tail_spec = spec.get("tail")
+    tail: tuple = ()
+    if tail_spec is not None:
+        if isinstance(tail_spec, dict):
+            count = int(tail_spec.get("count", 0))
+            if count < 1:
+                raise ScenarioConfigError(f"{path}.tail: count must be >= 1")
+            tail = PortProfile.random_tail(tail_rng, count, TCP)
+        elif isinstance(tail_spec, list):
+            tail = tuple(parse_port(str(p)) for p in tail_spec)
+        else:
+            raise ScenarioConfigError(
+                f"{path}.tail: expected a list of ports or {{'count': n}}"
+            )
+    try:
+        return PortProfile(head=tuple(head_entries), tail_ports=tail)
+    except ValueError as exc:
+        raise ScenarioConfigError(f"{path}: {exc}") from None
+
+
+def _build_addresses(spec: dict[str, Any], space: AddressSpace, path: str):
+    if not isinstance(spec, dict) or "count" not in spec:
+        raise ScenarioConfigError(f"{path}: senders needs a 'count'")
+    count = int(spec["count"])
+    kind = spec.get("kind", "scattered")
+    try:
+        if kind == "scattered":
+            return space.allocate_scattered(count)
+        if kind == "subnet24":
+            return space.allocate_subnet24(count)
+        if kind == "subnet16":
+            return space.allocate_subnet16(count)
+        if kind == "multi_subnet24":
+            return space.allocate_multi_subnet24(
+                count, int(spec.get("subnets", 2))
+            )
+    except ValueError as exc:
+        raise ScenarioConfigError(f"{path}: {exc}") from None
+    raise ScenarioConfigError(f"{path}: unknown sender pool kind {kind!r}")
+
+
+def scenario_from_dict(document: dict[str, Any]) -> Scenario:
+    """Build a :class:`Scenario` from a configuration dictionary."""
+    if not isinstance(document, dict):
+        raise ScenarioConfigError("scenario document must be an object")
+    seed = int(document.get("seed", 7))
+    days = float(document.get("days", 10.0))
+    space = AddressSpace(make_rng(seed + 1))
+    tail_rng = make_rng(seed + 2)
+
+    actor_specs = document.get("actors")
+    if not actor_specs:
+        raise ScenarioConfigError("scenario needs at least one actor")
+    actors = []
+    for i, spec in enumerate(actor_specs):
+        path = f"actors[{i}]"
+        if "name" not in spec:
+            raise ScenarioConfigError(f"{path}: actor needs a 'name'")
+        try:
+            actors.append(
+                ActorGroup(
+                    name=str(spec["name"]),
+                    label=spec.get("label"),
+                    addresses=_build_addresses(
+                        spec.get("senders", {}), space, f"{path}.senders"
+                    ),
+                    schedule=_build_schedule(
+                        spec.get("schedule", {}), f"{path}.schedule"
+                    ),
+                    profile=_build_profile(
+                        spec.get("ports", {}), tail_rng, f"{path}.ports"
+                    ),
+                    mirai_probability=float(spec.get("mirai_probability", 0.0)),
+                    tail_fraction=float(spec.get("tail_fraction", 1.0)),
+                    head_jitter=float(spec.get("head_jitter", 0.0)),
+                    volume_sigma=float(spec.get("volume_sigma", 0.0)),
+                )
+            )
+        except ValueError as exc:
+            if isinstance(exc, ScenarioConfigError):
+                raise
+            raise ScenarioConfigError(f"{path}: {exc}") from None
+    return Scenario(
+        actors=actors,
+        n_backscatter=int(document.get("backscatter", 0)),
+        t_start=float(document.get("t_start", TRACE_START)),
+        days=days,
+        seed=seed,
+    )
+
+
+def scenario_from_json(path: str | Path) -> Scenario:
+    """Load a scenario document from a JSON file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ScenarioConfigError(f"{path}: invalid JSON ({exc})") from None
+    return scenario_from_dict(document)

@@ -1,0 +1,121 @@
+"""Flow aggregation.
+
+IP2VEC (Appendix A.2.2) operates on *flows*, not packets.  A darknet
+sees no bidirectional traffic, so a flow here is the classic unidirec-
+tional aggregate: consecutive packets sharing (sender, receiver,
+destination port, protocol) with inter-packet gaps below a timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.packet import Trace
+
+
+@dataclass
+class FlowTable:
+    """Column-oriented flow records, sorted by flow start time.
+
+    Attributes:
+        starts / ends: first and last packet timestamps of each flow.
+        senders: sender index (into the originating trace's table).
+        receivers: darknet host octet.
+        ports / protos: destination port and protocol.
+        packets: packets aggregated into each flow.
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    senders: np.ndarray
+    receivers: np.ndarray
+    ports: np.ndarray
+    protos: np.ndarray
+    packets: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.starts)
+        for name in ("ends", "senders", "receivers", "ports", "protos", "packets"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name} misaligned")
+        if n and np.any(self.ends < self.starts):
+            raise ValueError("flow end before start")
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    @property
+    def n_packets(self) -> int:
+        return int(self.packets.sum())
+
+    def durations(self) -> np.ndarray:
+        """Flow durations in seconds."""
+        return self.ends - self.starts
+
+
+def aggregate_flows(trace: Trace, timeout: float = 600.0) -> FlowTable:
+    """Aggregate a packet trace into unidirectional flows.
+
+    Packets with the same (sender, receiver, port, proto) key belong to
+    one flow while their inter-arrival gap stays below ``timeout``; a
+    larger gap starts a new flow.
+    """
+    if timeout <= 0:
+        raise ValueError("timeout must be positive")
+    if not len(trace):
+        empty_int = np.empty(0, dtype=np.int64)
+        return FlowTable(
+            starts=np.empty(0),
+            ends=np.empty(0),
+            senders=empty_int,
+            receivers=empty_int,
+            ports=empty_int,
+            protos=empty_int,
+            packets=empty_int,
+        )
+
+    keys = (
+        trace.senders.astype(np.int64) * 2**32
+        + trace.receivers.astype(np.int64) * 2**24
+        + trace.ports.astype(np.int64) * 2**8
+        + trace.protos.astype(np.int64)
+    )
+    order = np.argsort(keys, kind="stable")  # time order preserved per key
+    keys_sorted = keys[order]
+    times_sorted = trace.times[order]
+
+    new_key = np.concatenate([[True], np.diff(keys_sorted) != 0])
+    big_gap = np.concatenate([[True], np.diff(times_sorted) > timeout])
+    flow_start = new_key | big_gap
+    flow_ids = np.cumsum(flow_start) - 1
+    n_flows = int(flow_ids[-1]) + 1
+
+    starts = np.full(n_flows, np.inf)
+    ends = np.full(n_flows, -np.inf)
+    np.minimum.at(starts, flow_ids, times_sorted)
+    np.maximum.at(ends, flow_ids, times_sorted)
+    packets = np.bincount(flow_ids, minlength=n_flows)
+
+    first_packet = np.flatnonzero(flow_start)
+    first_original = order[first_packet]
+    table = FlowTable(
+        starts=starts,
+        ends=ends,
+        senders=trace.senders[first_original].astype(np.int64),
+        receivers=trace.receivers[first_original].astype(np.int64),
+        ports=trace.ports[first_original].astype(np.int64),
+        protos=trace.protos[first_original].astype(np.int64),
+        packets=packets.astype(np.int64),
+    )
+    time_order = np.argsort(table.starts, kind="stable")
+    return FlowTable(
+        starts=table.starts[time_order],
+        ends=table.ends[time_order],
+        senders=table.senders[time_order],
+        receivers=table.receivers[time_order],
+        ports=table.ports[time_order],
+        protos=table.protos[time_order],
+        packets=table.packets[time_order],
+    )

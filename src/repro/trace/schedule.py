@@ -1,0 +1,409 @@
+"""Activity schedules for simulated sender groups.
+
+A schedule decides *when* each sender of a group emits packets over the
+trace horizon.  The paper's ground-truth classes differ precisely in
+this temporal behaviour: Mirai bots churn continuously, Censys scans in
+staggered shifts (Figure 12), Engin-Umich fires short coordinated bursts
+(Figure 9b), Stretchoid is irregular and incoherent (Figure 9a), the ADB
+worm ramps up as it spreads (Figure 15).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.trace.packet import SECONDS_PER_DAY
+
+
+class Schedule(ABC):
+    """Generator of per-sender packet timestamps."""
+
+    @abstractmethod
+    def sample(
+        self,
+        rng: np.random.Generator,
+        t_start: float,
+        t_end: float,
+        n_senders: int,
+    ) -> list[np.ndarray]:
+        """Return one array of event timestamps per sender."""
+
+    def subgroups(self, n_senders: int) -> np.ndarray:
+        """Sub-cluster id per sender (all zero unless overridden)."""
+        return np.zeros(n_senders, dtype=np.int32)
+
+
+def _poisson_times(
+    rng: np.random.Generator, t_start: float, t_end: float, rate_per_day: float
+) -> np.ndarray:
+    """Homogeneous Poisson arrivals in ``[t_start, t_end)``."""
+    duration_days = max(t_end - t_start, 0.0) / SECONDS_PER_DAY
+    expected = rate_per_day * duration_days
+    count = int(rng.poisson(expected)) if expected > 0 else 0
+    return t_start + rng.random(count) * (t_end - t_start)
+
+
+class ContinuousSchedule(Schedule):
+    """Independent Poisson traffic over the whole horizon."""
+
+    def __init__(self, rate_per_day: float) -> None:
+        if rate_per_day <= 0:
+            raise ValueError("rate_per_day must be positive")
+        self.rate_per_day = rate_per_day
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        return [
+            _poisson_times(rng, t_start, t_end, self.rate_per_day)
+            for _ in range(n_senders)
+        ]
+
+
+class ChurnSchedule(Schedule):
+    """Continuous traffic, but each sender is only alive in a random
+    sub-interval of the horizon (botnet member churn)."""
+
+    def __init__(self, rate_per_day: float, mean_lifetime_days: float) -> None:
+        if rate_per_day <= 0 or mean_lifetime_days <= 0:
+            raise ValueError("rate and lifetime must be positive")
+        self.rate_per_day = rate_per_day
+        self.mean_lifetime_days = mean_lifetime_days
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        horizon = t_end - t_start
+        events = []
+        for _ in range(n_senders):
+            lifetime = min(
+                rng.exponential(self.mean_lifetime_days) * SECONDS_PER_DAY, horizon
+            )
+            # A sender must live long enough to pass the activity filter.
+            lifetime = max(lifetime, horizon * 0.05)
+            birth = t_start + rng.random() * (horizon - lifetime)
+            events.append(_poisson_times(rng, birth, birth + lifetime, self.rate_per_day))
+        return events
+
+
+class PeriodicSchedule(Schedule):
+    """Coordinated on/off duty cycle shared by the whole group.
+
+    All senders are active during the same recurring windows, producing
+    the "very regular daily/hourly pattern" of the unknown7/unknown8
+    clusters (Table 5).
+    """
+
+    def __init__(
+        self,
+        period_days: float,
+        duty: float,
+        rate_per_active_day: float,
+        phase: float = 0.0,
+    ) -> None:
+        if period_days <= 0:
+            raise ValueError("period_days must be positive")
+        if not 0 < duty <= 1:
+            raise ValueError("duty must be in (0, 1]")
+        if rate_per_active_day <= 0:
+            raise ValueError("rate_per_active_day must be positive")
+        if not 0 <= phase < 1:
+            raise ValueError("phase must be in [0, 1)")
+        self.period_days = period_days
+        self.duty = duty
+        self.rate_per_active_day = rate_per_active_day
+        self.phase = phase
+
+    def _active_windows(self, t_start: float, t_end: float) -> list[tuple[float, float]]:
+        period = self.period_days * SECONDS_PER_DAY
+        on_time = period * self.duty
+        windows = []
+        k = int(np.floor((t_start - self.phase * period) / period)) - 1
+        while True:
+            window_start = (k + self.phase) * period
+            window_end = window_start + on_time
+            k += 1
+            if window_start >= t_end:
+                break
+            lo, hi = max(window_start, t_start), min(window_end, t_end)
+            if hi > lo:
+                windows.append((lo, hi))
+        return windows
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        windows = self._active_windows(t_start, t_end)
+        events = []
+        for _ in range(n_senders):
+            chunks = [
+                _poisson_times(rng, lo, hi, self.rate_per_active_day)
+                for lo, hi in windows
+            ]
+            events.append(np.concatenate(chunks) if chunks else np.empty(0))
+        return events
+
+
+class BurstSchedule(Schedule):
+    """Short coordinated bursts shared by the whole group.
+
+    Models impulsive coordinated scans such as Engin-Umich (Figure 9b):
+    the group wakes up together a handful of times and every sender
+    fires a volley of packets within minutes.  With
+    ``include_final_day`` one burst is pinned inside the last day so the
+    group is present in the evaluation set, as in the paper's trace.
+    """
+
+    def __init__(
+        self,
+        n_bursts: int,
+        burst_duration_s: float,
+        packets_per_burst: float,
+        include_final_day: bool = False,
+    ) -> None:
+        if n_bursts < 1:
+            raise ValueError("need at least one burst")
+        if burst_duration_s <= 0 or packets_per_burst <= 0:
+            raise ValueError("burst duration and volume must be positive")
+        self.n_bursts = n_bursts
+        self.burst_duration_s = burst_duration_s
+        self.packets_per_burst = packets_per_burst
+        self.include_final_day = include_final_day
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        usable = t_end - t_start - self.burst_duration_s
+        starts = t_start + rng.random(self.n_bursts) * usable
+        if self.include_final_day:
+            final_window = max(t_end - SECONDS_PER_DAY, t_start)
+            starts[-1] = final_window + rng.random() * (
+                t_end - final_window - self.burst_duration_s
+            )
+        starts = np.sort(starts)
+        events: list[np.ndarray] = [np.empty(0)] * n_senders
+        for i in range(n_senders):
+            chunks = []
+            for burst_start in starts:
+                count = max(int(rng.poisson(self.packets_per_burst)), 1)
+                chunks.append(burst_start + rng.random(count) * self.burst_duration_s)
+            events[i] = np.concatenate(chunks)
+        return events
+
+
+class SparseSchedule(Schedule):
+    """Mostly uncoordinated, irregular activity (Stretchoid, Figure 9a).
+
+    Each sender independently picks moments over the horizon and sends
+    a couple of packets around each.  A fraction of the events can be
+    drawn from a small pool of *shared anchors* — the weak group-level
+    coherence that lets the paper recover a minority of Stretchoid
+    senders (recall 0.35 in Table 4) while most fall in random contexts.
+    """
+
+    def __init__(
+        self,
+        events_per_sender: float,
+        packets_per_event: float,
+        shared_anchor_prob: float = 0.0,
+        n_anchors: int = 0,
+        jitter_s: float = 1800.0,
+    ) -> None:
+        if events_per_sender <= 0 or packets_per_event <= 0:
+            raise ValueError("event and packet counts must be positive")
+        if not 0.0 <= shared_anchor_prob <= 1.0:
+            raise ValueError("shared_anchor_prob must be in [0, 1]")
+        if shared_anchor_prob > 0 and n_anchors < 1:
+            raise ValueError("shared anchors require n_anchors >= 1")
+        self.events_per_sender = events_per_sender
+        self.packets_per_event = packets_per_event
+        self.shared_anchor_prob = shared_anchor_prob
+        self.n_anchors = n_anchors
+        self.jitter_s = jitter_s
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        shared = (
+            t_start + rng.random(self.n_anchors) * (t_end - t_start)
+            if self.n_anchors
+            else np.empty(0)
+        )
+        events = []
+        for _ in range(n_senders):
+            n_events = max(int(rng.poisson(self.events_per_sender)), 1)
+            anchors = t_start + rng.random(n_events) * (t_end - t_start)
+            if len(shared):
+                use_shared = rng.random(n_events) < self.shared_anchor_prob
+                picks = rng.integers(0, len(shared), size=n_events)
+                jitter = (rng.random(n_events) - 0.5) * 2 * self.jitter_s
+                anchors = np.where(use_shared, shared[picks] + jitter, anchors)
+            chunks = []
+            for anchor in anchors:
+                count = max(int(rng.poisson(self.packets_per_event)), 1)
+                chunks.append(anchor + rng.random(count) * 600.0)
+            events.append(np.clip(np.concatenate(chunks), t_start, t_end - 1e-3))
+        return events
+
+
+class StaggeredSchedule(Schedule):
+    """Senders split into shifts, each shift active in its own slice.
+
+    This reproduces the Censys strategy surfaced by the clustering
+    (Figure 12): similar-sized sets of scanners take turns over the
+    month, each set active in a distinct period.
+    """
+
+    def __init__(self, n_subgroups: int, rate_per_active_day: float) -> None:
+        if n_subgroups < 1:
+            raise ValueError("need at least one subgroup")
+        if rate_per_active_day <= 0:
+            raise ValueError("rate_per_active_day must be positive")
+        self.n_subgroups = n_subgroups
+        self.rate_per_active_day = rate_per_active_day
+
+    def subgroups(self, n_senders: int) -> np.ndarray:
+        return (np.arange(n_senders) * self.n_subgroups // max(n_senders, 1)).astype(
+            np.int32
+        )
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        assignment = self.subgroups(n_senders)
+        slice_len = (t_end - t_start) / self.n_subgroups
+        events = []
+        for i in range(n_senders):
+            g = assignment[i]
+            lo = t_start + g * slice_len
+            hi = lo + slice_len
+            events.append(_poisson_times(rng, lo, hi, self.rate_per_active_day))
+        return events
+
+
+class DesyncPeriodicSchedule(Schedule):
+    """A periodic duty cycle with a *different random phase per sender*.
+
+    The anti-particle of :class:`PeriodicSchedule`: every sender has
+    the same rate, period and duty — identical volume and rhythm — but
+    the group never acts together.  Used for the unknown "mimic"
+    populations that are indistinguishable from a ground-truth class by
+    any per-sender statistic yet lack its coordination.
+    """
+
+    def __init__(
+        self, period_days: float, duty: float, rate_per_active_day: float
+    ) -> None:
+        if period_days <= 0:
+            raise ValueError("period_days must be positive")
+        if not 0 < duty <= 1:
+            raise ValueError("duty must be in (0, 1]")
+        if rate_per_active_day <= 0:
+            raise ValueError("rate_per_active_day must be positive")
+        self.period_days = period_days
+        self.duty = duty
+        self.rate_per_active_day = rate_per_active_day
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        events = []
+        for _ in range(n_senders):
+            phase = float(rng.random())
+            sender_schedule = PeriodicSchedule(
+                self.period_days, self.duty, self.rate_per_active_day, phase
+            )
+            events.extend(sender_schedule.sample(rng, t_start, t_end, 1))
+        return events
+
+
+class GatedSchedule(Schedule):
+    """A base schedule thinned by a group-level duty cycle.
+
+    Events of ``base`` survive only when they fall inside recurring
+    group-wide activity windows.  This models fleets whose members
+    churn individually but act in synchronized waves (botnet scan
+    campaigns commanded by a controller): the per-sender behaviour
+    stays irregular while the group gains the temporal coordination
+    that the embedding exploits.
+    """
+
+    def __init__(
+        self,
+        base: Schedule,
+        period_days: float,
+        duty: float,
+        phase: float = 0.0,
+    ) -> None:
+        if period_days <= 0:
+            raise ValueError("period_days must be positive")
+        if not 0 < duty <= 1:
+            raise ValueError("duty must be in (0, 1]")
+        if not 0 <= phase < 1:
+            raise ValueError("phase must be in [0, 1)")
+        self.base = base
+        self.period_days = period_days
+        self.duty = duty
+        self.phase = phase
+
+    def subgroups(self, n_senders: int) -> np.ndarray:
+        return self.base.subgroups(n_senders)
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        period = self.period_days * SECONDS_PER_DAY
+        events = self.base.sample(rng, t_start, t_end, n_senders)
+        # The base rate is boosted so the *effective* rate after gating
+        # matches the base schedule's nominal rate.
+        gated = []
+        for times in events:
+            cycle_pos = ((times / period) - self.phase) % 1.0
+            gated.append(times[cycle_pos < self.duty])
+        return gated
+
+
+class CompositeSchedule(Schedule):
+    """Superposition of two schedules for the same group.
+
+    Used for Censys: a low-rate continuous baseline keeps every sender
+    visible through the month, while a staggered high-rate component
+    produces the shift pattern of Figure 12.  Subgroup assignment comes
+    from the first component that defines one.
+    """
+
+    def __init__(self, *components: Schedule) -> None:
+        if len(components) < 2:
+            raise ValueError("a composite needs at least two components")
+        self.components = components
+
+    def subgroups(self, n_senders: int) -> np.ndarray:
+        for component in self.components:
+            assignment = component.subgroups(n_senders)
+            if assignment.any():
+                return assignment
+        return np.zeros(n_senders, dtype=np.int32)
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        per_component = [
+            component.sample(rng, t_start, t_end, n_senders)
+            for component in self.components
+        ]
+        return [
+            np.concatenate([events[i] for events in per_component])
+            for i in range(n_senders)
+        ]
+
+
+class RampSchedule(Schedule):
+    """Worm-style spread: senders join over time, traffic ramps up.
+
+    Sender ``i`` becomes active at a join time drawn from an
+    exponentially accelerating infection curve and stays active until
+    the end of the horizon (ADB worm, Figure 15).
+    """
+
+    def __init__(self, rate_per_day: float, growth: float = 3.0) -> None:
+        if rate_per_day <= 0:
+            raise ValueError("rate_per_day must be positive")
+        if growth <= 0:
+            raise ValueError("growth must be positive")
+        self.rate_per_day = rate_per_day
+        self.growth = growth
+
+    def sample(self, rng, t_start, t_end, n_senders):
+        horizon = t_end - t_start
+        # Inverse-CDF sampling of join times from an exponential-growth
+        # infection curve: most senders join late.
+        u = rng.random(n_senders)
+        joins = t_start + horizon * np.log1p(u * (np.exp(self.growth) - 1)) / self.growth
+        events = []
+        for join in joins:
+            events.append(_poisson_times(rng, float(join), t_end, self.rate_per_day))
+        return events

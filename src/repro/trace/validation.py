@@ -1,0 +1,91 @@
+"""Trace sanity checking for externally supplied data.
+
+Traces read from CSV/NDJSON files produced by other tools can violate
+the invariants the pipeline assumes (time order, port ranges, known
+protocols).  ``validate_trace`` collects every violation instead of
+failing on the first, so operators can fix a capture in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.packet import ICMP, TCP, UDP, Trace
+
+_KNOWN_PROTOS = (TCP, UDP, ICMP)
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a trace validation pass."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def to_text(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"trace validation: {'OK' if self.ok else 'FAILED'}"]
+        lines.extend(f"  error: {message}" for message in self.errors)
+        lines.extend(f"  warning: {message}" for message in self.warnings)
+        return "\n".join(lines)
+
+
+def validate_trace(trace: Trace, max_span_days: float = 366.0) -> ValidationReport:
+    """Check a trace against the pipeline's invariants.
+
+    Errors break the pipeline (unsorted times, invalid ports/protocols,
+    dangling sender indices); warnings flag suspicious but workable
+    data (huge time spans, ICMP packets with non-zero ports, senders
+    without packets).
+    """
+    report = ValidationReport()
+    n = len(trace)
+    if n == 0:
+        report.warnings.append("trace is empty")
+        return report
+
+    if np.any(np.diff(trace.times) < 0):
+        report.errors.append("timestamps are not sorted")
+    if not np.isfinite(trace.times).all():
+        report.errors.append("non-finite timestamps present")
+
+    if trace.ports.min() < 0 or trace.ports.max() > 65_535:
+        report.errors.append("destination ports outside [0, 65535]")
+
+    unknown_protos = set(np.unique(trace.protos).tolist()) - set(_KNOWN_PROTOS)
+    if unknown_protos:
+        report.errors.append(
+            f"unknown protocol numbers: {sorted(unknown_protos)}"
+        )
+
+    if len(trace.senders) and (
+        trace.senders.min() < 0 or trace.senders.max() >= trace.n_senders
+    ):
+        report.errors.append("sender index out of range of the sender table")
+
+    if len(trace.sender_ips) > 1 and np.any(np.diff(trace.sender_ips) <= 0):
+        report.errors.append("sender table is not sorted/unique")
+
+    icmp_with_port = (trace.protos == ICMP) & (trace.ports != 0)
+    if icmp_with_port.any():
+        report.warnings.append(
+            f"{int(icmp_with_port.sum())} ICMP packets carry a non-zero port"
+        )
+
+    span_days = trace.duration_days
+    if span_days > max_span_days:
+        report.warnings.append(
+            f"trace spans {span_days:.0f} days (> {max_span_days:.0f})"
+        )
+
+    silent = trace.n_senders - len(trace.observed_senders())
+    if silent:
+        report.warnings.append(f"{silent} table entries have no packets")
+
+    return report

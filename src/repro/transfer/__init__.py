@@ -1,0 +1,38 @@
+"""Embedding transfer across darknets and across time (paper §8).
+
+The paper closes with two open questions: can an embedding trained on
+one darknet be used on another darknet observing the same period, and
+can it be used at a different time?  This package provides the
+machinery to answer both on the simulator:
+
+* :func:`split_vantage_points` turns one /24 trace into two half-sized
+  darknet views (senders hit both, with independent packet samples);
+* :func:`orthogonal_alignment` maps one embedding space onto another
+  with a Procrustes rotation over the shared senders;
+* :func:`neighborhood_overlap` and :func:`cross_embedding_report`
+  quantify how much structure and task performance survive transfer.
+"""
+
+from repro.transfer.align import (
+    apply_alignment,
+    orthogonal_alignment,
+    shared_tokens,
+)
+from repro.transfer.evaluate import (
+    adjusted_rand_index,
+    cross_embedding_report,
+    neighborhood_overlap,
+    partition_agreement,
+)
+from repro.transfer.vantage import split_vantage_points
+
+__all__ = [
+    "adjusted_rand_index",
+    "apply_alignment",
+    "cross_embedding_report",
+    "neighborhood_overlap",
+    "orthogonal_alignment",
+    "partition_agreement",
+    "shared_tokens",
+    "split_vantage_points",
+]

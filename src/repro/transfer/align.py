@@ -1,0 +1,67 @@
+"""Orthogonal alignment of two embedding spaces.
+
+Word2Vec solutions are only defined up to rotation, so two embeddings
+of the *same* senders trained on different data live in incompatible
+coordinate systems.  The classic fix (used for cross-lingual word
+vectors) is an orthogonal Procrustes rotation fitted on anchor points —
+here, the senders common to both embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import orthogonal_procrustes
+
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.mathutils import unit_rows
+
+
+def shared_tokens(source: KeyedVectors, target: KeyedVectors) -> np.ndarray:
+    """Tokens present in both embeddings."""
+    return np.intersect1d(source.tokens, target.tokens)
+
+
+def orthogonal_alignment(
+    source: KeyedVectors,
+    target: KeyedVectors,
+    anchors: np.ndarray | None = None,
+) -> np.ndarray:
+    """Rotation matrix mapping ``source`` space onto ``target`` space.
+
+    Args:
+        source, target: embeddings with overlapping token sets.
+        anchors: tokens to fit the rotation on; defaults to all shared
+            tokens.
+
+    Returns:
+        An orthogonal matrix ``R`` such that ``source.vectors @ R``
+        approximates the target coordinates of the anchor tokens.
+    """
+    if source.vector_size != target.vector_size:
+        raise ValueError("embeddings must share the vector size")
+    if anchors is None:
+        anchors = shared_tokens(source, target)
+    anchors = np.asarray(anchors, dtype=np.int64)
+    if len(anchors) < source.vector_size:
+        raise ValueError(
+            f"need at least {source.vector_size} anchors, got {len(anchors)}"
+        )
+    source_rows = source.rows_of(anchors)
+    target_rows = target.rows_of(anchors)
+    valid = (source_rows >= 0) & (target_rows >= 0)
+    if valid.sum() < source.vector_size:
+        raise ValueError("not enough anchors present in both embeddings")
+    a = unit_rows(source.vectors[source_rows[valid]])
+    b = unit_rows(target.vectors[target_rows[valid]])
+    rotation, _ = orthogonal_procrustes(a, b)
+    return rotation
+
+
+def apply_alignment(source: KeyedVectors, rotation: np.ndarray) -> KeyedVectors:
+    """Rotate an embedding into the target coordinate system."""
+    if rotation.shape != (source.vector_size, source.vector_size):
+        raise ValueError("rotation shape must match the vector size")
+    return KeyedVectors(
+        tokens=source.tokens.copy(),
+        vectors=source.vectors @ rotation,
+    )

@@ -1,0 +1,32 @@
+"""Split one darknet trace into two vantage points.
+
+Scanners targeting the whole /24 are seen by every address in it, so
+partitioning the packets by destination address yields two traces that
+behave like two smaller darknets observing the same senders during the
+same period — exactly the §8 thought experiment.  The sender table is
+shared between the two views, which makes cross-view comparisons
+straightforward.
+"""
+
+from __future__ import annotations
+
+from repro.trace.packet import Trace
+
+
+def split_vantage_points(
+    trace: Trace, boundary: int = 128
+) -> tuple[Trace, Trace]:
+    """Partition packets by darknet destination address.
+
+    Args:
+        trace: the full darknet trace.
+        boundary: packets with ``receiver < boundary`` go to the first
+            view, the rest to the second (128 = two /25 darknets).
+
+    Returns:
+        ``(view_a, view_b)`` sharing the sender table of ``trace``.
+    """
+    if not 1 <= boundary <= 255:
+        raise ValueError("boundary must split the /24 into two parts")
+    mask = trace.receivers < boundary
+    return trace.select(mask), trace.select(~mask)

@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG, ECDF, timers, ASCII rendering."""
+
+from repro.utils.ecdf import Ecdf, ecdf
+from repro.utils.rng import child_rng, make_rng
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+
+__all__ = [
+    "Ecdf",
+    "Timer",
+    "child_rng",
+    "ecdf",
+    "format_table",
+    "make_rng",
+]

@@ -1,0 +1,115 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmark harness has no plotting backend, so figures are rendered as
+text: line charts for ECDF/series panels and dot rasters for the
+sender-activity figures (Figures 1b, 9, 12-15).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def line_chart(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a single series as an ASCII line chart."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size == 0 or x_arr.size != y_arr.size:
+        raise ValueError("x and y must be non-empty and of equal length")
+    grid = [[" "] * width for _ in range(height)]
+    x_min, x_max = float(x_arr.min()), float(x_arr.max())
+    y_min, y_max = float(y_arr.min()), float(y_arr.max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    for xi, yi in zip(x_arr, y_arr):
+        col = int((xi - x_min) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_min) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} [{y_min:.4g}, {y_max:.4g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_min:.4g}, {x_max:.4g}]")
+    return "\n".join(lines)
+
+
+def raster(
+    matrix: np.ndarray,
+    title: str | None = None,
+    max_rows: int = 40,
+    max_cols: int = 72,
+) -> str:
+    """Render a boolean activity matrix (rows = senders, cols = time bins).
+
+    This is the textual analogue of the scatter "activity pattern"
+    figures: a ``#`` marks a (sender, time-bin) cell with activity.
+    Large matrices are downsampled by OR-pooling.
+    """
+    matrix = np.asarray(matrix, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError(f"raster expects a 2-D matrix, got shape {matrix.shape}")
+    pooled = _or_pool(matrix, max_rows, max_cols)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"({matrix.shape[0]} senders x {matrix.shape[1]} time bins)")
+    lines.extend("|" + "".join("#" if cell else "." for cell in row) for row in pooled)
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str | None = None,
+) -> str:
+    """Render a small numeric matrix as a shaded ASCII heatmap."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("matrix shape must match label lengths")
+    shades = " .:-=+*#%@"
+    peak = matrix.max() if matrix.size and matrix.max() > 0 else 1.0
+    label_width = max((len(label) for label in row_labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, row in zip(row_labels, matrix):
+        cells = "".join(
+            shades[min(int(value / peak * (len(shades) - 1)), len(shades) - 1)]
+            for value in row
+        )
+        lines.append(f"{label.rjust(label_width)} |{cells}|")
+    footer = " " * label_width + "  " + " ".join(col_labels)
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def _or_pool(matrix: np.ndarray, max_rows: int, max_cols: int) -> np.ndarray:
+    rows, cols = matrix.shape
+    row_bins = min(rows, max_rows)
+    col_bins = min(cols, max_cols)
+    if row_bins == 0 or col_bins == 0:
+        return np.zeros((0, 0), dtype=bool)
+    row_edges = np.linspace(0, rows, row_bins + 1).astype(int)
+    col_edges = np.linspace(0, cols, col_bins + 1).astype(int)
+    pooled = np.zeros((row_bins, col_bins), dtype=bool)
+    for i in range(row_bins):
+        block = matrix[row_edges[i] : row_edges[i + 1]]
+        if block.size == 0:
+            continue
+        col_any = block.any(axis=0)
+        for j in range(col_bins):
+            pooled[i, j] = col_any[col_edges[j] : col_edges[j + 1]].any()
+    return pooled

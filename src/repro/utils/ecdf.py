@@ -1,0 +1,62 @@
+"""Empirical cumulative distribution functions.
+
+Used throughout the analysis module to regenerate the ECDF panels of the
+paper (Figures 1a and 2a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF over a sample of scalar values.
+
+    Attributes:
+        values: sorted, unique sample values.
+        probabilities: ``P(X <= values[i])`` for each value.
+    """
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.probabilities):
+            raise ValueError("values and probabilities must align")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """Evaluate ``P(X <= x)``."""
+        if len(self.values) == 0:
+            raise ValueError("empty ECDF")
+        idx = int(np.searchsorted(self.values, x, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        return float(self.probabilities[idx])
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value ``v`` with ``P(X <= v) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if len(self.values) == 0:
+            raise ValueError("empty ECDF")
+        idx = int(np.searchsorted(self.probabilities, q, side="left"))
+        idx = min(idx, len(self.values) - 1)
+        return float(self.values[idx])
+
+
+def ecdf(sample: np.ndarray) -> Ecdf:
+    """Build the :class:`Ecdf` of a one-dimensional sample."""
+    sample = np.asarray(sample)
+    if sample.ndim != 1:
+        raise ValueError(f"sample must be one-dimensional, got shape {sample.shape}")
+    if sample.size == 0:
+        return Ecdf(values=np.empty(0), probabilities=np.empty(0))
+    values, counts = np.unique(sample, return_counts=True)
+    probabilities = np.cumsum(counts) / sample.size
+    return Ecdf(values=values.astype(float), probabilities=probabilities)

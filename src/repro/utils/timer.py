@@ -1,0 +1,30 @@
+"""Wall-clock timing helper used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example:
+        >>> with Timer() as t:
+        ...     _ = sum(range(1000))
+        >>> t.elapsed >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:
+            raise RuntimeError("Timer exited without entering")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None

@@ -1,0 +1,24 @@
+"""Word2Vec from scratch (skip-gram with negative sampling).
+
+The paper trains its embeddings with Gensim; this package provides an
+equivalent SGNS implementation in pure numpy: vocabulary with min-count
+pruning, dynamic-window skip-gram generation, a unigram^0.75 negative
+sampler, and mini-batched SGD with linear learning-rate decay.
+"""
+
+from repro.w2v.glove import GloVe
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.model import Word2Vec
+from repro.w2v.negative import NegativeSampler
+from repro.w2v.skipgram import expected_pair_count, skipgram_pairs
+from repro.w2v.vocab import Vocabulary
+
+__all__ = [
+    "GloVe",
+    "KeyedVectors",
+    "NegativeSampler",
+    "Vocabulary",
+    "Word2Vec",
+    "expected_pair_count",
+    "skipgram_pairs",
+]

@@ -1,0 +1,90 @@
+"""Continuous-Bag-Of-Words (CBOW) training with negative sampling.
+
+The paper's Appendix A.1 describes both Word2Vec architectures and
+uses skip-gram; CBOW is provided for completeness and for the
+architecture ablation benchmark.  For each center word the *mean* of
+its context vectors predicts the center (gensim's ``cbow_mean=1``),
+trained against negative samples exactly like SGNS.
+
+The implementation is batched: consecutive pair runs produced by
+:func:`repro.w2v.skipgram.skipgram_pairs` group the contexts of one
+center position, so per-center means reduce to ``np.add.reduceat``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.w2v.mathutils import scatter_add, sigmoid
+from repro.w2v.negative import NegativeSampler
+
+
+def cbow_step(
+    syn0: np.ndarray,
+    syn1: np.ndarray,
+    centers: np.ndarray,
+    contexts: np.ndarray,
+    sampler: NegativeSampler | None,
+    negative: int,
+    lr: float,
+    rng: np.random.Generator,
+) -> None:
+    """One CBOW SGD step over aligned (center, context) pair arrays.
+
+    ``centers`` must be organised in consecutive runs (all pairs of one
+    center position adjacent), which is how the pair generator emits
+    them.
+
+    Args:
+        syn0: input vectors (context side), updated in place.
+        syn1: output vectors (center side), updated in place.
+        centers, contexts: aligned word-id arrays.
+        sampler: negative sampler, or None to skip negatives.
+        negative: negatives per center position.
+        lr: learning rate.
+        rng: randomness for negative draws.
+    """
+    if len(centers) == 0:
+        return
+    lr = np.float32(lr)
+    # Boundaries of the consecutive center runs.
+    run_starts = np.concatenate([[0], np.flatnonzero(np.diff(centers) != 0) + 1])
+    run_lengths = np.diff(np.concatenate([run_starts, [len(centers)]]))
+    run_centers = centers[run_starts]  # (R,)
+
+    context_vecs = syn0[contexts]  # (P, V)
+    sums = np.add.reduceat(context_vecs, run_starts, axis=0)  # (R, V)
+    means = sums / run_lengths[:, None].astype(np.float32)  # h per center
+
+    center_vecs = syn1[run_centers]  # (R, V)
+    pos_scores = sigmoid((means * center_vecs).sum(axis=1))
+    g_pos = ((1.0 - pos_scores) * lr).astype(np.float32)
+
+    grad_means = g_pos[:, None] * center_vecs  # dL/dh per run
+    grad_centers = g_pos[:, None] * means
+
+    if sampler is not None and negative:
+        negatives = sampler.sample(rng, (len(run_centers), negative))  # (R, K)
+        neg_vecs = syn1[negatives]  # (R, K, V)
+        neg_scores = sigmoid(
+            np.matmul(neg_vecs, means[:, :, None])[:, :, 0]
+        )  # (R, K)
+        g_neg = (-neg_scores * lr).astype(np.float32)
+        grad_means += np.matmul(g_neg[:, None, :], neg_vecs)[:, 0, :]
+        grad_negatives = g_neg[:, :, None] * means[:, None, :]
+        syn1_rows = np.concatenate([run_centers, negatives.reshape(-1)])
+        syn1_grads = np.concatenate(
+            [grad_centers, grad_negatives.reshape(-1, syn1.shape[1])]
+        )
+        scatter_add(syn1, syn1_rows, syn1_grads)
+    else:
+        scatter_add(syn1, run_centers, grad_centers)
+
+    # Apply each run's full mean-gradient to every context word.  This
+    # matches the original word2vec.c (and gensim): the *forward* pass
+    # averages the context vectors, but the backward pass does NOT
+    # divide the gradient by the context count — the exact derivative
+    # (grad / count) trains the input vectors an order of magnitude too
+    # slowly on long darknet sentences.
+    per_context = np.repeat(grad_means, run_lengths, axis=0)
+    scatter_add(syn0, contexts, per_context)

@@ -1,0 +1,168 @@
+"""GloVe embeddings (Pennington et al., 2014), from scratch.
+
+The paper cites GloVe as the other mainstream word-embedding family;
+this implementation lets the architecture ablation compare DarkVec's
+skip-gram against a global-co-occurrence method on the same corpus.
+
+Pipeline: harmonically-weighted co-occurrence counts within a window
+``c`` -> AdaGrad on the weighted least-squares objective
+
+    J = sum_ij f(x_ij) (w_i . v_j + b_i + c_j - log x_ij)^2
+
+with ``f(x) = min((x / x_max)^alpha, 1)``.  Final vectors are the sum
+of the two factor matrices, as in the original paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.vocab import Vocabulary
+
+
+def cooccurrence_counts(
+    sentences: list[np.ndarray],
+    vocab: Vocabulary,
+    context: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Harmonically weighted co-occurrence triples ``(rows, cols, x)``.
+
+    A pair at distance ``d`` contributes ``1/d``, counted once per
+    direction (the matrix is kept asymmetric; symmetry emerges from the
+    data itself).
+    """
+    if context < 1:
+        raise ValueError("context must be positive")
+    keys_chunks: list[np.ndarray] = []
+    weight_chunks: list[np.ndarray] = []
+    n = len(vocab)
+    for sentence in sentences:
+        ids = vocab.encode_sentence(np.asarray(sentence))
+        if len(ids) < 2:
+            continue
+        for distance in range(1, min(context, len(ids) - 1) + 1):
+            left = ids[:-distance]
+            right = ids[distance:]
+            weight = 1.0 / distance
+            keys_chunks.append(left * n + right)
+            keys_chunks.append(right * n + left)
+            weight_chunks.append(
+                np.full(2 * len(left), weight, dtype=np.float64)
+            )
+    if not keys_chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0)
+    keys = np.concatenate(keys_chunks)
+    weights = np.concatenate(weight_chunks)
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    sums = np.zeros(len(uniq))
+    np.add.at(sums, inverse, weights)
+    return (uniq // n).astype(np.int64), (uniq % n).astype(np.int64), sums
+
+
+@dataclass
+class GloVe:
+    """GloVe trainer over integer-token sentences.
+
+    Attributes follow the original paper's notation; ``x_max`` and
+    ``alpha`` parameterise the weighting function ``f``.
+    """
+
+    vector_size: int = 50
+    context: int = 25
+    epochs: int = 25
+    learning_rate: float = 0.05
+    x_max: float = 10.0
+    alpha: float = 0.75
+    min_count: int = 1
+    min_cooccurrence: float = 0.0
+    batch_size: int = 65_536
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.vector_size < 1 or self.context < 1 or self.epochs < 1:
+            raise ValueError("vector_size, context and epochs must be positive")
+        if self.learning_rate <= 0 or self.x_max <= 0:
+            raise ValueError("learning_rate and x_max must be positive")
+
+    def fit(self, sentences: list[np.ndarray]) -> KeyedVectors:
+        """Train on the corpus and return token -> vector mapping."""
+        vocab = Vocabulary.build(sentences, min_count=self.min_count)
+        if len(vocab) == 0:
+            return KeyedVectors(
+                tokens=np.empty(0, dtype=np.int64),
+                vectors=np.empty((0, self.vector_size)),
+            )
+        rows, cols, counts = cooccurrence_counts(sentences, vocab, self.context)
+        # Optionally drop near-zero harmonic co-occurrences to trade
+        # fidelity for speed (darknet corpora are dominated by tiny
+        # counts, which do carry signal — the default keeps them all).
+        if self.min_cooccurrence > 0:
+            keep = counts >= self.min_cooccurrence
+            rows, cols, counts = rows[keep], cols[keep], counts[keep]
+        if len(rows) == 0:
+            return KeyedVectors(
+                tokens=vocab.tokens.copy(),
+                vectors=np.zeros((len(vocab), self.vector_size)),
+            )
+        rng = make_rng(self.seed)
+        n, v = len(vocab), self.vector_size
+        w_main = ((rng.random((n, v)) - 0.5) / v).astype(np.float64)
+        w_ctx = ((rng.random((n, v)) - 0.5) / v).astype(np.float64)
+        b_main = np.zeros(n)
+        b_ctx = np.zeros(n)
+        # AdaGrad accumulators.
+        g_w_main = np.ones((n, v))
+        g_w_ctx = np.ones((n, v))
+        g_b_main = np.ones(n)
+        g_b_ctx = np.ones(n)
+
+        log_counts = np.log(counts)
+        f_weights = np.minimum((counts / self.x_max) ** self.alpha, 1.0)
+
+        for _ in range(self.epochs):
+            order = rng.permutation(len(rows))
+            for lo in range(0, len(order), self.batch_size):
+                batch = order[lo : lo + self.batch_size]
+                i, j = rows[batch], cols[batch]
+                wi, wj = w_main[i], w_ctx[j]
+                inner = (wi * wj).sum(axis=1) + b_main[i] + b_ctx[j]
+                diff = f_weights[batch] * (inner - log_counts[batch])
+
+                grad_wi = diff[:, None] * wj
+                grad_wj = diff[:, None] * wi
+                self._adagrad_rows(w_main, g_w_main, i, grad_wi)
+                self._adagrad_rows(w_ctx, g_w_ctx, j, grad_wj)
+                self._adagrad_scalar(b_main, g_b_main, i, diff)
+                self._adagrad_scalar(b_ctx, g_b_ctx, j, diff)
+
+        return KeyedVectors(tokens=vocab.tokens.copy(), vectors=w_main + w_ctx)
+
+    def _adagrad_rows(self, matrix, accumulator, idx, grads) -> None:
+        order = np.argsort(idx)
+        idx_sorted = idx[order]
+        grads_sorted = grads[order]
+        starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(idx_sorted) != 0) + 1]
+        )
+        summed = np.add.reduceat(grads_sorted, starts, axis=0)
+        target = idx_sorted[starts]
+        step = self.learning_rate * summed / np.sqrt(accumulator[target])
+        matrix[target] -= step
+        accumulator[target] += summed**2
+
+    def _adagrad_scalar(self, vector, accumulator, idx, grads) -> None:
+        order = np.argsort(idx)
+        idx_sorted = idx[order]
+        grads_sorted = grads[order]
+        starts = np.concatenate(
+            [[0], np.flatnonzero(np.diff(idx_sorted) != 0) + 1]
+        )
+        summed = np.add.reduceat(grads_sorted, starts)
+        target = idx_sorted[starts]
+        vector[target] -= self.learning_rate * summed / np.sqrt(accumulator[target])
+        accumulator[target] += summed**2

@@ -1,0 +1,113 @@
+"""Trained embedding lookup (the analogue of gensim's KeyedVectors)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.w2v.mathutils import unit_rows
+
+
+@dataclass
+class KeyedVectors:
+    """Token -> vector mapping with cosine-similarity queries.
+
+    Attributes:
+        tokens: sorted distinct tokens (e.g. trace sender indices).
+        vectors: float array of shape ``(len(tokens), vector_size)``.
+    """
+
+    tokens: np.ndarray
+    vectors: np.ndarray
+    _units: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.tokens) != len(self.vectors):
+            raise ValueError("tokens and vectors must align")
+        if len(self.tokens) > 1 and np.any(np.diff(self.tokens) <= 0):
+            raise ValueError("tokens must be sorted and unique")
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def vector_size(self) -> int:
+        return self.vectors.shape[1] if self.vectors.ndim == 2 else 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def rows_of(self, tokens: np.ndarray) -> np.ndarray:
+        """Row indices of ``tokens``; -1 for tokens not embedded."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if len(self.tokens) == 0:
+            return np.full(len(tokens), -1, dtype=np.int64)
+        positions = np.searchsorted(self.tokens, tokens)
+        positions = np.clip(positions, 0, len(self.tokens) - 1)
+        hit = self.tokens[positions] == tokens
+        return np.where(hit, positions, -1).astype(np.int64)
+
+    def __contains__(self, token: int) -> bool:
+        return bool(self.rows_of(np.array([token]))[0] >= 0)
+
+    def vector(self, token: int) -> np.ndarray:
+        """Embedding of one token."""
+        row = int(self.rows_of(np.array([token]))[0])
+        if row < 0:
+            raise KeyError(f"token {token} not in the embedding")
+        return self.vectors[row]
+
+    # ------------------------------------------------------------------
+    # Similarity
+    # ------------------------------------------------------------------
+
+    @property
+    def unit_vectors(self) -> np.ndarray:
+        """Row-normalised vectors (cached)."""
+        if self._units is None:
+            self._units = unit_rows(self.vectors)
+        return self._units
+
+    def similarity(self, token_a: int, token_b: int) -> float:
+        """Cosine similarity between two embedded tokens."""
+        rows = self.rows_of(np.array([token_a, token_b]))
+        if (rows < 0).any():
+            raise KeyError("both tokens must be embedded")
+        units = self.unit_vectors
+        return float(units[rows[0]] @ units[rows[1]])
+
+    def most_similar(self, token: int, k: int = 10) -> list[tuple[int, float]]:
+        """The ``k`` nearest tokens by cosine similarity."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        row = int(self.rows_of(np.array([token]))[0])
+        if row < 0:
+            raise KeyError(f"token {token} not in the embedding")
+        units = self.unit_vectors
+        scores = units @ units[row]
+        scores[row] = -np.inf
+        top = np.argsort(scores)[::-1][:k]
+        return [(int(self.tokens[i]), float(scores[i])) for i in top]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Save to a ``.npz`` file."""
+        np.savez_compressed(Path(path), tokens=self.tokens, vectors=self.vectors)
+
+    @staticmethod
+    def load(path: str | Path) -> "KeyedVectors":
+        """Load from a ``.npz`` file produced by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return KeyedVectors(tokens=data["tokens"], vectors=data["vectors"])
+
+    def subset(self, tokens: np.ndarray) -> "KeyedVectors":
+        """Restrict to the given tokens (missing ones are ignored)."""
+        rows = self.rows_of(np.asarray(tokens, dtype=np.int64))
+        rows = np.unique(rows[rows >= 0])
+        return KeyedVectors(tokens=self.tokens[rows], vectors=self.vectors[rows])

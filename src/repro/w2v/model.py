@@ -1,0 +1,325 @@
+"""Skip-gram-with-negative-sampling training (mini-batched numpy SGD).
+
+This is the algorithm gensim runs for ``Word2Vec(sg=1, negative=k)``:
+for each (center, context) pair drawn from dynamic windows, maximise
+``log s(u_ctx . v_c) + sum_neg log s(-u_neg . v_c)`` by SGD with a
+linearly decaying learning rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.w2v.cbow import cbow_step
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.mathutils import scatter_add, sigmoid
+from repro.w2v.negative import NegativeSampler
+from repro.w2v.skipgram import expected_pair_count, skipgram_pairs
+from repro.w2v.vocab import Vocabulary
+from repro.utils.rng import make_rng
+
+
+def _cap_norms(matrix: np.ndarray, max_norm: float) -> None:
+    """Scale rows with L2 norm above ``max_norm`` back onto the ball."""
+    norms = np.linalg.norm(matrix, axis=1)
+    over = norms > max_norm
+    if over.any():
+        matrix[over] *= (max_norm / norms[over, None]).astype(matrix.dtype)
+
+
+@dataclass
+class Word2Vec:
+    """SGNS trainer.
+
+    Attributes mirror the gensim parameters used in the paper:
+    ``vector_size`` is the embedding dimension V, ``context`` the
+    one-sided window c, ``negative`` the number of negative samples,
+    ``sample`` the frequent-token subsampling threshold (0 disables).
+    """
+
+    vector_size: int = 50
+    context: int = 25
+    negative: int = 5
+    epochs: int = 10
+    architecture: str = "skipgram"
+    alpha: float = 0.025
+    min_alpha: float = 1e-4
+    min_count: int = 1
+    sample: float = 0.0
+    batch_pairs: int = 16_384
+    batch_vocab_factor: int = 8
+    shared_negatives: int = 16
+    max_norm: float | None = 10.0
+    dynamic_window: bool = True
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.vector_size < 1:
+            raise ValueError("vector_size must be positive")
+        if self.context < 1:
+            raise ValueError("context must be positive")
+        if self.negative < 0:
+            raise ValueError("negative must be non-negative")
+        if self.epochs < 1:
+            raise ValueError("epochs must be positive")
+        if not 0 < self.alpha:
+            raise ValueError("alpha must be positive")
+        if not 0 <= self.min_alpha <= self.alpha:
+            raise ValueError("min_alpha must be in [0, alpha]")
+        if self.architecture not in ("skipgram", "cbow"):
+            raise ValueError(
+                f"architecture must be 'skipgram' or 'cbow', "
+                f"got {self.architecture!r}"
+            )
+
+    def fit(self, sentences: list[np.ndarray]) -> KeyedVectors:
+        """Train on integer-token sentences and return the embedding."""
+        vocab = Vocabulary.build(sentences, min_count=self.min_count)
+        if len(vocab) == 0:
+            return KeyedVectors(
+                tokens=np.empty(0, dtype=np.int64),
+                vectors=np.empty((0, self.vector_size)),
+            )
+        rng = make_rng(self.seed)
+        encoded = [vocab.encode_sentence(np.asarray(s)) for s in sentences]
+        encoded = [s for s in encoded if len(s) >= 2]
+
+        syn0 = (
+            (rng.random((len(vocab), self.vector_size)) - 0.5) / self.vector_size
+        ).astype(np.float32)
+        syn1 = np.zeros((len(vocab), self.vector_size), dtype=np.float32)
+        sampler = NegativeSampler(vocab.counts) if self.negative else None
+        keep_probs = self._keep_probabilities(vocab)
+
+        lengths = np.array([len(s) for s in encoded], dtype=np.int64)
+        pairs_per_epoch = expected_pair_count(
+            lengths, self.context, dynamic=self.dynamic_window
+        )
+        total_pairs = max(int(pairs_per_epoch * self.epochs), 1)
+        processed = 0
+
+        # Batched SGD sums the gradients of duplicate words computed
+        # from the same stale vectors.  Keeping the batch small relative
+        # to the vocabulary bounds that duplication factor, which keeps
+        # the batched trainer as stable as sequential word2vec.
+        batch_pairs = min(
+            self.batch_pairs, max(256, self.batch_vocab_factor * len(vocab))
+        )
+
+        centers_buf: list[np.ndarray] = []
+        contexts_buf: list[np.ndarray] = []
+        buffered = 0
+
+        def flush() -> None:
+            nonlocal buffered, processed
+            if not buffered:
+                return
+            centers = np.concatenate(centers_buf)
+            contexts = np.concatenate(contexts_buf)
+            centers_buf.clear()
+            contexts_buf.clear()
+            buffered = 0
+            for lo in range(0, len(centers), batch_pairs):
+                hi = min(lo + batch_pairs, len(centers))
+                lr = self._learning_rate(processed, total_pairs)
+                if self.architecture == "cbow":
+                    cbow_step(
+                        syn0,
+                        syn1,
+                        centers[lo:hi],
+                        contexts[lo:hi],
+                        sampler,
+                        self.negative,
+                        lr,
+                        rng,
+                    )
+                else:
+                    self._sgd_step(
+                        syn0, syn1, centers[lo:hi], contexts[lo:hi], sampler, lr, rng
+                    )
+                processed += hi - lo
+            if self.max_norm is not None:
+                # DarkVec only consumes cosine similarities, so capping
+                # row norms (max-norm regularisation) changes nothing
+                # semantically while preventing the runaway norm growth
+                # that batched negative updates can otherwise cause.
+                _cap_norms(syn0, self.max_norm)
+                _cap_norms(syn1, self.max_norm)
+
+        for _ in range(self.epochs):
+            order = rng.permutation(len(encoded))
+            for idx in order:
+                sentence = encoded[idx]
+                if keep_probs is not None:
+                    mask = rng.random(len(sentence)) < keep_probs[sentence]
+                    sentence = sentence[mask]
+                    if len(sentence) < 2:
+                        continue
+                centers, contexts = skipgram_pairs(
+                    sentence, self.context, rng, dynamic=self.dynamic_window
+                )
+                if len(centers) == 0:
+                    continue
+                centers_buf.append(centers)
+                contexts_buf.append(contexts)
+                buffered += len(centers)
+                if buffered >= batch_pairs:
+                    flush()
+        flush()
+        return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
+
+    def fit_pairs(
+        self, center_tokens: np.ndarray, context_tokens: np.ndarray
+    ) -> KeyedVectors:
+        """Train directly on explicit (center, context) token pairs.
+
+        Used by the IP2VEC baseline, whose "context" is a fixed set of
+        flow fields rather than a sliding window.  Window-related
+        parameters (``context``, ``dynamic_window``, ``sample``) are
+        ignored; everything else behaves as in :meth:`fit`.
+        """
+        center_tokens = np.asarray(center_tokens, dtype=np.int64)
+        context_tokens = np.asarray(context_tokens, dtype=np.int64)
+        if len(center_tokens) != len(context_tokens):
+            raise ValueError("center and context arrays must align")
+        vocab = Vocabulary.build(
+            [center_tokens, context_tokens], min_count=self.min_count
+        )
+        if len(vocab) == 0:
+            return KeyedVectors(
+                tokens=np.empty(0, dtype=np.int64),
+                vectors=np.empty((0, self.vector_size)),
+            )
+        rng = make_rng(self.seed)
+        centers = vocab.encode(center_tokens)
+        contexts = vocab.encode(context_tokens)
+        keep = (centers >= 0) & (contexts >= 0)
+        centers, contexts = centers[keep], contexts[keep]
+
+        syn0 = (
+            (rng.random((len(vocab), self.vector_size)) - 0.5) / self.vector_size
+        ).astype(np.float32)
+        syn1 = np.zeros((len(vocab), self.vector_size), dtype=np.float32)
+        sampler = NegativeSampler(vocab.counts) if self.negative else None
+        batch_pairs = min(
+            self.batch_pairs, max(256, self.batch_vocab_factor * len(vocab))
+        )
+        total_pairs = max(len(centers) * self.epochs, 1)
+        processed = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(len(centers))
+            for lo in range(0, len(order), batch_pairs):
+                batch = order[lo : lo + batch_pairs]
+                lr = self._learning_rate(processed, total_pairs)
+                self._sgd_step(
+                    syn0, syn1, centers[batch], contexts[batch], sampler, lr, rng
+                )
+                processed += len(batch)
+                if self.max_norm is not None:
+                    # IP2VEC-style pair streams are extremely skewed
+                    # (one port can be a quarter of all pairs), so the
+                    # cap must be applied per batch, not per epoch.
+                    _cap_norms(syn0, self.max_norm)
+                    _cap_norms(syn1, self.max_norm)
+        return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _learning_rate(self, processed: int, total: int) -> float:
+        fraction = min(processed / total, 1.0)
+        return max(self.alpha * (1.0 - fraction), self.min_alpha)
+
+    def _keep_probabilities(self, vocab: Vocabulary) -> np.ndarray | None:
+        """Frequent-token subsampling probabilities (word2vec style)."""
+        if self.sample <= 0:
+            return None
+        freqs = vocab.counts / vocab.total_count
+        ratio = self.sample / freqs
+        keep = np.sqrt(ratio) + ratio
+        return np.minimum(keep, 1.0)
+
+    def _sgd_step(
+        self,
+        syn0: np.ndarray,
+        syn1: np.ndarray,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        sampler: NegativeSampler | None,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> None:
+        lr = np.float32(lr)
+        center_vecs = syn0[centers]  # (B, V)
+        context_vecs = syn1[contexts]  # (B, V)
+
+        pos_scores = sigmoid((center_vecs * context_vecs).sum(axis=1))
+        g_pos = ((1.0 - pos_scores) * lr).astype(np.float32)
+
+        grad_centers = g_pos[:, None] * context_vecs
+        grad_contexts = g_pos[:, None] * center_vecs
+
+        if sampler is not None and self.negative:
+            # Negatives are shared within small groups of pairs rather
+            # than drawn per pair.  Each pair still sees `negative`
+            # samples from the smoothed unigram distribution; sharing
+            # turns the (B, K, V) elementwise work into grouped BLAS
+            # matmuls, which is several times faster with identical
+            # expected gradients.
+            batch = len(centers)
+            group = max(min(self.shared_negatives, batch), 1)
+            n_groups = batch // group
+            main = n_groups * group
+            if main:
+                self._negative_update(
+                    syn0,
+                    syn1,
+                    center_vecs[:main].reshape(n_groups, group, -1),
+                    centers[:main],
+                    grad_centers[:main].reshape(n_groups, group, -1),
+                    sampler,
+                    lr,
+                    rng,
+                )
+            if main < batch:
+                self._negative_update(
+                    syn0,
+                    syn1,
+                    center_vecs[main:][None, :, :],
+                    centers[main:],
+                    grad_centers[main:][None, :, :],
+                    sampler,
+                    lr,
+                    rng,
+                )
+
+        scatter_add(syn1, contexts, grad_contexts)
+        scatter_add(syn0, centers, grad_centers)
+
+    def _negative_update(
+        self,
+        syn0: np.ndarray,
+        syn1: np.ndarray,
+        center_groups: np.ndarray,  # (G, S, V), a view into center_vecs
+        centers: np.ndarray,
+        grad_center_groups: np.ndarray,  # (G, S, V), accumulated in place
+        sampler: NegativeSampler,
+        lr: np.float32,
+        rng: np.random.Generator,
+    ) -> None:
+        """Apply the negative-sampling part of the SGNS gradient."""
+        n_groups, _, _ = center_groups.shape
+        negatives = sampler.sample(rng, (n_groups, self.negative))  # (G, K)
+        neg_vecs = syn1[negatives]  # (G, K, V)
+        scores = sigmoid(
+            np.matmul(center_groups, neg_vecs.transpose(0, 2, 1))
+        )  # (G, S, K)
+        g_neg = (-scores * lr).astype(np.float32)
+        grad_center_groups += np.matmul(g_neg, neg_vecs)
+        grad_negatives = np.matmul(g_neg.transpose(0, 2, 1), center_groups)
+        scatter_add(
+            syn1, negatives.reshape(-1), grad_negatives.reshape(-1, syn1.shape[1])
+        )

@@ -1,0 +1,41 @@
+"""Negative sampling from the smoothed unigram distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NegativeSampler:
+    """Draws word ids with probability proportional to count^power.
+
+    ``power = 0.75`` is the original word2vec smoothing; it damps the
+    dominance of very frequent words (in DarkVec: the heaviest-hitting
+    senders).
+    """
+
+    def __init__(self, counts: np.ndarray, power: float = 0.75) -> None:
+        counts = np.asarray(counts, dtype=np.float64)
+        if len(counts) == 0:
+            raise ValueError("cannot sample from an empty vocabulary")
+        if counts.min() <= 0:
+            raise ValueError("counts must be positive")
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        weights = counts**power
+        self._cumulative = np.cumsum(weights)
+        self._cumulative /= self._cumulative[-1]
+
+    def __len__(self) -> int:
+        return len(self._cumulative)
+
+    def sample(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        """Draw word ids with the smoothed-unigram distribution."""
+        u = rng.random(shape)
+        return np.searchsorted(self._cumulative, u).astype(np.int64)
+
+    def probability_of(self, word_id: int) -> float:
+        """Sampling probability of one word id."""
+        if not 0 <= word_id < len(self):
+            raise ValueError("word id out of range")
+        prev = self._cumulative[word_id - 1] if word_id else 0.0
+        return float(self._cumulative[word_id] - prev)

@@ -1,0 +1,101 @@
+"""Skip-gram (center, context) pair generation.
+
+The paper pads sentence edges with a NULL word (Section 5.3); emitting
+no pair for padded slots is equivalent, since a NULL context carries no
+gradient.  Like the original word2vec (and gensim), the effective
+window of each center can be shrunk uniformly at random to ``1..c``,
+which both speeds training up and weighs nearby context words more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def expected_pair_count(
+    lengths: np.ndarray, context: int, dynamic: bool = True
+) -> float:
+    """Expected (center, context) pairs for sentences of given lengths.
+
+    With dynamic windows the per-center window ``b`` is uniform on
+    ``1..c`` and each side contributes ``E[min(k, b)]`` pairs, where
+    ``k`` is the room available on that side.  Getting this expectation
+    right matters: the linear learning-rate schedule divides by the
+    total pair count, and an overestimate (e.g. assuming sentences are
+    longer than ``2c``) leaves the final learning rate far above
+    ``min_alpha``, visibly degrading large-``c`` embeddings.
+    """
+    if context < 1:
+        raise ValueError("context must be positive")
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = 0.0
+    for n in lengths:
+        n = int(n)
+        if n < 2:
+            continue
+        k = np.arange(n)  # room on one side, per position
+        if dynamic:
+            # E[min(k, b)], b ~ U{1..c}:
+            #   k >= c: (c + 1) / 2
+            #   k <  c: (k(k+1)/2 + (c-k)k) / c
+            clipped = np.minimum(k, context)
+            expected = (
+                clipped * (clipped + 1) / 2 + (context - clipped) * clipped
+            ) / context
+            expected[k >= context] = (context + 1) / 2
+        else:
+            expected = np.minimum(k, context).astype(float)
+        # By symmetry both sides sum to the same value.
+        total += 2.0 * float(expected.sum())
+    return total
+
+
+def skipgram_pairs(
+    sentence: np.ndarray,
+    context: int,
+    rng: np.random.Generator | None = None,
+    dynamic: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (center, context) word-id pairs of one encoded sentence.
+
+    Args:
+        sentence: word ids (OOV already removed).
+        context: maximum one-sided window size ``c``.
+        rng: randomness for dynamic window shrinking; required when
+            ``dynamic`` is True.
+        dynamic: shrink each center's window uniformly to ``1..c``.
+
+    Returns:
+        ``(centers, contexts)`` aligned int64 arrays.
+    """
+    if context < 1:
+        raise ValueError("context must be positive")
+    n = len(sentence)
+    if n < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if dynamic:
+        if rng is None:
+            raise ValueError("dynamic windows need an rng")
+        windows = rng.integers(1, context + 1, size=n)
+    else:
+        windows = np.full(n, context, dtype=np.int64)
+
+    positions = np.arange(n)
+    lo = np.maximum(positions - windows, 0)
+    hi = np.minimum(positions + windows, n - 1)
+    pair_counts = hi - lo  # context slots excluding the center itself
+    total = int(pair_counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    centers = np.repeat(positions, pair_counts)
+    # Offsets within each center's window, skipping the center:
+    # for center i the contexts are lo[i]..hi[i] minus i.
+    starts = np.concatenate([[0], np.cumsum(pair_counts)[:-1]])
+    slot = np.arange(total) - np.repeat(starts, pair_counts)
+    contexts_pos = np.repeat(lo, pair_counts) + slot
+    contexts_pos[contexts_pos >= centers] += 1
+    sentence = np.asarray(sentence, dtype=np.int64)
+    return sentence[centers], sentence[contexts_pos]

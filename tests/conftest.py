@@ -1,0 +1,53 @@
+"""Shared fixtures: small deterministic traces and trained pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DarkVec, DarkVecConfig
+from repro.trace import default_scenario, generate_trace
+from repro.trace.packet import TCP, UDP, Trace
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    """A small but structurally complete simulated trace (6 days)."""
+    scenario = default_scenario(
+        scale=0.04, days=6.0, seed=11, backscatter_scale=0.01
+    )
+    return generate_trace(scenario)
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_bundle):
+    return small_bundle.trace
+
+
+@pytest.fixture(scope="session")
+def fitted_darkvec(small_bundle):
+    """DarkVec trained on the small trace (few epochs for speed)."""
+    config = DarkVecConfig(service="domain", epochs=6, seed=3)
+    return DarkVec(config).fit(small_bundle.trace)
+
+
+@pytest.fixture()
+def tiny_trace() -> Trace:
+    """A hand-written 10-packet trace with known structure."""
+    times = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0])
+    # Three senders: 10.0.0.1 (x5), 10.0.0.2 (x3), 10.0.0.3 (x2).
+    ips = np.array(
+        [0x0A000001] * 5 + [0x0A000002] * 3 + [0x0A000003] * 2, dtype=np.uint64
+    )
+    ports = np.array([23, 23, 445, 80, 22, 23, 445, 53, 23, 23])
+    protos = np.array([TCP, TCP, TCP, TCP, TCP, TCP, TCP, UDP, TCP, TCP])
+    receivers = np.arange(10) % 256
+    mirai = np.array([True] * 5 + [False] * 5)
+    return Trace.from_events(
+        times=times,
+        sender_ips_per_packet=ips,
+        ports=ports,
+        protos=protos,
+        receivers=receivers,
+        mirai=mirai,
+    )

@@ -1,0 +1,154 @@
+"""Tests for repro.analysis (stats, heatmap, patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import service_class_heatmap
+from repro.analysis.patterns import activity_matrix, arrival_order
+from repro.analysis.stats import (
+    cumulative_senders,
+    dataset_stats,
+    packets_per_sender_ecdf,
+    port_rank_ecdf,
+    top_ports,
+)
+from repro.labels.groundtruth import GroundTruth
+from repro.trace.packet import SECONDS_PER_DAY, TCP
+
+
+class TestDatasetStats:
+    def test_tiny_trace(self, tiny_trace):
+        stats = dataset_stats(tiny_trace)
+        assert stats.n_sources == 3
+        assert stats.n_packets == 10
+        assert stats.n_ports == 5
+        port, share, sources = stats.top_tcp_ports[0]
+        assert port == 23
+        assert share == pytest.approx(50.0)
+        assert sources == 3
+
+    def test_small_trace_consistency(self, small_trace):
+        stats = dataset_stats(small_trace)
+        assert stats.n_sources == len(small_trace.observed_senders())
+        assert stats.n_packets == small_trace.n_packets
+        shares = [s for _, s, _ in stats.top_tcp_ports]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_telnet_is_heavy(self, small_trace):
+        stats = dataset_stats(small_trace)
+        top_port_numbers = [p for p, _, _ in stats.top_tcp_ports]
+        assert 23 in top_port_numbers
+
+
+class TestEcdfs:
+    def test_port_rank_ecdf_monotone(self, small_trace):
+        ranks, share = port_rank_ecdf(small_trace)
+        assert len(ranks) == len(share)
+        assert np.all(np.diff(share) >= 0)
+        assert share[-1] == pytest.approx(1.0)
+
+    def test_top_ports_sorted(self, small_trace):
+        ranked = top_ports(small_trace, n=14)
+        counts = [c for _, c in ranked]
+        assert counts == sorted(counts, reverse=True)
+        assert len(ranked) == 14
+
+    def test_packets_per_sender_ecdf(self, small_trace):
+        e = packets_per_sender_ecdf(small_trace)
+        # A visible share of senders are one-shot backscatter (the
+        # session fixture uses a reduced backscatter population).
+        assert e.at(1) > 0.05
+        assert e.at(1e9) == 1.0
+
+    def test_cumulative_senders_monotone(self, small_trace):
+        days, unfiltered, filtered = cumulative_senders(small_trace)
+        assert len(days) == int(np.ceil(small_trace.duration_days))
+        assert np.all(np.diff(unfiltered) >= 0)
+        assert np.all(np.diff(filtered) >= 0)
+        assert np.all(filtered <= unfiltered)
+
+
+class TestHeatmap:
+    def test_columns_normalised(self, small_bundle):
+        matrix, services, classes = service_class_heatmap(
+            small_bundle.trace, small_bundle.truth
+        )
+        assert matrix.shape == (len(services), len(classes))
+        assert np.allclose(matrix.sum(axis=0), 1.0)
+
+    def test_engin_umich_dns_dominant(self, small_bundle):
+        matrix, services, classes = service_class_heatmap(
+            small_bundle.trace, small_bundle.truth
+        )
+        dns_row = services.index("DNS")
+        engin_col = classes.index("Engin-umich")
+        assert matrix[dns_row, engin_col] == pytest.approx(1.0)
+
+    def test_mirai_telnet_dominant(self, small_bundle):
+        matrix, services, classes = service_class_heatmap(
+            small_bundle.trace, small_bundle.truth
+        )
+        telnet_row = services.index("Telnet")
+        mirai_col = classes.index("Mirai-like")
+        assert matrix[telnet_row, mirai_col] > 0.7
+
+    def test_sender_restriction(self, small_bundle):
+        active = small_bundle.trace.active_senders(10)
+        matrix, _, _ = service_class_heatmap(
+            small_bundle.trace, small_bundle.truth, eval_senders=active
+        )
+        assert np.isfinite(matrix).all()
+
+
+class TestPatterns:
+    def test_activity_matrix_shape(self, small_trace):
+        senders = small_trace.observed_senders()[:20]
+        matrix = activity_matrix(small_trace, senders, bin_seconds=SECONDS_PER_DAY)
+        assert matrix.shape[0] == 20
+        assert matrix.shape[1] == int(np.ceil(small_trace.duration_days))
+
+    def test_every_observed_sender_has_activity(self, small_trace):
+        senders = small_trace.observed_senders()[:50]
+        matrix = activity_matrix(small_trace, senders, bin_seconds=SECONDS_PER_DAY)
+        assert matrix.any(axis=1).all()
+
+    def test_order_permutes_rows(self, small_trace):
+        senders = small_trace.observed_senders()[:10]
+        base = activity_matrix(small_trace, senders, bin_seconds=SECONDS_PER_DAY)
+        flipped = activity_matrix(
+            small_trace,
+            senders,
+            bin_seconds=SECONDS_PER_DAY,
+            order=np.arange(10)[::-1],
+        )
+        assert np.array_equal(base[::-1], flipped)
+
+    def test_time_range_restriction(self, small_trace):
+        senders = small_trace.observed_senders()[:10]
+        matrix = activity_matrix(
+            small_trace,
+            senders,
+            bin_seconds=3600.0,
+            t_start=small_trace.start_time,
+            t_end=small_trace.start_time + SECONDS_PER_DAY,
+        )
+        assert matrix.shape[1] == 24
+
+    def test_arrival_order_sorts_by_first_seen(self, tiny_trace):
+        order = arrival_order(tiny_trace, np.array([2, 1, 0]))
+        # Sender 0 appears at t=0, sender 1 at t=5, sender 2 at t=8.
+        assert np.array_equal(order, np.array([2, 1, 0]))
+
+    def test_invalid_bin(self, small_trace):
+        with pytest.raises(ValueError):
+            activity_matrix(small_trace, np.array([0]), bin_seconds=0.0)
+
+
+class TestRampVisible:
+    def test_adb_worm_ramp(self, small_bundle):
+        """The unknown4 raster shows growth over time (Figure 15)."""
+        trace = small_bundle.trace
+        senders = small_bundle.sender_indices_of("unknown4_adb")
+        matrix = activity_matrix(trace, senders, bin_seconds=SECONDS_PER_DAY)
+        per_day = matrix.sum(axis=0)
+        assert per_day[-1] > per_day[0]

@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.projection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.projection import PcaModel, fit_pca, scatter_text
+
+
+class TestPca:
+    def test_recovers_dominant_axis(self):
+        rng = np.random.default_rng(0)
+        # Data varying mostly along (1, 1, 0).
+        base = rng.normal(size=(200, 1)) * np.array([[1.0, 1.0, 0.0]])
+        noise = rng.normal(0, 0.01, size=(200, 3))
+        model = fit_pca(base + noise, n_components=1)
+        axis = model.components[0] / np.linalg.norm(model.components[0])
+        expected = np.array([1.0, 1.0, 0.0]) / np.sqrt(2)
+        assert abs(abs(axis @ expected) - 1.0) < 0.01
+
+    def test_explained_variance_sorted(self):
+        rng = np.random.default_rng(1)
+        model = fit_pca(rng.normal(size=(50, 6)), n_components=3)
+        ratios = model.explained_variance_ratio
+        assert np.all(np.diff(ratios) <= 1e-12)
+        assert ratios.sum() <= 1.0 + 1e-9
+
+    def test_transform_shape(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(30, 5))
+        model = fit_pca(data, n_components=2)
+        projected = model.transform(data)
+        assert projected.shape == (30, 2)
+
+    def test_transform_centers_data(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(100, 4)) + 100.0
+        model = fit_pca(data, n_components=2)
+        projected = model.transform(data)
+        assert abs(projected.mean(axis=0)).max() < 1e-9
+
+    def test_dimension_mismatch(self):
+        model = fit_pca(np.random.rand(10, 4), n_components=2)
+        with pytest.raises(ValueError):
+            model.transform(np.random.rand(3, 5))
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            fit_pca(np.random.rand(5, 3), n_components=4)
+        with pytest.raises(ValueError):
+            fit_pca(np.random.rand(5, 3), n_components=0)
+
+    def test_embedding_classes_separate_in_2d(self, fitted_darkvec, small_bundle):
+        """Mirai vs Engin-Umich are distinguishable even after PCA."""
+        embedding = fitted_darkvec.embedding
+        labels = small_bundle.truth.labels_for(small_bundle.trace)[
+            embedding.tokens
+        ]
+        model = fit_pca(embedding.vectors, n_components=2)
+        points = model.transform(embedding.vectors)
+        mirai = points[labels == "Mirai-like"]
+        engin = points[labels == "Engin-umich"]
+        if len(mirai) > 5 and len(engin) > 2:
+            gap = np.linalg.norm(mirai.mean(axis=0) - engin.mean(axis=0))
+            spread = mirai.std() + engin.std()
+            assert gap > spread * 0.3
+
+
+class TestScatterText:
+    def test_renders_glyphs_and_legend(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        labels = np.array(["alpha", "beta"], dtype=object)
+        text = scatter_text(points, labels, width=10, height=5)
+        assert "A" in text and "B" in text
+        assert "A=alpha" in text and "B=beta" in text
+
+    def test_constant_points_ok(self):
+        points = np.zeros((3, 2))
+        labels = np.array(["x", "x", "x"], dtype=object)
+        text = scatter_text(points, labels)
+        assert "A=x" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_text(np.zeros((2, 3)), np.array(["a", "b"], dtype=object))
+        with pytest.raises(ValueError):
+            scatter_text(np.zeros((0, 2)), np.array([], dtype=object))
+        many = np.array([str(i) for i in range(25)], dtype=object)
+        with pytest.raises(ValueError):
+            scatter_text(np.zeros((25, 2)), many)

@@ -1,0 +1,115 @@
+"""Tests for repro.analysis.regularity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regularity import (
+    activity_series,
+    autocorrelation,
+    periodicity,
+)
+from repro.trace.packet import SECONDS_PER_DAY, TCP, Trace
+
+
+def _periodic_trace(period_s=SECONDS_PER_DAY / 4, days=8, pkts_per_burst=40):
+    """One sender firing a burst every `period_s` seconds."""
+    rng = np.random.default_rng(0)
+    times = []
+    t = 0.0
+    while t < days * SECONDS_PER_DAY:
+        times.extend(t + rng.random(pkts_per_burst) * 600.0)
+        t += period_s
+    times = np.sort(np.array(times))
+    n = len(times)
+    return Trace.from_events(
+        times=times,
+        sender_ips_per_packet=np.full(n, 42, dtype=np.uint64),
+        ports=np.full(n, 23),
+        protos=np.full(n, TCP),
+        receivers=np.zeros(n, dtype=np.uint8),
+        mirai=np.zeros(n, dtype=bool),
+    )
+
+
+def _random_trace(days=8, n=2000):
+    rng = np.random.default_rng(1)
+    times = np.sort(rng.random(n) * days * SECONDS_PER_DAY)
+    return Trace.from_events(
+        times=times,
+        sender_ips_per_packet=np.full(n, 42, dtype=np.uint64),
+        ports=np.full(n, 23),
+        protos=np.full(n, TCP),
+        receivers=np.zeros(n, dtype=np.uint8),
+        mirai=np.zeros(n, dtype=bool),
+    )
+
+
+class TestActivitySeries:
+    def test_bins_cover_trace(self):
+        trace = _random_trace()
+        series = activity_series(trace, np.array([0]), bin_seconds=3600.0)
+        assert series.sum() == len(trace)
+        assert len(series) == int(np.ceil(trace.duration_days * 24))
+
+    def test_invalid_bin(self):
+        trace = _random_trace()
+        with pytest.raises(ValueError):
+            activity_series(trace, np.array([0]), bin_seconds=0)
+
+
+class TestAutocorrelation:
+    def test_periodic_series_peaks_at_period(self):
+        series = np.tile([10.0, 0.0, 0.0, 0.0], 50)
+        values = autocorrelation(series, max_lag=10)
+        assert np.argmax(values) + 1 == 4
+
+    def test_constant_series_is_zero(self):
+        assert np.allclose(autocorrelation(np.ones(50), 10), 0.0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        values = autocorrelation(rng.random(200), 20)
+        assert np.abs(values).max() <= 1.0 + 1e-9
+
+    def test_invalid_lag(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(10), 0)
+
+
+class TestPeriodicity:
+    def test_detects_six_hour_period(self):
+        trace = _periodic_trace(period_s=SECONDS_PER_DAY / 4)
+        result = periodicity(trace, np.array([0]), bin_seconds=900.0)
+        assert result.is_regular
+        assert result.period_seconds == pytest.approx(
+            SECONDS_PER_DAY / 4, rel=0.15
+        )
+
+    def test_random_traffic_not_regular(self):
+        trace = _random_trace()
+        result = periodicity(trace, np.array([0]), bin_seconds=900.0)
+        assert not result.is_regular
+
+    def test_simulated_periodic_actor(self, small_bundle):
+        """unknown1 (NetBIOS) has a daily duty cycle: ~1 day period."""
+        trace = small_bundle.trace
+        senders = small_bundle.sender_indices_of("unknown1_netbios")
+        result = periodicity(trace, senders, bin_seconds=1800.0)
+        assert result.is_regular
+        assert result.period_seconds == pytest.approx(
+            SECONDS_PER_DAY, rel=0.25
+        )
+
+    def test_simulated_sparse_actor_irregular(self, small_bundle):
+        """Stretchoid has no coherent period."""
+        trace = small_bundle.trace
+        senders = small_bundle.sender_indices_of("stretchoid")
+        result = periodicity(trace, senders, bin_seconds=1800.0)
+        sharashka = periodicity(
+            trace,
+            small_bundle.sender_indices_of("sharashka"),
+            bin_seconds=1800.0,
+        )
+        # Stretchoid's periodicity score is much weaker than a truly
+        # periodic class like Sharashka.
+        assert result.score < sharashka.score

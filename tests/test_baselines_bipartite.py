@@ -1,0 +1,78 @@
+"""Tests for the bipartite sender-port clustering baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bipartite import bipartite_communities
+from repro.trace.packet import TCP, UDP, Trace
+
+
+def _two_group_trace():
+    """Group A hits ports 1000-1004; group B hits ports 2000-2004."""
+    rng = np.random.default_rng(0)
+    times, ips, ports = [], [], []
+    for sender in range(10):
+        for _ in range(20):
+            times.append(rng.random() * 1e4)
+            ips.append(100 + sender)
+            base = 1000 if sender < 5 else 2000
+            ports.append(base + rng.integers(0, 5))
+    n = len(times)
+    return Trace.from_events(
+        times=np.array(times),
+        sender_ips_per_packet=np.array(ips, dtype=np.uint64),
+        ports=np.array(ports),
+        protos=np.full(n, TCP),
+        receivers=np.zeros(n, dtype=np.uint8),
+        mirai=np.zeros(n, dtype=bool),
+    )
+
+
+class TestBipartiteCommunities:
+    def test_separates_port_disjoint_groups(self):
+        trace = _two_group_trace()
+        result = bipartite_communities(trace, senders=np.arange(10))
+        group_a = set(result.communities[:5].tolist())
+        group_b = set(result.communities[5:].tolist())
+        assert len(group_a) == 1
+        assert len(group_b) == 1
+        assert group_a != group_b
+
+    def test_modularity_positive(self):
+        trace = _two_group_trace()
+        result = bipartite_communities(trace, senders=np.arange(10))
+        assert result.modularity > 0.3
+        assert result.n_ports == 10
+
+    def test_absent_sender_gets_minus_one(self):
+        trace = _two_group_trace()
+        result = bipartite_communities(trace, senders=np.array([0, 9]))
+        # Requested senders exist, so both assigned.
+        assert (result.communities >= 0).all()
+
+    def test_empty_selection(self):
+        trace = _two_group_trace()
+        result = bipartite_communities(
+            trace, senders=np.empty(0, dtype=np.int64)
+        )
+        assert result.n_clusters == 0
+
+    def test_weight_validation(self):
+        trace = _two_group_trace()
+        with pytest.raises(ValueError):
+            bipartite_communities(trace, weight="bogus")
+
+    def test_on_simulated_trace(self, small_bundle):
+        """Port-coherent hidden groups are found even without timing."""
+        trace = small_bundle.trace
+        result = bipartite_communities(trace)
+        lookup = {int(s): int(c) for s, c in zip(result.senders, result.communities)}
+        engin = [
+            lookup[s]
+            for s in small_bundle.sender_indices_of("engin_umich")
+            if int(s) in lookup
+        ]
+        if len(engin) >= 5:
+            # DNS-only senders share a community.
+            values, counts = np.unique(engin, return_counts=True)
+            assert counts.max() / len(engin) > 0.7

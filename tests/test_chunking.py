@@ -1,0 +1,59 @@
+"""Chunked-computation paths: results must not depend on chunk size.
+
+knn_search chunks query rows at 1024 and cosine_silhouette chunks rows
+at 512; these tests cross those boundaries and compare against direct
+computation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.silhouette import cosine_silhouette
+from repro.knn.classifier import knn_search
+from repro.w2v.mathutils import unit_rows
+
+
+class TestKnnChunking:
+    def test_results_cross_chunk_boundary(self):
+        rng = np.random.default_rng(0)
+        n = 1500  # > one 1024 chunk
+        units = unit_rows(rng.normal(size=(n, 8)))
+        neighbors, sims = knn_search(units, np.arange(n), k=3)
+        # Verify a sample of rows against brute force.
+        scores = units @ units.T
+        np.fill_diagonal(scores, -np.inf)
+        for i in (0, 1023, 1024, 1499):
+            expected = np.sort(scores[i])[::-1][:3]
+            assert np.allclose(np.sort(sims[i])[::-1], expected, atol=1e-9)
+
+    def test_subset_queries(self):
+        rng = np.random.default_rng(1)
+        units = unit_rows(rng.normal(size=(300, 4)))
+        rows = np.array([5, 100, 299])
+        neighbors, sims = knn_search(units, rows, k=2)
+        assert neighbors.shape == (3, 2)
+        for query, row_neighbors in zip(rows, neighbors):
+            assert query not in row_neighbors
+
+
+class TestSilhouetteChunking:
+    def test_chunked_matches_single_chunk(self):
+        rng = np.random.default_rng(2)
+        n = 1100  # > two 512 chunks
+        vectors = rng.normal(size=(n, 6))
+        communities = rng.integers(0, 4, size=n)
+        scores = cosine_silhouette(vectors, communities)
+        assert len(scores) == n
+        assert np.isfinite(scores).all()
+        # Verify one sample against the naive definition.
+        units = unit_rows(vectors)
+        distances = 1.0 - units @ units.T
+        i = 777
+        own = communities == communities[i]
+        a = distances[i, own & (np.arange(n) != i)].mean()
+        b = min(
+            distances[i, communities == c].mean()
+            for c in set(communities.tolist())
+            if c != communities[i]
+        )
+        assert scores[i] == pytest.approx((b - a) / max(a, b), abs=1e-9)

@@ -1,0 +1,196 @@
+"""Tests for the command-line interface (end-to-end workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """Run the full CLI workflow once; commands share the artefacts."""
+    root = tmp_path_factory.mktemp("cli")
+    trace_file = root / "trace.csv"
+    vectors_file = root / "vectors.npz"
+    rc = main(
+        [
+            "simulate",
+            "--out",
+            str(trace_file),
+            "--scale",
+            "0.02",
+            "--days",
+            "3",
+            "--seed",
+            "5",
+        ]
+    )
+    assert rc == 0
+    rc = main(
+        [
+            "train",
+            "--trace",
+            str(trace_file),
+            "--out",
+            str(vectors_file),
+            "--epochs",
+            "3",
+            "--vector-size",
+            "16",
+        ]
+    )
+    assert rc == 0
+    return root, trace_file, vectors_file
+
+
+class TestSimulate:
+    def test_artifacts_written(self, workspace):
+        root, trace_file, _ = workspace
+        assert trace_file.exists()
+        labels_file = root / "trace.csv.labels.csv"
+        assert labels_file.exists()
+        assert labels_file.read_text().startswith("src_ip,label")
+
+    def test_trace_readable(self, workspace):
+        from repro.io.csvio import read_trace_csv
+
+        _, trace_file, _ = workspace
+        trace = read_trace_csv(trace_file)
+        assert trace.n_packets > 100
+
+
+class TestStats:
+    def test_prints_summary(self, workspace, capsys):
+        _, trace_file, _ = workspace
+        assert main(["stats", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "full trace" in out
+        assert "active senders" in out
+
+
+class TestTrain:
+    def test_vectors_keyed_by_ip(self, workspace):
+        from repro.w2v.keyedvectors import KeyedVectors
+
+        _, _, vectors_file = workspace
+        keyed = KeyedVectors.load(vectors_file)
+        assert len(keyed) > 50
+        assert keyed.vector_size == 16
+        # Tokens are IPv4 addresses (large ints), sorted.
+        assert keyed.tokens.min() > 2**20
+        assert np.all(np.diff(keyed.tokens) > 0)
+
+
+class TestEvaluate:
+    def test_report_printed(self, workspace, capsys):
+        root, trace_file, vectors_file = workspace
+        rc = main(
+            [
+                "evaluate",
+                "--trace",
+                str(trace_file),
+                "--vectors",
+                str(vectors_file),
+                "--labels",
+                str(root / "trace.csv.labels.csv"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Accuracy" in out
+        assert "Mirai-like" in out
+
+
+class TestCluster:
+    def test_clusters_printed(self, workspace, capsys):
+        _, trace_file, vectors_file = workspace
+        rc = main(
+            [
+                "cluster",
+                "--trace",
+                str(trace_file),
+                "--vectors",
+                str(vectors_file),
+                "--min-size",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modularity" in out
+        assert "Cluster" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestPresets:
+    def test_minimal_preset_simulation(self, tmp_path, capsys):
+        out = tmp_path / "mini.csv"
+        rc = main(
+            [
+                "simulate",
+                "--out",
+                str(out),
+                "--preset",
+                "minimal",
+                "--days",
+                "2",
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "packets" in text
+
+    def test_quiet_preset_has_empty_labels(self, tmp_path):
+        out = tmp_path / "quiet.csv"
+        rc = main(
+            ["simulate", "--out", str(out), "--preset", "quiet", "--days", "2"]
+        )
+        assert rc == 0
+        labels = (tmp_path / "quiet.csv.labels.csv").read_text()
+        assert labels.strip() == "src_ip,label"
+
+    def test_unknown_preset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--out",
+                    str(tmp_path / "x.csv"),
+                    "--preset",
+                    "bogus",
+                ]
+            )
+
+    def test_config_document_simulation(self, tmp_path):
+        import json
+
+        config = {
+            "days": 2,
+            "seed": 1,
+            "actors": [
+                {
+                    "name": "a",
+                    "senders": {"kind": "subnet24", "count": 5},
+                    "schedule": {"kind": "continuous", "rate_per_day": 30},
+                    "ports": {"head": [["80/tcp", 1.0]]},
+                }
+            ],
+        }
+        config_file = tmp_path / "scenario.json"
+        config_file.write_text(json.dumps(config))
+        out = tmp_path / "custom.csv"
+        rc = main(
+            ["simulate", "--out", str(out), "--config", str(config_file)]
+        )
+        assert rc == 0
+        assert out.exists()

@@ -1,0 +1,114 @@
+"""Tests for repro.core.inspection."""
+
+import numpy as np
+import pytest
+
+from repro.core.inspection import inspect_clusters, port_jaccard
+from repro.trace.packet import TCP
+
+
+class TestInspectClusters:
+    def test_profiles_cover_all_clusters(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        profiles = inspect_clusters(
+            small_bundle.trace,
+            fitted_darkvec.embedding.tokens,
+            result.communities,
+        )
+        assert len(profiles) == result.n_clusters
+        total = sum(p.size for p in profiles)
+        assert total == len(fitted_darkvec.embedding)
+
+    def test_sorted_by_size(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        profiles = inspect_clusters(
+            small_bundle.trace,
+            fitted_darkvec.embedding.tokens,
+            result.communities,
+        )
+        sizes = [p.size for p in profiles]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_label_composition(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        labels = small_bundle.truth.labels_for(small_bundle.trace)
+        profiles = inspect_clusters(
+            small_bundle.trace,
+            fitted_darkvec.embedding.tokens,
+            result.communities,
+            labels=labels,
+        )
+        for profile in profiles:
+            assert sum(profile.label_composition.values()) == profile.size
+            assert profile.dominant_label in profile.label_composition
+
+    def test_min_size_filters(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        profiles = inspect_clusters(
+            small_bundle.trace,
+            fitted_darkvec.embedding.tokens,
+            result.communities,
+            min_size=5,
+        )
+        assert all(p.size >= 5 for p in profiles)
+
+    def test_top_ports_shares_sum_below_one(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        profiles = inspect_clusters(
+            small_bundle.trace,
+            fitted_darkvec.embedding.tokens,
+            result.communities,
+            top_ports=3,
+        )
+        for profile in profiles:
+            total = sum(share for _, share in profile.top_ports)
+            assert 0 < total <= 1.0 + 1e-9
+            assert len(profile.top_ports) <= 3
+
+    def test_subnet_counts(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        profiles = inspect_clusters(
+            small_bundle.trace,
+            fitted_darkvec.embedding.tokens,
+            result.communities,
+        )
+        for profile in profiles:
+            assert 1 <= profile.n_subnets16 <= profile.n_subnets24 <= profile.size
+
+    def test_port_share_lookup(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        profiles = inspect_clusters(
+            small_bundle.trace,
+            fitted_darkvec.embedding.tokens,
+            result.communities,
+        )
+        top_name, top_share = profiles[0].top_ports[0]
+        assert profiles[0].port_share(top_name) == top_share
+        assert profiles[0].port_share("1/tcp") in (0.0, profiles[0].port_share("1/tcp"))
+
+    def test_misaligned_raises(self, small_bundle):
+        with pytest.raises(ValueError):
+            inspect_clusters(small_bundle.trace, np.array([0, 1]), np.array([0]))
+
+
+class TestPortJaccard:
+    def test_identical_groups(self, small_bundle):
+        senders = small_bundle.sender_indices_of("engin_umich")
+        assert port_jaccard(small_bundle.trace, senders, senders) == 1.0
+
+    def test_disjoint_port_groups(self, small_bundle):
+        engin = small_bundle.sender_indices_of("engin_umich")  # 53/udp only
+        smb = small_bundle.sender_indices_of("unknown3_smb")  # 445/tcp mostly
+        score = port_jaccard(small_bundle.trace, engin, smb)
+        assert score < 0.2
+
+    def test_censys_shifts_low_overlap(self, small_bundle):
+        """The staggered Censys shifts scan mostly disjoint port sets."""
+        trace = small_bundle.trace
+        senders = small_bundle.sender_indices_of("censys")
+        subgroups = small_bundle.actor_subgroups["censys"]
+        a = senders[subgroups[: len(senders)] == 0]
+        b = senders[subgroups[: len(senders)] == 3]
+        if len(a) and len(b):
+            score = port_jaccard(trace, a, b)
+            assert score < 0.55

@@ -1,0 +1,96 @@
+"""Tests for repro.core.pipeline, config, and filtering."""
+
+import numpy as np
+import pytest
+
+from repro.core import DarkVec, DarkVecConfig, active_filter, coverage
+from repro.services.domain import DomainServiceMap
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = DarkVecConfig()
+        assert config.service == "domain"
+        assert config.vector_size == 50
+        assert config.context == 25
+        assert config.delta_t == 3600.0
+        assert config.min_packets == 10
+
+    def test_invalid_service_name(self):
+        with pytest.raises(ValueError):
+            DarkVecConfig(service="bogus")
+
+    def test_custom_service_map_accepted(self, small_trace):
+        config = DarkVecConfig(service=DomainServiceMap())
+        assert config.resolve_service_map(small_trace).n_services == 15
+
+    def test_resolvers(self, small_trace):
+        assert DarkVecConfig(service="single").resolve_service_map(
+            small_trace
+        ).n_services == 1
+        auto = DarkVecConfig(service="auto", auto_top_n=5).resolve_service_map(
+            small_trace
+        )
+        assert auto.n_services == 6
+
+
+class TestFiltering:
+    def test_active_filter_threshold(self, small_trace):
+        active = active_filter(small_trace, 10)
+        counts = small_trace.packet_counts()
+        assert (counts[active] >= 10).all()
+
+    def test_coverage_increases_with_training_window(self, small_trace):
+        evaluation = small_trace.last_days(1.0)
+        short = coverage(small_trace.first_days(1.0), evaluation)
+        full = coverage(small_trace, evaluation)
+        assert 0.0 <= short <= full <= 1.0
+        assert full > 0.3
+
+    def test_coverage_requires_shared_table(self, small_trace, tiny_trace):
+        with pytest.raises(ValueError):
+            coverage(small_trace, tiny_trace)
+
+
+class TestDarkVecPipeline:
+    def test_fit_builds_embedding(self, fitted_darkvec, small_trace):
+        embedding = fitted_darkvec.embedding
+        active = small_trace.active_senders(10)
+        assert embedding is not None
+        assert set(embedding.tokens.tolist()) <= set(active.tolist())
+        assert embedding.vector_size == 50
+
+    def test_analyse_before_fit_raises(self):
+        darkvec = DarkVec()
+        with pytest.raises(RuntimeError):
+            darkvec.cluster()
+
+    def test_evaluation_rows_subset(self, fitted_darkvec):
+        rows_last_day = fitted_darkvec.evaluation_rows(1.0)
+        rows_all = fitted_darkvec.evaluation_rows(None)
+        assert len(rows_last_day) <= len(rows_all)
+        assert len(rows_all) == len(fitted_darkvec.embedding)
+
+    def test_evaluate_recovers_labels(self, fitted_darkvec, small_bundle):
+        report = fitted_darkvec.evaluate(small_bundle.truth, k=7)
+        # Even on the tiny test trace (4% scale, 6 days, 6 epochs),
+        # well-coordinated classes separate clearly.
+        assert report.accuracy > 0.3
+        assert report.per_class["Engin-umich"].recall >= 0.8
+
+    def test_cluster_result(self, fitted_darkvec):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        assert result.n_clusters > 3
+        assert 0.0 < result.modularity <= 1.0
+        assert len(result.communities) == len(fitted_darkvec.embedding)
+
+    def test_cluster_finds_engin_group(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        embedding = fitted_darkvec.embedding
+        rows = embedding.rows_of(small_bundle.sender_indices_of("engin_umich"))
+        rows = rows[rows >= 0]
+        if len(rows) >= 3:
+            # The Engin-Umich senders share one community.
+            communities = result.communities[rows]
+            dominant_share = np.bincount(communities).max() / len(communities)
+            assert dominant_share >= 0.8

@@ -1,0 +1,140 @@
+"""Tests for repro.corpus."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.document import Corpus, Sentence, _one_sided_pairs
+from repro.corpus.windows import window_indices
+from repro.services.domain import DomainServiceMap
+from repro.services.single import SingleServiceMap
+
+
+class TestWindowIndices:
+    def test_basic_binning(self):
+        idx = window_indices(np.array([0.0, 10.0, 3599.0, 3600.0]), 0.0, 3600.0)
+        assert idx.tolist() == [0, 0, 0, 1]
+
+    def test_before_start_raises(self):
+        with pytest.raises(ValueError):
+            window_indices(np.array([-1.0]), 0.0, 10.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            window_indices(np.array([1.0]), 0.0, 0.0)
+
+    @given(
+        st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=50),
+        st.floats(1.0, 1e5),
+    )
+    def test_window_contains_timestamp(self, times, delta):
+        times_arr = np.sort(np.array(times))
+        idx = window_indices(times_arr, 0.0, delta)
+        assert np.all(idx * delta <= times_arr)
+        assert np.all(times_arr < (idx + 1) * delta + 1e-6 * delta)
+
+
+class TestSentenceAndCorpus:
+    def test_sentence_length(self):
+        s = Sentence(tokens=np.array([1, 2, 3]), service_id=0, window=0)
+        assert len(s) == 3
+
+    def test_sentence_must_be_1d(self):
+        with pytest.raises(ValueError):
+            Sentence(tokens=np.zeros((2, 2)), service_id=0, window=0)
+
+    def test_corpus_counters(self):
+        corpus = Corpus(
+            sentences=[
+                Sentence(np.array([1, 1, 2]), 0, 0),
+                Sentence(np.array([2, 3]), 1, 0),
+            ]
+        )
+        assert corpus.n_tokens == 5
+        assert corpus.vocabulary_size == 3
+        assert corpus.token_counts() == {1: 2, 2: 2, 3: 1}
+
+    def test_sentence_length_stats(self):
+        corpus = Corpus(
+            sentences=[Sentence(np.array([1]), 0, 0), Sentence(np.array([1, 2, 3]), 0, 1)]
+        )
+        stats = corpus.sentence_length_stats()
+        assert stats == {"min": 1.0, "mean": 2.0, "max": 3.0}
+
+    def test_skipgram_count_matches_bruteforce(self):
+        def brute(n, c):
+            return sum(min(i, c) + min(n - 1 - i, c) for i in range(n))
+
+        for n in (2, 5, 10, 60):
+            for c in (1, 3, 25):
+                corpus = Corpus(
+                    sentences=[Sentence(np.arange(n), 0, 0)]
+                )
+                assert corpus.skipgram_count(c) == brute(n, c), (n, c)
+
+    @given(st.integers(2, 500), st.integers(1, 100))
+    def test_one_sided_pairs_property(self, n, c):
+        assert _one_sided_pairs(n, c) == sum(min(i, c) for i in range(n))
+
+
+class TestCorpusBuilder:
+    def test_tokens_conserved(self, tiny_trace):
+        builder = CorpusBuilder(SingleServiceMap(), delta_t=100.0)
+        corpus = builder.build(tiny_trace)
+        assert corpus.n_tokens == len(tiny_trace)
+
+    def test_sentences_time_ordered(self, tiny_trace):
+        builder = CorpusBuilder(SingleServiceMap(), delta_t=1e6)
+        corpus = builder.build(tiny_trace)
+        assert len(corpus) == 1
+        # Tokens appear in packet time order.
+        assert corpus.sentences[0].tokens.tolist() == tiny_trace.senders.tolist()
+
+    def test_delta_t_splits_sentences(self, tiny_trace):
+        builder = CorpusBuilder(SingleServiceMap(), delta_t=5.0)
+        corpus = builder.build(tiny_trace)
+        assert len(corpus) == 2  # timestamps 0-9 with dT=5
+
+    def test_services_split_sentences(self, tiny_trace):
+        builder = CorpusBuilder(DomainServiceMap(), delta_t=1e6)
+        corpus = builder.build(tiny_trace)
+        services = {s.service_id for s in corpus.sentences}
+        assert len(services) >= 4  # Telnet, SMB, HTTP, SSH, DNS
+
+    def test_keep_senders_filter(self, tiny_trace):
+        builder = CorpusBuilder(SingleServiceMap(), delta_t=1e6)
+        corpus = builder.build(tiny_trace, keep_senders=np.array([0]))
+        assert corpus.n_tokens == 5
+        assert set(np.unique(corpus.sentences[0].tokens)) == {0}
+
+    def test_empty_trace(self):
+        from repro.trace.packet import Trace
+
+        corpus = CorpusBuilder(SingleServiceMap()).build(Trace.empty())
+        assert len(corpus) == 0
+        assert corpus.n_tokens == 0
+
+    def test_explicit_t_start(self, tiny_trace):
+        builder = CorpusBuilder(SingleServiceMap(), delta_t=5.0)
+        corpus = builder.build(tiny_trace, t_start=-1.0)
+        windows = {s.window for s in corpus.sentences}
+        assert windows == {0, 1, 2}
+
+    def test_invalid_delta_t(self):
+        with pytest.raises(ValueError):
+            CorpusBuilder(SingleServiceMap(), delta_t=-1.0)
+
+    def test_real_trace_structure(self, small_trace):
+        builder = CorpusBuilder(DomainServiceMap(), delta_t=3600.0)
+        active = small_trace.active_senders(10)
+        corpus = builder.build(small_trace, keep_senders=active)
+        assert corpus.n_tokens > 0
+        # All tokens are active senders.
+        active_set = set(active.tolist())
+        for sentence in corpus.sentences[:50]:
+            assert set(sentence.tokens.tolist()) <= active_set
+        # Window ids fit within the trace span.
+        max_window = max(s.window for s in corpus.sentences)
+        assert max_window <= int(small_trace.duration_days * 24) + 1

@@ -1,0 +1,49 @@
+"""Documentation coverage: every public item carries a docstring.
+
+The repository promises doc comments on every public module, class and
+function; this test walks the package and enforces it.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" not in module_info.name:
+            names.append(module_info.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _public_modules())
+def test_module_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", _public_modules())
+def test_public_members_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module_name:
+            continue  # re-exported from elsewhere
+        if not inspect.getdoc(member):
+            missing.append(name)
+        elif inspect.isclass(member):
+            for method_name, method in vars(member).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not inspect.getdoc(method):
+                    missing.append(f"{name}.{method_name}")
+    assert not missing, f"{module_name}: undocumented public items: {missing}"

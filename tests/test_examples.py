@@ -1,0 +1,58 @@
+"""Smoke checks for the example scripts.
+
+Running the examples end-to-end takes minutes, so the test suite only
+verifies that each script parses, imports its dependencies, and exposes
+a ``main`` callable guarded by ``__main__``.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    functions = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions, f"{path.name} lacks a main()"
+    has_guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    )
+    assert has_guard, f"{path.name} lacks an __main__ guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Importing the module must not raise (main() is not executed)."""
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert callable(module.main)
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "cluster_discovery.py",
+        "extend_ground_truth.py",
+        "compare_baselines.py",
+        "transfer_darknets.py",
+        "visualize_embedding.py",
+    } <= names

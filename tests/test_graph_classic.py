@@ -1,0 +1,99 @@
+"""Tests for repro.graph.classic (k-Means, DBSCAN, agglomerative)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.classic import (
+    cosine_agglomerative,
+    cosine_dbscan,
+    cosine_kmeans,
+)
+
+
+@pytest.fixture()
+def three_blobs():
+    rng = np.random.default_rng(0)
+    directions = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+    vectors = np.vstack(
+        [d + rng.normal(0, 0.05, size=(15, 3)) for d in directions]
+    )
+    truth = np.repeat(np.arange(3), 15)
+    return vectors, truth
+
+
+def _partition_matches(labels, truth):
+    """Every true cluster maps to exactly one predicted label."""
+    for t in np.unique(truth):
+        if len(np.unique(labels[truth == t])) != 1:
+            return False
+    return len(np.unique(labels)) == len(np.unique(truth))
+
+
+class TestCosineKmeans:
+    def test_recovers_blobs(self, three_blobs):
+        vectors, truth = three_blobs
+        labels = cosine_kmeans(vectors, 3, seed=1)
+        assert _partition_matches(labels, truth)
+
+    def test_deterministic_for_seed(self, three_blobs):
+        vectors, _ = three_blobs
+        a = cosine_kmeans(vectors, 3, seed=5)
+        b = cosine_kmeans(vectors, 3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_k_equals_n(self, three_blobs):
+        vectors, _ = three_blobs
+        labels = cosine_kmeans(vectors[:5], 5, seed=0)
+        assert len(np.unique(labels)) == 5
+
+    def test_invalid_k(self, three_blobs):
+        vectors, _ = three_blobs
+        with pytest.raises(ValueError):
+            cosine_kmeans(vectors, 0)
+        with pytest.raises(ValueError):
+            cosine_kmeans(vectors[:2], 5)
+
+
+class TestCosineDbscan:
+    def test_recovers_blobs(self, three_blobs):
+        vectors, truth = three_blobs
+        labels = cosine_dbscan(vectors, eps=0.05, min_samples=3)
+        clustered = labels >= 0
+        assert clustered.mean() > 0.9
+        assert _partition_matches(labels[clustered], truth[clustered])
+
+    def test_isolated_points_are_noise(self, three_blobs):
+        vectors, _ = three_blobs
+        outlier = np.array([[-1.0, -1.0, -1.0]])
+        labels = cosine_dbscan(
+            np.vstack([vectors, outlier]), eps=0.05, min_samples=3
+        )
+        assert labels[-1] == -1
+
+    def test_validation(self, three_blobs):
+        vectors, _ = three_blobs
+        with pytest.raises(ValueError):
+            cosine_dbscan(vectors, eps=0.0)
+        with pytest.raises(ValueError):
+            cosine_dbscan(vectors, min_samples=0)
+
+
+class TestCosineAgglomerative:
+    def test_recovers_blobs(self, three_blobs):
+        vectors, truth = three_blobs
+        labels = cosine_agglomerative(vectors, 3)
+        assert _partition_matches(labels, truth)
+
+    def test_single_point(self):
+        labels = cosine_agglomerative(np.array([[1.0, 0.0]]), 1)
+        assert labels.tolist() == [0]
+
+    def test_n_clusters_respected(self, three_blobs):
+        vectors, _ = three_blobs
+        labels = cosine_agglomerative(vectors, 5)
+        assert len(np.unique(labels)) == 5
+
+    def test_invalid(self, three_blobs):
+        vectors, _ = three_blobs
+        with pytest.raises(ValueError):
+            cosine_agglomerative(vectors, 0)

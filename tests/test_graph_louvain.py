@@ -1,0 +1,116 @@
+"""Tests for repro.graph.louvain and repro.graph.modularity.
+
+The from-scratch Louvain is validated against networkx's reference
+implementation on random graphs: partitions need not be identical, but
+modularity must be comparable.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.louvain import louvain_communities
+from repro.graph.modularity import modularity
+
+
+def _adjacency_from_nx(graph):
+    adjacency = [dict() for _ in range(graph.number_of_nodes())]
+    for u, v, data in graph.edges(data=True):
+        w = data.get("weight", 1.0)
+        adjacency[u][v] = adjacency[u].get(v, 0.0) + w
+        adjacency[v][u] = adjacency[v].get(u, 0.0) + w
+    return adjacency
+
+
+def _two_cliques(n=8, bridge_weight=0.1):
+    graph = nx.Graph()
+    for base in (0, n):
+        for i in range(base, base + n):
+            for j in range(i + 1, base + n):
+                graph.add_edge(i, j, weight=1.0)
+    graph.add_edge(0, n, weight=bridge_weight)
+    return graph
+
+
+class TestModularity:
+    def test_perfect_split_positive(self):
+        graph = _two_cliques()
+        adjacency = _adjacency_from_nx(graph)
+        communities = np.array([0] * 8 + [1] * 8)
+        assert modularity(adjacency, communities) > 0.4
+
+    def test_single_community_zero_ish(self):
+        graph = _two_cliques()
+        adjacency = _adjacency_from_nx(graph)
+        communities = np.zeros(16, dtype=int)
+        assert modularity(adjacency, communities) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_networkx(self):
+        graph = nx.gnm_random_graph(30, 90, seed=2)
+        adjacency = _adjacency_from_nx(graph)
+        communities = np.array([i % 3 for i in range(30)])
+        sets = [set(np.flatnonzero(communities == c)) for c in range(3)]
+        ours = modularity(adjacency, communities)
+        theirs = nx.community.modularity(graph, sets)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_empty_graph(self):
+        assert modularity([{}, {}], np.array([0, 1])) == 0.0
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            modularity([{}], np.array([0, 1]))
+
+
+class TestLouvain:
+    def test_two_cliques_split(self):
+        adjacency = _adjacency_from_nx(_two_cliques())
+        communities = louvain_communities(adjacency, seed=0)
+        assert len(np.unique(communities)) == 2
+        assert len(set(communities[:8])) == 1
+        assert len(set(communities[8:])) == 1
+        assert communities[0] != communities[8]
+
+    def test_empty_graph(self):
+        assert len(louvain_communities([])) == 0
+
+    def test_disconnected_components_separate(self):
+        adjacency = [
+            {1: 1.0},
+            {0: 1.0},
+            {3: 1.0},
+            {2: 1.0},
+        ]
+        communities = louvain_communities(adjacency, seed=0)
+        assert communities[0] == communities[1]
+        assert communities[2] == communities[3]
+        assert communities[0] != communities[2]
+
+    def test_deterministic_for_seed(self):
+        graph = nx.gnm_random_graph(40, 120, seed=4)
+        adjacency = _adjacency_from_nx(graph)
+        a = louvain_communities(adjacency, seed=7)
+        b = louvain_communities(adjacency, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_contiguous_ids(self):
+        graph = nx.gnm_random_graph(40, 120, seed=4)
+        adjacency = _adjacency_from_nx(graph)
+        communities = louvain_communities(adjacency, seed=7)
+        ids = np.unique(communities)
+        assert ids.tolist() == list(range(len(ids)))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_modularity_comparable_to_networkx(self, seed):
+        graph = nx.planted_partition_graph(4, 15, 0.6, 0.05, seed=seed)
+        adjacency = _adjacency_from_nx(graph)
+        ours = louvain_communities(adjacency, seed=seed)
+        our_q = modularity(adjacency, ours)
+        nx_partition = nx.community.louvain_communities(graph, seed=seed)
+        nx_q = nx.community.modularity(graph, nx_partition)
+        assert our_q >= nx_q - 0.05
+
+    def test_isolated_nodes_fine(self):
+        adjacency = [{}, {}, {1: 0.0}]  # includes a zero-weight edge
+        communities = louvain_communities(adjacency, seed=0)
+        assert len(communities) == 3

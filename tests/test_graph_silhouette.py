@@ -1,0 +1,83 @@
+"""Tests for repro.graph.silhouette."""
+
+import numpy as np
+import pytest
+
+from repro.graph.silhouette import cluster_silhouettes, cosine_silhouette
+
+
+@pytest.fixture()
+def separated():
+    rng = np.random.default_rng(0)
+    a = np.array([1.0, 0.0]) + rng.normal(0, 0.01, size=(10, 2))
+    b = np.array([0.0, 1.0]) + rng.normal(0, 0.01, size=(10, 2))
+    vectors = np.vstack([a, b])
+    communities = np.array([0] * 10 + [1] * 10)
+    return vectors, communities
+
+
+class TestCosineSilhouette:
+    def test_well_separated_near_one(self, separated):
+        vectors, communities = separated
+        scores = cosine_silhouette(vectors, communities)
+        assert scores.min() > 0.9
+
+    def test_wrong_assignment_negative(self, separated):
+        vectors, communities = separated
+        flipped = communities.copy()
+        flipped[0] = 1  # point near (1,0) assigned to the (0,1) cluster
+        scores = cosine_silhouette(vectors, flipped)
+        assert scores[0] < 0
+
+    def test_range(self, separated):
+        vectors, communities = separated
+        scores = cosine_silhouette(vectors, communities)
+        assert scores.min() >= -1.0 and scores.max() <= 1.0
+
+    def test_single_cluster_zero(self):
+        vectors = np.random.default_rng(0).normal(size=(5, 3))
+        scores = cosine_silhouette(vectors, np.zeros(5, dtype=int))
+        assert np.allclose(scores, 0.0)
+
+    def test_singleton_cluster_zero(self, separated):
+        vectors, communities = separated
+        communities = communities.copy()
+        communities[0] = 99  # singleton
+        scores = cosine_silhouette(vectors, communities)
+        assert scores[0] == 0.0
+
+    def test_empty(self):
+        assert len(cosine_silhouette(np.empty((0, 2)), np.empty(0))) == 0
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            cosine_silhouette(np.zeros((3, 2)), np.zeros(2))
+
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(12, 4))
+        communities = rng.integers(0, 3, size=12)
+        # Make sure every cluster has >= 2 members.
+        communities[:6] = [0, 0, 1, 1, 2, 2]
+        scores = cosine_silhouette(vectors, communities)
+
+        units = vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+        distances = 1.0 - units @ units.T
+        for i in range(12):
+            own = communities == communities[i]
+            a = distances[i, own & (np.arange(12) != i)].mean()
+            b = min(
+                distances[i, communities == c].mean()
+                for c in set(communities)
+                if c != communities[i]
+            )
+            expected = (b - a) / max(a, b)
+            assert scores[i] == pytest.approx(expected, abs=1e-9)
+
+
+class TestClusterSilhouettes:
+    def test_per_cluster_means(self, separated):
+        vectors, communities = separated
+        means = cluster_silhouettes(vectors, communities)
+        assert set(means) == {0, 1}
+        assert all(v > 0.9 for v in means.values())

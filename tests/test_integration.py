@@ -1,0 +1,104 @@
+"""End-to-end integration tests: the full DarkVec story on one trace.
+
+These tests mirror the paper's workflow: simulate a darknet, train the
+embedding, verify the semi-supervised and unsupervised results have the
+qualitative shape the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DarkVec, DarkVecConfig, inspect_clusters
+from repro.graph.silhouette import cluster_silhouettes
+from repro.labels.groundtruth import UNKNOWN
+
+
+class TestSemiSupervised:
+    def test_coordinated_classes_recovered(self, fitted_darkvec, small_bundle):
+        report = fitted_darkvec.evaluate(small_bundle.truth, k=7)
+        # Bursty coordinated classes separate even on the tiny trace.
+        assert report.per_class["Engin-umich"].recall >= 0.8
+        assert report.per_class["Mirai-like"].recall >= 0.7
+
+    def test_stretchoid_hard_to_recover(self, fitted_darkvec, small_bundle):
+        """Incoherent senders have markedly lower recall (paper §6.3)."""
+        report = fitted_darkvec.evaluate(small_bundle.truth, k=7)
+        stretchoid = report.per_class["Stretchoid"].recall
+        coordinated = report.per_class["Engin-umich"].recall
+        assert stretchoid < coordinated
+
+    def test_single_service_worse(self, small_bundle, fitted_darkvec):
+        single = DarkVec(
+            DarkVecConfig(service="single", epochs=4, seed=3)
+        ).fit(small_bundle.trace)
+        single_report = single.evaluate(small_bundle.truth, k=7)
+        domain_report = fitted_darkvec.evaluate(small_bundle.truth, k=7)
+        assert single_report.accuracy < domain_report.accuracy
+
+
+class TestUnsupervised:
+    def test_clusters_align_with_actors(self, fitted_darkvec, small_bundle):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        embedding = fitted_darkvec.embedding
+        # Coordinated unlabeled groups should concentrate in few clusters.
+        for actor in ("unknown1_netbios", "unknown2_smtp"):
+            rows = embedding.rows_of(small_bundle.sender_indices_of(actor))
+            rows = rows[rows >= 0]
+            if len(rows) < 4:
+                continue
+            communities = result.communities[rows]
+            dominant = np.bincount(communities).max() / len(communities)
+            assert dominant > 0.6, actor
+
+    def test_silhouette_identifies_coherent_clusters(
+        self, fitted_darkvec, small_bundle
+    ):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        silhouettes = cluster_silhouettes(
+            fitted_darkvec.embedding.vectors, result.communities
+        )
+        assert max(silhouettes.values()) > 0.5
+
+    def test_inspection_recovers_port_fingerprints(
+        self, fitted_darkvec, small_bundle
+    ):
+        result = fitted_darkvec.cluster(k_prime=3, seed=0)
+        labels = small_bundle.truth.labels_for(small_bundle.trace)
+        profiles = inspect_clusters(
+            small_bundle.trace,
+            fitted_darkvec.embedding.tokens,
+            result.communities,
+            labels=labels,
+        )
+        # Some cluster must be dominated by NetBIOS traffic (unknown1
+        # or the Shadowserver C37 subgroup both fit that fingerprint).
+        netbios = [
+            p
+            for p in profiles
+            if p.top_ports and p.top_ports[0][0] == "137/udp"
+        ]
+        assert netbios, "no NetBIOS-dominated cluster found"
+        # unknown1's members concentrate into few clusters.
+        unknown1 = set(small_bundle.sender_indices_of("unknown1_netbios").tolist())
+        best_overlap = max(
+            len(set(p.senders.tolist()) & unknown1) / max(len(unknown1), 1)
+            for p in profiles
+        )
+        assert best_overlap > 0.5
+
+
+class TestReproducibility:
+    def test_full_pipeline_deterministic(self, small_bundle):
+        config = DarkVecConfig(service="domain", epochs=2, seed=9)
+        a = DarkVec(config).fit(small_bundle.trace)
+        b = DarkVec(config).fit(small_bundle.trace)
+        assert np.array_equal(a.embedding.vectors, b.embedding.vectors)
+        ca = a.cluster(k_prime=3, seed=1)
+        cb = b.cluster(k_prime=3, seed=1)
+        assert np.array_equal(ca.communities, cb.communities)
+
+    def test_unknown_majority_in_eval(self, fitted_darkvec, small_bundle):
+        embedding = fitted_darkvec.embedding
+        labels = small_bundle.truth.labels_for(small_bundle.trace)[embedding.tokens]
+        unknown_share = (labels == UNKNOWN).mean()
+        assert unknown_share > 0.3  # as in the paper, unknowns dominate

@@ -1,0 +1,116 @@
+"""Tests for repro.io (CSV round-trip, anonymisation)."""
+
+import numpy as np
+import pytest
+
+from repro.io.anonymize import anonymize_trace
+from repro.io.csvio import read_trace_csv, write_trace_csv
+from repro.trace.address import subnet16, subnet24
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_everything(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(tiny_trace, path)
+        loaded = read_trace_csv(path)
+        assert np.allclose(loaded.times, tiny_trace.times)
+        assert np.array_equal(loaded.sender_ips, tiny_trace.sender_ips)
+        assert np.array_equal(loaded.senders, tiny_trace.senders)
+        assert np.array_equal(loaded.ports, tiny_trace.ports)
+        assert np.array_equal(loaded.protos, tiny_trace.protos)
+        assert np.array_equal(loaded.receivers, tiny_trace.receivers)
+        assert np.array_equal(loaded.mirai, tiny_trace.mirai)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_trace_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text(
+            "timestamp,src_ip,dst_host,dst_port,proto,mirai\n1.0,10.0.0.1,2\n"
+        )
+        with pytest.raises(ValueError):
+            read_trace_csv(path)
+
+
+class TestAnonymize:
+    def test_structure_preserved(self, small_trace):
+        anonymized = anonymize_trace(small_trace, key="k1")
+        assert anonymized.n_packets == small_trace.n_packets
+        assert anonymized.n_senders == small_trace.n_senders
+        assert np.array_equal(anonymized.times, small_trace.times)
+        assert np.array_equal(anonymized.ports, small_trace.ports)
+        # Per-sender packet counts are a permutation of the originals.
+        assert sorted(anonymized.packet_counts()) == sorted(
+            small_trace.packet_counts()
+        )
+
+    def test_addresses_change(self, small_trace):
+        anonymized = anonymize_trace(small_trace, key="k1")
+        overlap = np.intersect1d(anonymized.sender_ips, small_trace.sender_ips)
+        assert len(overlap) < small_trace.n_senders / 10
+
+    def test_prefix_preservation(self, tiny_trace):
+        anonymized = anonymize_trace(tiny_trace, key="k2")
+        # The three tiny-trace senders share a /24: still true after.
+        assert len({subnet24(ip) for ip in anonymized.sender_ips}) == 1
+        assert len({subnet16(ip) for ip in anonymized.sender_ips}) == 1
+
+    def test_deterministic_per_key(self, tiny_trace):
+        a = anonymize_trace(tiny_trace, key="same")
+        b = anonymize_trace(tiny_trace, key="same")
+        c = anonymize_trace(tiny_trace, key="different")
+        assert np.array_equal(a.sender_ips, b.sender_ips)
+        assert not np.array_equal(a.sender_ips, c.sender_ips)
+
+    def test_packet_to_sender_mapping_consistent(self, tiny_trace):
+        anonymized = anonymize_trace(tiny_trace, key="k3")
+        # Packets that shared a sender still share one.
+        original_groups = {}
+        for i in range(len(tiny_trace)):
+            original_groups.setdefault(int(tiny_trace.senders[i]), []).append(i)
+        for packets in original_groups.values():
+            anon_senders = {int(anonymized.senders[i]) for i in packets}
+            assert len(anon_senders) == 1
+
+
+class TestNdjsonRoundtrip:
+    def test_roundtrip(self, tiny_trace, tmp_path):
+        from repro.io.ndjson import read_trace_ndjson, write_trace_ndjson
+
+        path = tmp_path / "trace.ndjson"
+        write_trace_ndjson(tiny_trace, path)
+        loaded = read_trace_ndjson(path)
+        assert np.allclose(loaded.times, tiny_trace.times)
+        assert np.array_equal(loaded.sender_ips, tiny_trace.sender_ips)
+        assert np.array_equal(loaded.ports, tiny_trace.ports)
+        assert np.array_equal(loaded.mirai, tiny_trace.mirai)
+
+    def test_gzip_roundtrip(self, tiny_trace, tmp_path):
+        from repro.io.ndjson import read_trace_ndjson, write_trace_ndjson
+
+        path = tmp_path / "trace.ndjson.gz"
+        write_trace_ndjson(tiny_trace, path)
+        assert path.stat().st_size > 0
+        loaded = read_trace_ndjson(path)
+        assert len(loaded) == len(tiny_trace)
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        from repro.io.ndjson import read_trace_ndjson
+
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"ts": 1.0}\n')
+        with pytest.raises(ValueError, match="bad.ndjson:1"):
+            read_trace_ndjson(path)
+
+    def test_blank_lines_skipped(self, tiny_trace, tmp_path):
+        from repro.io.ndjson import read_trace_ndjson, write_trace_ndjson
+
+        path = tmp_path / "trace.ndjson"
+        write_trace_ndjson(tiny_trace, path)
+        path.write_text(path.read_text() + "\n\n")
+        loaded = read_trace_ndjson(path)
+        assert len(loaded) == len(tiny_trace)

@@ -1,0 +1,75 @@
+"""Tests for repro.knn.report."""
+
+import numpy as np
+import pytest
+
+from repro.knn.report import classification_report
+from repro.labels.groundtruth import UNKNOWN
+
+
+class TestClassificationReport:
+    def test_perfect_prediction(self):
+        y = np.array(["A", "A", "B"], dtype=object)
+        report = classification_report(y, y)
+        assert report.accuracy == 1.0
+        assert report.per_class["A"].f_score == 1.0
+
+    def test_precision_recall_distinct(self):
+        y_true = np.array(["A", "A", "B", "B"], dtype=object)
+        y_pred = np.array(["A", "B", "B", "B"], dtype=object)
+        report = classification_report(y_true, y_pred)
+        a = report.per_class["A"]
+        b = report.per_class["B"]
+        assert a.precision == 1.0 and a.recall == 0.5
+        assert b.precision == pytest.approx(2 / 3)
+        assert b.recall == 1.0
+
+    def test_accuracy_excludes_unknown(self):
+        y_true = np.array(["A", UNKNOWN, UNKNOWN], dtype=object)
+        y_pred = np.array(["A", "A", "A"], dtype=object)
+        report = classification_report(y_true, y_pred)
+        assert report.accuracy == 1.0  # only the A row counts
+        assert report.per_class[UNKNOWN].recall == 0.0
+
+    def test_accuracy_is_weighted_recall(self):
+        y_true = np.array(["A"] * 3 + ["B"] * 1, dtype=object)
+        y_pred = np.array(["A", "A", "B", "B"], dtype=object)
+        report = classification_report(y_true, y_pred)
+        expected = (2 / 3 * 3 + 1.0 * 1) / 4
+        assert report.accuracy == pytest.approx(expected)
+
+    def test_support_counts(self):
+        y_true = np.array(["A", "A", "B"], dtype=object)
+        report = classification_report(y_true, y_true)
+        assert report.per_class["A"].support == 2
+        assert report.per_class["B"].support == 1
+
+    def test_unseen_class_zero_metrics(self):
+        y_true = np.array(["A"], dtype=object)
+        y_pred = np.array(["A"], dtype=object)
+        report = classification_report(y_true, y_pred, classes=("A", "B"))
+        assert report.per_class["B"].f_score == 0.0
+        assert report.per_class["B"].support == 0
+
+    def test_macro_f(self):
+        y_true = np.array(["A", "B"], dtype=object)
+        y_pred = np.array(["A", "A"], dtype=object)
+        report = classification_report(y_true, y_pred)
+        assert 0 < report.macro_f() < 1
+
+    def test_to_text_layout(self):
+        y_true = np.array(["A", UNKNOWN], dtype=object)
+        y_pred = np.array(["A", UNKNOWN], dtype=object)
+        text = classification_report(y_true, y_pred).to_text(title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Accuracy" in lines[-1]
+        # Unknown printed last, with dashes for precision/F.
+        unknown_line = [l for l in lines if l.startswith(UNKNOWN)][0]
+        assert "-" in unknown_line
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            classification_report(
+                np.array(["A"], dtype=object), np.array(["A", "B"], dtype=object)
+            )

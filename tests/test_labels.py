@@ -1,0 +1,70 @@
+"""Tests for repro.labels.groundtruth."""
+
+import numpy as np
+import pytest
+
+from repro.labels.groundtruth import GT_CLASSES, UNKNOWN, GroundTruth
+
+
+class TestGroundTruth:
+    def test_label_of_unlabeled_is_unknown(self):
+        truth = GroundTruth()
+        assert truth.label_of(12345) == UNKNOWN
+
+    def test_add_and_lookup(self):
+        truth = GroundTruth()
+        truth.add_class("Censys", np.array([1, 2, 3]))
+        assert truth.label_of(2) == "Censys"
+        assert truth.classes == ("Censys",)
+
+    def test_relabel_conflict_raises(self):
+        truth = GroundTruth()
+        truth.add_class("A", np.array([1]))
+        with pytest.raises(ValueError):
+            truth.add_class("B", np.array([1]))
+
+    def test_relabel_same_class_is_idempotent(self):
+        truth = GroundTruth()
+        truth.add_class("A", np.array([1]))
+        truth.add_class("A", np.array([1, 2]))
+        assert truth.label_of(1) == "A"
+
+    def test_explicit_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            GroundTruth(by_ip={1: UNKNOWN})
+        truth = GroundTruth()
+        with pytest.raises(ValueError):
+            truth.add_class(UNKNOWN, np.array([5]))
+
+    def test_labels_for_trace(self, tiny_trace):
+        truth = GroundTruth()
+        truth.add_class("Mirai-like", np.array([0x0A000001]))
+        labels = truth.labels_for(tiny_trace)
+        assert labels[0] == "Mirai-like"
+        assert labels[1] == UNKNOWN
+
+    def test_class_counts(self, tiny_trace):
+        truth = GroundTruth()
+        truth.add_class("X", np.array([0x0A000001, 0x0A000002]))
+        counts = truth.class_counts(tiny_trace, np.array([0, 1, 2]))
+        assert counts == {"X": 2, UNKNOWN: 1}
+
+    def test_merge(self):
+        a = GroundTruth({1: "A"})
+        b = GroundTruth({2: "B"})
+        merged = a.merge(b)
+        assert merged.label_of(1) == "A"
+        assert merged.label_of(2) == "B"
+        # Originals untouched.
+        assert b.label_of(1) == UNKNOWN
+
+    def test_merge_conflict_raises(self):
+        a = GroundTruth({1: "A"})
+        b = GroundTruth({1: "B"})
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_gt_classes_constant(self):
+        assert len(GT_CLASSES) == 9
+        assert "Mirai-like" in GT_CLASSES
+        assert UNKNOWN not in GT_CLASSES

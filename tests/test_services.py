@@ -1,0 +1,121 @@
+"""Tests for repro.services."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.services import (
+    AutoServiceMap,
+    DOMAIN_SERVICE_PORTS,
+    DomainServiceMap,
+    SingleServiceMap,
+    format_port,
+    parse_port,
+)
+from repro.trace.packet import ICMP, TCP, UDP
+
+
+class TestPortHelpers:
+    def test_format(self):
+        assert format_port(23, TCP) == "23/tcp"
+        assert format_port(53, UDP) == "53/udp"
+        assert format_port(0, ICMP) == "icmp"
+
+    def test_parse_roundtrip(self):
+        assert parse_port("23/tcp") == (23, TCP)
+        assert parse_port("icmp") == (0, ICMP)
+        assert parse_port(format_port(8080, TCP)) == (8080, TCP)
+
+    def test_parse_malformed(self):
+        for bad in ("23", "23/xxx", "99999/tcp", "-1/udp"):
+            with pytest.raises(ValueError):
+                parse_port(bad)
+
+
+class TestSingleService:
+    def test_everything_one_service(self):
+        service_map = SingleServiceMap()
+        ids = service_map.service_ids(
+            np.array([23, 80, 65535]), np.array([TCP, TCP, UDP])
+        )
+        assert (ids == 0).all()
+        assert service_map.names == ("all",)
+
+
+class TestAutoService:
+    def test_from_trace_top_ports(self, tiny_trace):
+        service_map = AutoServiceMap.from_trace(tiny_trace, n=2)
+        # 23/tcp (5 packets) and 445/tcp (2) are the top-2.
+        assert "23/tcp" in service_map.names
+        assert "445/tcp" in service_map.names
+        assert service_map.names[-1] == "other"
+        assert service_map.n_services == 3
+
+    def test_other_catches_rest(self, tiny_trace):
+        service_map = AutoServiceMap.from_trace(tiny_trace, n=2)
+        assert service_map.service_of(80, TCP) == "other"
+        assert service_map.service_of(23, TCP) == "23/tcp"
+
+    def test_proto_distinguished(self, tiny_trace):
+        service_map = AutoServiceMap.from_trace(tiny_trace, n=5)
+        # 53/udp is a top port; 53/tcp is not.
+        assert service_map.service_of(53, UDP) == "53/udp"
+        assert service_map.service_of(53, TCP) == "other"
+
+    def test_empty_trace_rejected(self):
+        from repro.trace.packet import Trace
+
+        with pytest.raises(ValueError):
+            AutoServiceMap.from_trace(Trace.empty())
+
+
+class TestDomainService:
+    def test_fifteen_services(self):
+        service_map = DomainServiceMap()
+        assert service_map.n_services == 15
+
+    def test_known_assignments(self):
+        service_map = DomainServiceMap()
+        assert service_map.service_of(23, TCP) == "Telnet"
+        assert service_map.service_of(22, TCP) == "SSH"
+        assert service_map.service_of(445, TCP) == "Netbios-SMB"
+        assert service_map.service_of(53, UDP) == "DNS"
+        assert service_map.service_of(137, UDP) == "Netbios"
+        assert service_map.service_of(443, TCP) == "HTTP"
+        assert service_map.service_of(25, TCP) == "Mail"
+        assert service_map.service_of(1433, UDP) == "Database"
+
+    def test_fallback_ranges(self):
+        service_map = DomainServiceMap()
+        assert service_map.service_of(7, TCP) == "Unknown System"
+        assert service_map.service_of(5060, TCP) == "Unknown User"
+        assert service_map.service_of(60_000, TCP) == "Unknown Ephemeral"
+
+    def test_icmp_goes_to_system(self):
+        assert DomainServiceMap().service_of(0, ICMP) == "Unknown System"
+
+    def test_proto_matters(self):
+        service_map = DomainServiceMap()
+        # 445/udp is NOT Netbios-SMB (only 445/tcp is in Table 7).
+        assert service_map.service_of(445, UDP) == "Unknown System"
+
+    def test_table7_is_consistent(self):
+        # Every listed port parses and no port is in two services.
+        seen = {}
+        for service, specs in DOMAIN_SERVICE_PORTS.items():
+            for spec in specs:
+                key = parse_port(spec)
+                assert key not in seen, f"{spec} in {service} and {seen.get(key)}"
+                seen[key] = service
+        assert len(seen) == 100  # Table 7 lists exactly 100 port specs
+
+    @given(
+        st.integers(0, 65_535),
+        st.sampled_from([TCP, UDP]),
+    )
+    def test_totality_property(self, port, proto):
+        """Every (port, proto) pair maps to exactly one valid service."""
+        for service_map in (DomainServiceMap(), SingleServiceMap()):
+            ids = service_map.service_ids(np.array([port]), np.array([proto]))
+            assert 0 <= ids[0] < service_map.n_services

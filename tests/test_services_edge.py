@@ -1,0 +1,71 @@
+"""Edge cases for the service maps."""
+
+import numpy as np
+import pytest
+
+from repro.services.auto import AutoServiceMap
+from repro.services.domain import DomainServiceMap
+from repro.trace.packet import TCP, UDP, Trace
+
+
+def _trace(ports, protos=None):
+    n = len(ports)
+    return Trace.from_events(
+        times=np.arange(n, dtype=float),
+        sender_ips_per_packet=np.arange(n, dtype=np.uint64) + 1,
+        ports=np.array(ports),
+        protos=np.full(n, TCP) if protos is None else np.array(protos),
+        receivers=np.zeros(n, dtype=np.uint8),
+        mirai=np.zeros(n, dtype=bool),
+    )
+
+
+class TestAutoServiceEdges:
+    def test_n_larger_than_distinct_ports(self):
+        trace = _trace([80, 80, 443])
+        service_map = AutoServiceMap.from_trace(trace, n=10)
+        # Only two distinct ports exist; map still total.
+        assert service_map.n_services == 3  # 2 ports + other
+        assert service_map.service_of(80, TCP) == "80/tcp"
+        assert service_map.service_of(22, TCP) == "other"
+
+    def test_single_packet_trace(self):
+        trace = _trace([23])
+        service_map = AutoServiceMap.from_trace(trace, n=1)
+        assert service_map.service_of(23, TCP) == "23/tcp"
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            AutoServiceMap.from_trace(_trace([1]), n=0)
+
+    def test_port_zero_handled(self):
+        trace = _trace([0, 0, 80])
+        service_map = AutoServiceMap.from_trace(trace, n=1)
+        assert service_map.service_of(0, TCP) == "0/tcp"
+
+    def test_same_port_different_proto_distinct_services(self):
+        trace = _trace([53, 53, 53], protos=[UDP, UDP, TCP])
+        service_map = AutoServiceMap.from_trace(trace, n=2)
+        assert service_map.service_of(53, UDP) != service_map.service_of(53, TCP)
+
+
+class TestDomainServiceEdges:
+    def test_port_boundaries(self):
+        service_map = DomainServiceMap()
+        assert service_map.service_of(1023, TCP) == "Unknown System"
+        assert service_map.service_of(1024, TCP) == "Unknown User"
+        assert service_map.service_of(49_151, TCP) == "Unknown User"
+        assert service_map.service_of(49_152, TCP) == "Unknown Ephemeral"
+        assert service_map.service_of(65_535, TCP) == "Unknown Ephemeral"
+
+    def test_vectorised_matches_scalar(self):
+        service_map = DomainServiceMap()
+        rng = np.random.default_rng(0)
+        ports = rng.integers(0, 65_536, size=500)
+        protos = rng.choice([TCP, UDP], size=500)
+        ids = service_map.service_ids(ports, protos)
+        for i in range(0, 500, 37):
+            assert (
+                service_map.names[ids[i]]
+                == service_map.service_of(int(ports[i]), int(protos[i]))
+            )

@@ -1,0 +1,123 @@
+"""Tests for repro.trace.actors."""
+
+import numpy as np
+import pytest
+
+from repro.trace.actors import ActorGroup, PortProfile
+from repro.trace.packet import ICMP, SECONDS_PER_DAY, TCP, UDP
+from repro.trace.schedule import ContinuousSchedule, StaggeredSchedule
+from repro.utils.rng import make_rng
+
+
+class TestPortProfile:
+    def test_head_shares_respected(self):
+        profile = PortProfile(
+            head=((23, TCP, 0.9),), tail_ports=((80, TCP), (443, TCP))
+        )
+        ports, protos = profile.sample(make_rng(0), 20_000)
+        share_23 = (ports == 23).mean()
+        assert 0.88 < share_23 < 0.92
+        assert set(np.unique(ports)) <= {23, 80, 443}
+
+    def test_uniform_profile(self):
+        profile = PortProfile.uniform([(1, TCP), (2, TCP), (3, TCP)])
+        ports, _ = profile.sample(make_rng(0), 9_000)
+        counts = np.bincount(ports)[1:4]
+        assert counts.min() > 2_700
+
+    def test_head_only_profile(self):
+        profile = PortProfile(head=((53, UDP, 1.0),))
+        ports, protos = profile.sample(make_rng(0), 100)
+        assert (ports == 53).all()
+        assert (protos == UDP).all()
+
+    def test_icmp_pseudo_port(self):
+        profile = PortProfile(head=((0, ICMP, 1.0),))
+        ports, protos = profile.sample(make_rng(0), 10)
+        assert (ports == 0).all()
+        assert (protos == ICMP).all()
+
+    def test_icmp_with_nonzero_port_rejected(self):
+        with pytest.raises(ValueError):
+            PortProfile(head=((5, ICMP, 1.0),))
+
+    def test_overweight_head_rejected(self):
+        with pytest.raises(ValueError):
+            PortProfile(head=((1, TCP, 0.7), (2, TCP, 0.5)))
+
+    def test_underweight_head_without_tail_rejected(self):
+        with pytest.raises(ValueError):
+            PortProfile(head=((1, TCP, 0.5),))
+
+    def test_n_ports_deduplicates(self):
+        profile = PortProfile(
+            head=((1, TCP, 0.5),), tail_ports=((1, TCP), (2, TCP))
+        )
+        assert profile.n_ports == 2
+
+    def test_random_tail_sorted_unique(self):
+        tail = PortProfile.random_tail(make_rng(0), 50, TCP)
+        ports = [p for p, _ in tail]
+        assert ports == sorted(ports)
+        assert len(set(ports)) == 50
+
+
+class TestActorGroup:
+    def _actor(self, **overrides):
+        params = dict(
+            name="test",
+            label="TestClass",
+            addresses=np.arange(100, 110, dtype=np.uint32),
+            schedule=ContinuousSchedule(rate_per_day=10.0),
+            profile=PortProfile(head=((23, TCP, 1.0),)),
+        )
+        params.update(overrides)
+        return ActorGroup(**params)
+
+    def test_render_columns_aligned(self):
+        events = self._actor().render(make_rng(0), 0.0, 5 * SECONDS_PER_DAY)
+        n = len(events["times"])
+        assert n > 0
+        for key in ("ips", "ports", "protos", "mirai"):
+            assert len(events[key]) == n
+
+    def test_all_ips_from_pool(self):
+        actor = self._actor()
+        events = actor.render(make_rng(0), 0.0, 5 * SECONDS_PER_DAY)
+        assert set(np.unique(events["ips"])) <= set(actor.addresses.tolist())
+
+    def test_mirai_probability_extremes(self):
+        always = self._actor(mirai_probability=1.0).render(
+            make_rng(0), 0.0, SECONDS_PER_DAY
+        )
+        never = self._actor(mirai_probability=0.0).render(
+            make_rng(0), 0.0, SECONDS_PER_DAY
+        )
+        assert always["mirai"].all()
+        assert not never["mirai"].any()
+
+    def test_subgroup_profiles_used(self):
+        actor = self._actor(
+            profile=None,
+            schedule=StaggeredSchedule(2, 40.0),
+            subgroup_profiles=(
+                PortProfile(head=((1, TCP, 1.0),)),
+                PortProfile(head=((2, TCP, 1.0),)),
+            ),
+        )
+        events = actor.render(make_rng(0), 0.0, 10 * SECONDS_PER_DAY)
+        assert {1, 2} == set(np.unique(events["ports"]))
+
+    def test_needs_profile(self):
+        with pytest.raises(ValueError):
+            self._actor(profile=None)
+
+    def test_needs_addresses(self):
+        with pytest.raises(ValueError):
+            self._actor(addresses=np.empty(0, dtype=np.uint32))
+
+    def test_render_deterministic(self):
+        a = self._actor().render(make_rng(5), 0.0, SECONDS_PER_DAY)
+        b = self._actor().render(make_rng(5), 0.0, SECONDS_PER_DAY)
+        assert np.array_equal(a["times"], b["times"])
+        assert np.array_equal(a["ports"], b["ports"])

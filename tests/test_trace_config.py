@@ -1,0 +1,152 @@
+"""Tests for declarative scenario configuration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.trace.config import (
+    ScenarioConfigError,
+    scenario_from_dict,
+    scenario_from_json,
+)
+from repro.trace.generator import generate_trace
+from repro.trace.packet import TCP, UDP
+
+
+def _minimal_doc():
+    return {
+        "days": 2,
+        "seed": 5,
+        "backscatter": 50,
+        "actors": [
+            {
+                "name": "botnet",
+                "label": "Mirai-like",
+                "senders": {"kind": "scattered", "count": 30},
+                "schedule": {"kind": "continuous", "rate_per_day": 20},
+                "ports": {"head": [["23/tcp", 0.9]], "tail": {"count": 10}},
+                "mirai_probability": 1.0,
+            },
+            {
+                "name": "dns_bursts",
+                "senders": {"kind": "subnet24", "count": 5},
+                "schedule": {
+                    "kind": "burst",
+                    "n_bursts": 3,
+                    "burst_duration_s": 600,
+                    "packets_per_burst": 8,
+                },
+                "ports": {"head": [["53/udp", 1.0]]},
+            },
+        ],
+    }
+
+
+class TestScenarioFromDict:
+    def test_builds_and_generates(self):
+        scenario = scenario_from_dict(_minimal_doc())
+        assert scenario.days == 2
+        assert [a.name for a in scenario.actors] == ["botnet", "dns_bursts"]
+        bundle = generate_trace(scenario)
+        assert bundle.trace.n_packets > 100
+        assert set(bundle.truth.by_ip.values()) == {"Mirai-like"}
+
+    def test_port_spec_parsed(self):
+        scenario = scenario_from_dict(_minimal_doc())
+        profile = scenario.actor("dns_bursts").profile
+        assert profile.head == ((53, UDP, 1.0),)
+
+    def test_explicit_tail_ports(self):
+        doc = _minimal_doc()
+        doc["actors"][0]["ports"] = {
+            "head": [["23/tcp", 0.5]],
+            "tail": ["80/tcp", "443/tcp"],
+        }
+        scenario = scenario_from_dict(doc)
+        assert scenario.actor("botnet").profile.tail_ports == (
+            (80, TCP),
+            (443, TCP),
+        )
+
+    def test_gated_schedule(self):
+        doc = _minimal_doc()
+        doc["actors"][0]["schedule"] = {
+            "kind": "gated",
+            "base": {"kind": "continuous", "rate_per_day": 20},
+            "period_days": 1.0,
+            "duty": 0.5,
+        }
+        scenario = scenario_from_dict(doc)
+        from repro.trace.schedule import GatedSchedule
+
+        assert isinstance(scenario.actor("botnet").schedule, GatedSchedule)
+
+    def test_heterogeneity_knobs(self):
+        doc = _minimal_doc()
+        doc["actors"][0]["tail_fraction"] = 0.3
+        doc["actors"][0]["volume_sigma"] = 0.8
+        actor = scenario_from_dict(doc).actor("botnet")
+        assert actor.tail_fraction == 0.3
+        assert actor.volume_sigma == 0.8
+
+    def test_deterministic(self):
+        a = generate_trace(scenario_from_dict(_minimal_doc())).trace
+        b = generate_trace(scenario_from_dict(_minimal_doc())).trace
+        assert np.array_equal(a.times, b.times)
+
+
+class TestValidation:
+    def test_missing_actors(self):
+        with pytest.raises(ScenarioConfigError, match="at least one actor"):
+            scenario_from_dict({"days": 2})
+
+    def test_missing_name(self):
+        doc = _minimal_doc()
+        del doc["actors"][0]["name"]
+        with pytest.raises(ScenarioConfigError, match=r"actors\[0\]"):
+            scenario_from_dict(doc)
+
+    def test_unknown_schedule_kind(self):
+        doc = _minimal_doc()
+        doc["actors"][0]["schedule"] = {"kind": "quantum"}
+        with pytest.raises(ScenarioConfigError, match="unknown schedule kind"):
+            scenario_from_dict(doc)
+
+    def test_bad_schedule_params(self):
+        doc = _minimal_doc()
+        doc["actors"][0]["schedule"] = {"kind": "continuous", "rate_per_day": -1}
+        with pytest.raises(ScenarioConfigError, match=r"schedule"):
+            scenario_from_dict(doc)
+
+    def test_bad_port_spec(self):
+        doc = _minimal_doc()
+        doc["actors"][0]["ports"] = {"head": [["23/quic", 1.0]]}
+        with pytest.raises(ScenarioConfigError, match=r"ports\.head"):
+            scenario_from_dict(doc)
+
+    def test_bad_sender_kind(self):
+        doc = _minimal_doc()
+        doc["actors"][0]["senders"] = {"kind": "galaxy", "count": 5}
+        with pytest.raises(ScenarioConfigError, match="unknown sender pool"):
+            scenario_from_dict(doc)
+
+    def test_gated_needs_base(self):
+        doc = _minimal_doc()
+        doc["actors"][0]["schedule"] = {"kind": "gated", "duty": 0.5, "period_days": 1}
+        with pytest.raises(ScenarioConfigError, match="needs 'base'"):
+            scenario_from_dict(doc)
+
+
+class TestScenarioFromJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(_minimal_doc()))
+        scenario = scenario_from_json(path)
+        assert scenario.actor("botnet").n_senders == 30
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioConfigError, match="invalid JSON"):
+            scenario_from_json(path)

@@ -1,0 +1,71 @@
+"""Tests for repro.trace.flows."""
+
+import numpy as np
+import pytest
+
+from repro.trace.flows import aggregate_flows
+from repro.trace.packet import TCP, Trace
+
+
+def _trace(times, ips, ports, receivers=None):
+    n = len(times)
+    return Trace.from_events(
+        times=np.array(times, dtype=float),
+        sender_ips_per_packet=np.array(ips, dtype=np.uint64),
+        ports=np.array(ports),
+        protos=np.full(n, TCP),
+        receivers=np.zeros(n, dtype=np.uint8)
+        if receivers is None
+        else np.array(receivers),
+        mirai=np.zeros(n, dtype=bool),
+    )
+
+
+class TestAggregateFlows:
+    def test_same_key_within_timeout_merges(self):
+        trace = _trace([0, 10, 20], [1, 1, 1], [80, 80, 80])
+        flows = aggregate_flows(trace, timeout=60)
+        assert len(flows) == 1
+        assert flows.packets[0] == 3
+        assert flows.starts[0] == 0 and flows.ends[0] == 20
+
+    def test_gap_splits_flow(self):
+        trace = _trace([0, 10, 1000], [1, 1, 1], [80, 80, 80])
+        flows = aggregate_flows(trace, timeout=60)
+        assert len(flows) == 2
+        assert sorted(flows.packets.tolist()) == [1, 2]
+
+    def test_different_ports_split(self):
+        trace = _trace([0, 1, 2], [1, 1, 1], [80, 443, 80])
+        flows = aggregate_flows(trace, timeout=60)
+        assert len(flows) == 2
+
+    def test_different_receivers_split(self):
+        trace = _trace([0, 1], [1, 1], [80, 80], receivers=[5, 9])
+        flows = aggregate_flows(trace, timeout=60)
+        assert len(flows) == 2
+
+    def test_packet_conservation(self, small_trace):
+        flows = aggregate_flows(small_trace, timeout=300)
+        assert flows.n_packets == small_trace.n_packets
+
+    def test_flows_fewer_than_packets(self, small_trace):
+        flows = aggregate_flows(small_trace, timeout=3600)
+        assert len(flows) <= small_trace.n_packets
+
+    def test_sorted_by_start(self, small_trace):
+        flows = aggregate_flows(small_trace, timeout=300)
+        assert np.all(np.diff(flows.starts) >= 0)
+
+    def test_durations_nonnegative(self, small_trace):
+        flows = aggregate_flows(small_trace, timeout=300)
+        assert (flows.durations() >= 0).all()
+
+    def test_empty_trace(self):
+        flows = aggregate_flows(Trace.empty())
+        assert len(flows) == 0
+        assert flows.n_packets == 0
+
+    def test_invalid_timeout(self, small_trace):
+        with pytest.raises(ValueError):
+            aggregate_flows(small_trace, timeout=0)

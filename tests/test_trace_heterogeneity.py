@@ -1,0 +1,201 @@
+"""Tests for the fleet-realism features: gated/desync schedules and
+per-sender profile/volume heterogeneity."""
+
+import numpy as np
+import pytest
+
+from repro.trace.actors import ActorGroup, PortProfile
+from repro.trace.packet import SECONDS_PER_DAY, TCP
+from repro.trace.schedule import (
+    ChurnSchedule,
+    ContinuousSchedule,
+    DesyncPeriodicSchedule,
+    GatedSchedule,
+    PeriodicSchedule,
+)
+from repro.utils.rng import make_rng
+
+T0, T1 = 0.0, 10 * SECONDS_PER_DAY
+
+
+class TestGatedSchedule:
+    def test_events_only_in_duty_windows(self):
+        gated = GatedSchedule(
+            ContinuousSchedule(rate_per_day=50.0), period_days=1.0, duty=0.3
+        )
+        events = np.concatenate(gated.sample(make_rng(0), T0, T1, 10))
+        phase = (events % SECONDS_PER_DAY) / SECONDS_PER_DAY
+        assert phase.max() <= 0.3 + 1e-9
+
+    def test_phase_applied(self):
+        gated = GatedSchedule(
+            ContinuousSchedule(rate_per_day=50.0),
+            period_days=1.0,
+            duty=0.3,
+            phase=0.5,
+        )
+        events = np.concatenate(gated.sample(make_rng(0), T0, T1, 10))
+        phase = (events % SECONDS_PER_DAY) / SECONDS_PER_DAY
+        assert phase.min() >= 0.5 - 1e-9
+        assert phase.max() <= 0.8 + 1e-9
+
+    def test_thinning_reduces_volume(self):
+        base = ContinuousSchedule(rate_per_day=50.0)
+        gated = GatedSchedule(base, period_days=1.0, duty=0.4)
+        full = sum(len(e) for e in base.sample(make_rng(0), T0, T1, 20))
+        kept = sum(len(e) for e in gated.sample(make_rng(0), T0, T1, 20))
+        assert 0.25 * full < kept < 0.55 * full
+
+    def test_validation(self):
+        base = ContinuousSchedule(1.0)
+        with pytest.raises(ValueError):
+            GatedSchedule(base, period_days=0, duty=0.5)
+        with pytest.raises(ValueError):
+            GatedSchedule(base, period_days=1, duty=0.0)
+        with pytest.raises(ValueError):
+            GatedSchedule(base, period_days=1, duty=0.5, phase=1.0)
+
+
+class TestDesyncPeriodic:
+    def test_same_volume_as_synchronized(self):
+        sync = PeriodicSchedule(1.0, 0.4, 20.0)
+        desync = DesyncPeriodicSchedule(1.0, 0.4, 20.0)
+        v_sync = sum(len(e) for e in sync.sample(make_rng(0), T0, T1, 30))
+        v_desync = sum(len(e) for e in desync.sample(make_rng(0), T0, T1, 30))
+        assert abs(v_sync - v_desync) < 0.25 * max(v_sync, v_desync)
+
+    def test_phases_differ_across_senders(self):
+        desync = DesyncPeriodicSchedule(1.0, 0.2, 40.0)
+        events = desync.sample(make_rng(0), T0, T1, 12)
+        starts = []
+        for e in events:
+            if len(e):
+                starts.append(np.min((e % SECONDS_PER_DAY)))
+        # Senders wake at different times of day.
+        assert np.std(starts) > 3600.0
+
+    def test_group_column_activity_flat(self):
+        """Unlike PeriodicSchedule, the group as a whole never rests."""
+        desync = DesyncPeriodicSchedule(1.0, 0.3, 60.0)
+        events = np.concatenate(desync.sample(make_rng(1), T0, T1, 60))
+        hours = ((events % SECONDS_PER_DAY) // 3600).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert counts.min() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesyncPeriodicSchedule(0.0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            DesyncPeriodicSchedule(1.0, 1.5, 1.0)
+        with pytest.raises(ValueError):
+            DesyncPeriodicSchedule(1.0, 0.5, 0.0)
+
+
+def _actor(**overrides):
+    params = dict(
+        name="t",
+        label=None,
+        addresses=np.arange(100, 160, dtype=np.uint32),
+        schedule=ContinuousSchedule(rate_per_day=30.0),
+        profile=PortProfile(
+            head=((23, TCP, 0.5),),
+            tail_ports=tuple((1000 + i, TCP) for i in range(100)),
+        ),
+    )
+    params.update(overrides)
+    return ActorGroup(**params)
+
+
+class TestPerSenderHeterogeneity:
+    def test_tail_fraction_limits_ports_per_sender(self):
+        actor = _actor(tail_fraction=0.1)
+        events = actor.render(make_rng(0), T0, T1)
+        # Each sender can reach at most 1 head + 10 tail ports.
+        for ip in np.unique(events["ips"])[:10]:
+            ports = set(events["ports"][events["ips"] == ip].tolist())
+            assert len(ports) <= 11
+
+    def test_tail_slices_differ_between_senders(self):
+        actor = _actor(tail_fraction=0.1)
+        events = actor.render(make_rng(0), T0, T1)
+        ips = np.unique(events["ips"])
+        port_sets = [
+            frozenset(events["ports"][events["ips"] == ip].tolist()) - {23}
+            for ip in ips[:10]
+        ]
+        assert len(set(port_sets)) > 1
+
+    def test_head_jitter_changes_shares(self):
+        actor = _actor(head_jitter=0.8, tail_fraction=1.0)
+        events = actor.render(make_rng(0), T0, T1)
+        shares = []
+        for ip in np.unique(events["ips"]):
+            mask = events["ips"] == ip
+            if mask.sum() >= 50:
+                shares.append((events["ports"][mask] == 23).mean())
+        assert np.std(shares) > 0.05
+
+    def test_volume_sigma_spreads_packet_counts(self):
+        uniform = _actor(volume_sigma=0.0).render(make_rng(0), T0, T1)
+        varied = _actor(volume_sigma=1.2).render(make_rng(0), T0, T1)
+
+        def spread(events):
+            _, counts = np.unique(events["ips"], return_counts=True)
+            return counts.std() / counts.mean()
+
+        assert spread(varied) > spread(uniform) * 2
+
+    def test_volume_sigma_only_removes_packets(self):
+        base = _actor(volume_sigma=0.0).render(make_rng(0), T0, T1)
+        thinned = _actor(volume_sigma=1.0).render(make_rng(0), T0, T1)
+        assert len(thinned["times"]) <= len(base["times"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _actor(tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            _actor(tail_fraction=1.5)
+        with pytest.raises(ValueError):
+            _actor(head_jitter=-0.1)
+        with pytest.raises(ValueError):
+            _actor(volume_sigma=-0.1)
+
+
+class TestScheduleRangeProperty:
+    """All schedules emit events strictly inside the horizon."""
+
+    def test_all_schedule_types_in_range(self):
+        from repro.trace.schedule import (
+            BurstSchedule,
+            ChurnSchedule,
+            CompositeSchedule,
+            ContinuousSchedule,
+            DesyncPeriodicSchedule,
+            GatedSchedule,
+            PeriodicSchedule,
+            RampSchedule,
+            SparseSchedule,
+            StaggeredSchedule,
+        )
+
+        schedules = [
+            ContinuousSchedule(5.0),
+            ChurnSchedule(5.0, 2.0),
+            PeriodicSchedule(1.0, 0.5, 10.0),
+            DesyncPeriodicSchedule(1.0, 0.5, 10.0),
+            BurstSchedule(3, 600.0, 5.0, include_final_day=True),
+            SparseSchedule(10.0, 2.0, shared_anchor_prob=0.5, n_anchors=4),
+            StaggeredSchedule(3, 10.0),
+            RampSchedule(10.0),
+            GatedSchedule(ContinuousSchedule(10.0), 1.0, 0.5),
+            CompositeSchedule(ContinuousSchedule(2.0), ContinuousSchedule(2.0)),
+        ]
+        for seed in (0, 1):
+            rng = make_rng(seed)
+            for schedule in schedules:
+                events = schedule.sample(rng, T0, T1, 7)
+                assert len(events) == 7, type(schedule).__name__
+                for sender_events in events:
+                    if len(sender_events):
+                        assert sender_events.min() >= T0, type(schedule).__name__
+                        assert sender_events.max() <= T1, type(schedule).__name__

@@ -1,0 +1,81 @@
+"""Tests for repro.trace.presets."""
+
+import numpy as np
+import pytest
+
+from repro.core import DarkVec, DarkVecConfig
+from repro.graph.silhouette import cluster_silhouettes
+from repro.trace.generator import generate_trace
+from repro.trace.packet import TCP
+from repro.trace.presets import (
+    PRESETS,
+    minimal_scenario,
+    quiet_scenario,
+    worm_outbreak_scenario,
+)
+
+
+class TestMinimalScenario:
+    def test_generates_quickly_with_structure(self):
+        bundle = generate_trace(minimal_scenario(days=3, seed=1))
+        trace = bundle.trace
+        assert 1_000 < trace.n_packets < 100_000
+        assert set(bundle.truth.by_ip.values()) == {"Mirai-like", "Engin-umich"}
+
+    def test_pipeline_separates_botnet(self):
+        bundle = generate_trace(minimal_scenario(days=6, seed=1))
+        darkvec = DarkVec(
+            DarkVecConfig(service="domain", epochs=8, seed=2)
+        ).fit(bundle.trace)
+        report = darkvec.evaluate(bundle.truth, k=5)
+        assert report.per_class["Mirai-like"].recall > 0.6
+
+
+class TestWormScenario:
+    def test_ramp_is_visible(self):
+        bundle = generate_trace(worm_outbreak_scenario(days=8, seed=2))
+        trace = bundle.trace
+        worm = bundle.sender_indices_of("worm")
+        sub = trace.from_senders(worm)
+        mid = (trace.start_time + trace.end_time) / 2
+        early = len(sub.between(-np.inf, mid))
+        late = len(sub.between(mid, np.inf))
+        assert late > early * 2
+
+    def test_adb_port_dominates_worm(self):
+        bundle = generate_trace(worm_outbreak_scenario(days=6, seed=2))
+        sub = bundle.trace.from_senders(bundle.sender_indices_of("worm"))
+        counts = sub.port_packet_counts()
+        assert counts.get((5555, TCP), 0) / max(len(sub), 1) > 0.6
+
+
+class TestQuietScenario:
+    def test_no_ground_truth(self):
+        bundle = generate_trace(quiet_scenario(days=3, seed=3))
+        assert not bundle.truth.by_ip
+
+    def test_no_strong_spurious_clusters(self):
+        """On structure-free data, detected clusters are weak."""
+        bundle = generate_trace(quiet_scenario(days=4, seed=3))
+        darkvec = DarkVec(
+            DarkVecConfig(service="domain", epochs=4, seed=1)
+        ).fit(bundle.trace)
+        if len(darkvec.embedding) < 30:
+            pytest.skip("too few active senders")
+        result = darkvec.cluster(k_prime=3, seed=0)
+        silhouettes = cluster_silhouettes(
+            darkvec.embedding.vectors, result.communities
+        )
+        # Most clusters are incoherent; strong spurious cohesion would
+        # mean the pipeline invents structure.
+        strong = [
+            c
+            for c, s in silhouettes.items()
+            if s > 0.6 and (result.communities == c).sum() >= 10
+        ]
+        assert len(strong) <= max(1, len(silhouettes) // 4)
+
+
+class TestPresetRegistry:
+    def test_all_presets_listed(self):
+        assert set(PRESETS) == {"default", "minimal", "worm", "quiet"}

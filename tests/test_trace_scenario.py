@@ -1,0 +1,116 @@
+"""Tests for repro.trace.scenario and repro.trace.generator."""
+
+import numpy as np
+import pytest
+
+from repro.labels.groundtruth import GT_CLASSES
+from repro.trace.generator import generate_trace
+from repro.trace.packet import SECONDS_PER_DAY, TCP
+from repro.trace.scenario import Scenario, default_scenario, scaled
+
+
+class TestScaled:
+    def test_small_groups_kept(self):
+        assert scaled(50, 0.1) == 50
+        assert scaled(110, 0.01) == 110
+
+    def test_large_groups_scaled_with_floor(self):
+        assert scaled(7351, 0.1) == 735
+        assert scaled(525, 0.1) == 110  # floored
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled(100, 0.0)
+
+
+class TestDefaultScenario:
+    def test_actor_names_unique(self):
+        scenario = default_scenario(scale=0.05, days=3)
+        names = [a.name for a in scenario.actors]
+        assert len(set(names)) == len(names)
+
+    def test_all_gt_classes_present(self):
+        scenario = default_scenario(scale=0.05, days=3)
+        labels = {a.label for a in scenario.actors if a.label}
+        assert labels == set(GT_CLASSES)
+
+    def test_actor_lookup(self):
+        scenario = default_scenario(scale=0.05, days=3)
+        assert scenario.actor("mirai").label == "Mirai-like"
+        with pytest.raises(KeyError):
+            scenario.actor("nope")
+
+    def test_mirai_fingerprint_configuration(self):
+        scenario = default_scenario(scale=0.05, days=3)
+        assert scenario.actor("mirai").mirai_probability == 1.0
+        assert scenario.actor("mirai_nofp").mirai_probability == 0.0
+
+    def test_scale_changes_large_populations_only(self):
+        small = default_scenario(scale=0.05, days=3)
+        large = default_scenario(scale=0.3, days=3)
+        assert small.actor("mirai").n_senders < large.actor("mirai").n_senders
+        assert small.actor("engin_umich").n_senders == 10
+        assert large.actor("engin_umich").n_senders == 10
+
+    def test_invalid_scenario_params(self):
+        with pytest.raises(ValueError):
+            Scenario(actors=[], n_backscatter=-1)
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        scenario = default_scenario(scale=0.02, days=2, seed=5, backscatter_scale=0.005)
+        a = generate_trace(scenario).trace
+        b = generate_trace(scenario).trace
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.sender_ips, b.sender_ips)
+        assert np.array_equal(a.ports, b.ports)
+
+    def test_bundle_structure(self, small_bundle):
+        trace = small_bundle.trace
+        assert trace.n_packets > 1000
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.start_time >= small_bundle.trace.times[0]
+
+    def test_ground_truth_covers_gt_classes(self, small_bundle):
+        labels = set(small_bundle.truth.by_ip.values())
+        assert labels == set(GT_CLASSES)
+
+    def test_unlabeled_actors_not_in_truth(self, small_bundle):
+        truth_ips = set(small_bundle.truth.by_ip)
+        for name in ("unknown1_netbios", "noise_smb", "noise_like_mirai", "mirai_nofp"):
+            actor_ips = set(small_bundle.actor_ips[name].tolist())
+            assert not (actor_ips & truth_ips)
+
+    def test_mirai_fingerprint_only_on_mirai(self, small_bundle):
+        trace = small_bundle.trace
+        mirai_ips = set(small_bundle.actor_ips["mirai"].tolist())
+        flagged_senders = np.unique(trace.senders[trace.mirai])
+        flagged_ips = set(trace.sender_ips[flagged_senders].tolist())
+        assert flagged_ips <= mirai_ips
+
+    def test_mirai_targets_telnet(self, small_bundle):
+        trace = small_bundle.trace
+        rows = small_bundle.sender_indices_of("mirai")
+        sub = trace.from_senders(rows)
+        counts = sub.port_packet_counts()
+        share_23 = counts.get((23, TCP), 0) / max(len(sub), 1)
+        assert share_23 > 0.8
+
+    def test_sender_indices_of_roundtrip(self, small_bundle):
+        rows = small_bundle.sender_indices_of("engin_umich")
+        ips = small_bundle.trace.sender_ips[rows]
+        assert set(ips.tolist()) <= set(
+            small_bundle.actor_ips["engin_umich"].tolist()
+        )
+
+    def test_backscatter_mostly_below_filter(self, small_bundle):
+        trace = small_bundle.trace
+        counts = trace.packet_counts()
+        observed = trace.observed_senders()
+        share_active = (counts[observed] >= 10).mean()
+        assert share_active < 0.6  # most senders are occasional
+
+    def test_horizon_respected(self, small_bundle):
+        trace = small_bundle.trace
+        assert trace.duration_days <= 6.0 + 1e-6

@@ -1,0 +1,173 @@
+"""Tests for repro.trace.schedule."""
+
+import numpy as np
+import pytest
+
+from repro.trace.packet import SECONDS_PER_DAY
+from repro.trace.schedule import (
+    BurstSchedule,
+    ChurnSchedule,
+    CompositeSchedule,
+    ContinuousSchedule,
+    PeriodicSchedule,
+    RampSchedule,
+    SparseSchedule,
+    StaggeredSchedule,
+)
+from repro.utils.rng import make_rng
+
+T0 = 0.0
+T1 = 10 * SECONDS_PER_DAY
+
+
+def _sample(schedule, n=20, seed=0):
+    return schedule.sample(make_rng(seed), T0, T1, n)
+
+
+def _all_in_range(events):
+    return all(((e >= T0) & (e <= T1)).all() for e in events if len(e))
+
+
+class TestContinuous:
+    def test_rate_controls_volume(self):
+        low = sum(len(e) for e in _sample(ContinuousSchedule(1.0)))
+        high = sum(len(e) for e in _sample(ContinuousSchedule(20.0)))
+        assert high > low * 5
+
+    def test_in_range(self):
+        assert _all_in_range(_sample(ContinuousSchedule(5.0)))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ContinuousSchedule(0.0)
+
+    def test_expected_count_close(self):
+        events = _sample(ContinuousSchedule(10.0), n=100, seed=1)
+        mean = np.mean([len(e) for e in events])
+        assert 80 < mean < 120  # 10/day * 10 days
+
+
+class TestChurn:
+    def test_lifetimes_limit_span(self):
+        events = _sample(ChurnSchedule(50.0, mean_lifetime_days=1.0), n=50)
+        spans = [e.max() - e.min() for e in events if len(e) > 1]
+        assert np.median(spans) < 5 * SECONDS_PER_DAY
+
+    def test_in_range(self):
+        assert _all_in_range(_sample(ChurnSchedule(5.0, 2.0)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ChurnSchedule(0, 1)
+        with pytest.raises(ValueError):
+            ChurnSchedule(1, 0)
+
+
+class TestPeriodic:
+    def test_activity_only_in_duty_windows(self):
+        schedule = PeriodicSchedule(period_days=1.0, duty=0.25, rate_per_active_day=80)
+        events = np.concatenate(_sample(schedule, n=10))
+        phase = (events % SECONDS_PER_DAY) / SECONDS_PER_DAY
+        assert phase.max() <= 0.25 + 1e-9
+
+    def test_phase_shifts_windows(self):
+        schedule = PeriodicSchedule(1.0, 0.25, 80, phase=0.5)
+        events = np.concatenate(_sample(schedule, n=10))
+        phase = (events % SECONDS_PER_DAY) / SECONDS_PER_DAY
+        assert phase.min() >= 0.5 - 1e-9
+        assert phase.max() <= 0.75 + 1e-9
+
+    def test_full_duty_equals_continuous_coverage(self):
+        schedule = PeriodicSchedule(1.0, 1.0, 10)
+        events = np.concatenate(_sample(schedule, n=50))
+        assert len(events) > 0
+        assert _all_in_range([events])
+
+    def test_invalid_duty(self):
+        with pytest.raises(ValueError):
+            PeriodicSchedule(1.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            PeriodicSchedule(1.0, 1.5, 10)
+
+
+class TestBurst:
+    def test_events_inside_bursts(self):
+        schedule = BurstSchedule(n_bursts=3, burst_duration_s=600, packets_per_burst=5)
+        events = _sample(schedule, n=8)
+        # All senders share burst times: the union of events clusters
+        # into at most 3 windows of 600 s.
+        merged = np.sort(np.concatenate(events))
+        gaps = np.diff(merged)
+        assert (gaps > 600).sum() <= 2
+
+    def test_final_day_pinning(self):
+        schedule = BurstSchedule(4, 600, 5, include_final_day=True)
+        events = np.concatenate(_sample(schedule, n=5))
+        assert events.max() >= T1 - SECONDS_PER_DAY
+
+    def test_every_sender_fires(self):
+        events = _sample(BurstSchedule(2, 60, 3), n=10)
+        assert all(len(e) >= 2 for e in events)
+
+
+class TestSparse:
+    def test_senders_independent_without_anchors(self):
+        a, b = _sample(SparseSchedule(10, 2), n=2)
+        # Distinct senders should not share event times.
+        assert not np.intersect1d(np.round(a), np.round(b)).size > 5
+
+    def test_shared_anchors_create_overlap(self):
+        schedule = SparseSchedule(
+            30, 1, shared_anchor_prob=1.0, n_anchors=3, jitter_s=1.0
+        )
+        events = _sample(schedule, n=10)
+        merged = np.sort(np.concatenate(events))
+        gaps = np.diff(merged)
+        # Everything concentrates near 3 anchors.
+        assert (gaps > 3600).sum() <= 2
+
+    def test_anchor_validation(self):
+        with pytest.raises(ValueError):
+            SparseSchedule(5, 2, shared_anchor_prob=0.5, n_anchors=0)
+
+
+class TestStaggered:
+    def test_subgroup_assignment_balanced(self):
+        schedule = StaggeredSchedule(4, 10)
+        groups = schedule.subgroups(20)
+        assert np.bincount(groups).tolist() == [5, 5, 5, 5]
+
+    def test_subgroups_active_in_own_slice(self):
+        schedule = StaggeredSchedule(2, 50)
+        events = _sample(schedule, n=4)
+        mid = (T0 + T1) / 2
+        assert all(e.max() <= mid for e in events[:2] if len(e))
+        assert all(e.min() >= mid for e in events[2:] if len(e))
+
+
+class TestRamp:
+    def test_late_heavy(self):
+        events = np.concatenate(_sample(RampSchedule(20.0, growth=3.0), n=50))
+        first_half = (events < (T0 + T1) / 2).sum()
+        second_half = (events >= (T0 + T1) / 2).sum()
+        assert second_half > first_half * 1.5
+
+
+class TestComposite:
+    def test_merges_components(self):
+        composite = CompositeSchedule(
+            ContinuousSchedule(5.0), ContinuousSchedule(5.0)
+        )
+        merged = _sample(composite, n=30)
+        single = _sample(ContinuousSchedule(5.0), n=30)
+        assert sum(len(e) for e in merged) > sum(len(e) for e in single) * 1.5
+
+    def test_subgroups_from_component(self):
+        composite = CompositeSchedule(
+            StaggeredSchedule(3, 10), ContinuousSchedule(1.0)
+        )
+        assert composite.subgroups(9).max() == 2
+
+    def test_needs_two_components(self):
+        with pytest.raises(ValueError):
+            CompositeSchedule(ContinuousSchedule(1.0))

@@ -1,0 +1,101 @@
+"""Tests for repro.trace.validation."""
+
+import numpy as np
+import pytest
+
+from repro.trace.packet import ICMP, TCP, Trace
+from repro.trace.validation import validate_trace
+
+
+class TestValidateTrace:
+    def test_clean_trace_ok(self, small_trace):
+        report = validate_trace(small_trace)
+        assert report.ok
+        assert "OK" in report.to_text()
+
+    def test_empty_trace_warns(self):
+        report = validate_trace(Trace.empty())
+        assert report.ok
+        assert any("empty" in w for w in report.warnings)
+
+    def test_unsorted_times_error(self, tiny_trace):
+        # Constructing such a Trace normally raises; build via __new__
+        # to simulate corrupted external data.
+        broken = object.__new__(Trace)
+        broken.times = tiny_trace.times[::-1].copy()
+        broken.senders = tiny_trace.senders
+        broken.ports = tiny_trace.ports
+        broken.protos = tiny_trace.protos
+        broken.receivers = tiny_trace.receivers
+        broken.mirai = tiny_trace.mirai
+        broken.sender_ips = tiny_trace.sender_ips
+        broken._packet_counts = None
+        report = validate_trace(broken)
+        assert not report.ok
+        assert any("sorted" in e for e in report.errors)
+
+    def test_bad_port_error(self, tiny_trace):
+        broken = object.__new__(Trace)
+        broken.times = tiny_trace.times
+        broken.senders = tiny_trace.senders
+        broken.ports = tiny_trace.ports.copy()
+        broken.ports[0] = 70_000
+        broken.protos = tiny_trace.protos
+        broken.receivers = tiny_trace.receivers
+        broken.mirai = tiny_trace.mirai
+        broken.sender_ips = tiny_trace.sender_ips
+        broken._packet_counts = None
+        report = validate_trace(broken)
+        assert any("ports" in e for e in report.errors)
+
+    def test_unknown_protocol_error(self, tiny_trace):
+        broken = object.__new__(Trace)
+        broken.times = tiny_trace.times
+        broken.senders = tiny_trace.senders
+        broken.ports = tiny_trace.ports
+        broken.protos = tiny_trace.protos.copy()
+        broken.protos[0] = 99
+        broken.receivers = tiny_trace.receivers
+        broken.mirai = tiny_trace.mirai
+        broken.sender_ips = tiny_trace.sender_ips
+        broken._packet_counts = None
+        report = validate_trace(broken)
+        assert any("protocol" in e for e in report.errors)
+
+    def test_icmp_with_port_warns(self):
+        trace = Trace.from_events(
+            times=np.array([1.0]),
+            sender_ips_per_packet=np.array([10], dtype=np.uint64),
+            ports=np.array([0]),
+            protos=np.array([ICMP]),
+            receivers=np.array([0]),
+            mirai=np.array([False]),
+        )
+        clean = validate_trace(trace)
+        assert clean.ok and not clean.warnings
+
+        broken = object.__new__(Trace)
+        broken.times = trace.times
+        broken.senders = trace.senders
+        broken.ports = np.array([80])
+        broken.protos = trace.protos
+        broken.receivers = trace.receivers
+        broken.mirai = trace.mirai
+        broken.sender_ips = trace.sender_ips
+        broken._packet_counts = None
+        report = validate_trace(broken)
+        assert report.ok  # warning only
+        assert any("ICMP" in w for w in report.warnings)
+
+    def test_silent_table_entries_warn(self):
+        trace = Trace.from_events(
+            times=np.array([1.0]),
+            sender_ips_per_packet=np.array([10], dtype=np.uint64),
+            ports=np.array([80]),
+            protos=np.array([TCP]),
+            receivers=np.array([0]),
+            mirai=np.array([False]),
+            extra_sender_ips=np.array([99], dtype=np.uint64),
+        )
+        report = validate_trace(trace)
+        assert any("no packets" in w for w in report.warnings)

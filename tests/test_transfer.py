@@ -1,0 +1,191 @@
+"""Tests for repro.transfer (vantage split, alignment, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.transfer.align import (
+    apply_alignment,
+    orthogonal_alignment,
+    shared_tokens,
+)
+from repro.transfer.evaluate import (
+    adjusted_rand_index,
+    cross_embedding_report,
+    neighborhood_overlap,
+    partition_agreement,
+)
+from repro.transfer.vantage import split_vantage_points
+from repro.w2v.keyedvectors import KeyedVectors
+
+
+class TestVantageSplit:
+    def test_partition_is_complete_and_disjoint(self, small_trace):
+        view_a, view_b = split_vantage_points(small_trace)
+        assert len(view_a) + len(view_b) == len(small_trace)
+        assert view_a.receivers.max() < 128 if len(view_a) else True
+        assert view_b.receivers.min() >= 128 if len(view_b) else True
+
+    def test_shared_sender_table(self, small_trace):
+        view_a, view_b = split_vantage_points(small_trace)
+        assert view_a.n_senders == small_trace.n_senders
+        assert view_b.n_senders == small_trace.n_senders
+
+    def test_active_senders_overlap(self, small_trace):
+        """Scanners hit the whole /24: both views see most actives."""
+        view_a, view_b = split_vantage_points(small_trace)
+        active_a = set(view_a.active_senders(5).tolist())
+        active_b = set(view_b.active_senders(5).tolist())
+        union = active_a | active_b
+        assert len(active_a & active_b) > 0.5 * len(union)
+
+    def test_invalid_boundary(self, small_trace):
+        with pytest.raises(ValueError):
+            split_vantage_points(small_trace, boundary=0)
+
+
+def _rotated_pair(seed=0, n=60, v=8, noise=0.0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n, v))
+    rotation = np.linalg.qr(rng.normal(size=(v, v)))[0]
+    other = base @ rotation + noise * rng.normal(size=(n, v))
+    tokens = np.arange(n, dtype=np.int64)
+    return (
+        KeyedVectors(tokens=tokens, vectors=base),
+        KeyedVectors(tokens=tokens, vectors=other),
+    )
+
+
+class TestAlignment:
+    def test_recovers_rotation(self):
+        source, target = _rotated_pair()
+        rotation = orthogonal_alignment(source, target)
+        aligned = apply_alignment(source, rotation)
+        # After alignment, cosine similarity of matching rows is ~1.
+        a = aligned.unit_vectors
+        b = target.unit_vectors
+        assert (a * b).sum(axis=1).min() > 0.99
+
+    def test_rotation_is_orthogonal(self):
+        source, target = _rotated_pair(seed=3)
+        rotation = orthogonal_alignment(source, target)
+        assert np.allclose(rotation @ rotation.T, np.eye(rotation.shape[0]), atol=1e-8)
+
+    def test_shared_tokens(self):
+        a = KeyedVectors(tokens=np.array([1, 2, 3]), vectors=np.eye(3))
+        b = KeyedVectors(tokens=np.array([2, 3, 4]), vectors=np.eye(3))
+        assert shared_tokens(a, b).tolist() == [2, 3]
+
+    def test_too_few_anchors_raises(self):
+        a = KeyedVectors(tokens=np.array([1, 2]), vectors=np.random.rand(2, 8))
+        b = KeyedVectors(tokens=np.array([1, 2]), vectors=np.random.rand(2, 8))
+        with pytest.raises(ValueError):
+            orthogonal_alignment(a, b)
+
+    def test_dimension_mismatch_raises(self):
+        a = KeyedVectors(tokens=np.array([1]), vectors=np.zeros((1, 4)))
+        b = KeyedVectors(tokens=np.array([1]), vectors=np.zeros((1, 8)))
+        with pytest.raises(ValueError):
+            orthogonal_alignment(a, b)
+
+
+class TestNeighborhoodOverlap:
+    def test_identical_embeddings_full_overlap(self):
+        source, _ = _rotated_pair()
+        assert neighborhood_overlap(source, source, k=5) == pytest.approx(1.0)
+
+    def test_rotated_embedding_full_overlap(self):
+        source, target = _rotated_pair()
+        # Rotation does not change neighbourhoods.
+        assert neighborhood_overlap(source, target, k=5) == pytest.approx(1.0)
+
+    def test_random_embeddings_low_overlap(self):
+        rng = np.random.default_rng(0)
+        tokens = np.arange(80, dtype=np.int64)
+        a = KeyedVectors(tokens=tokens, vectors=rng.normal(size=(80, 8)))
+        b = KeyedVectors(tokens=tokens, vectors=rng.normal(size=(80, 8)))
+        assert neighborhood_overlap(a, b, k=5) < 0.3
+
+    def test_needs_shared_senders(self):
+        a = KeyedVectors(tokens=np.array([1, 2, 3]), vectors=np.eye(3))
+        b = KeyedVectors(tokens=np.array([7, 8, 9]), vectors=np.eye(3))
+        with pytest.raises(ValueError):
+            neighborhood_overlap(a, b, k=2)
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_relabeled_partitions_equal(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([5, 5, 9, 9, 7, 7])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=500)
+        b = rng.integers(0, 5, size=500)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_partial_agreement_between(self):
+        a = np.array([0] * 10 + [1] * 10)
+        b = a.copy()
+        b[:3] = 1  # corrupt three assignments
+        score = adjusted_rand_index(a, b)
+        assert 0.2 < score < 1.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.array([0]), np.array([0, 1]))
+
+
+class TestPartitionAgreement:
+    def test_same_embedding_full_agreement(self):
+        rng = np.random.default_rng(1)
+        a = np.array([1.0, 0.0]) + rng.normal(0, 0.02, size=(20, 2))
+        b = np.array([0.0, 1.0]) + rng.normal(0, 0.02, size=(20, 2))
+        vectors = np.vstack([a, b])
+        keyed = KeyedVectors(
+            tokens=np.arange(40, dtype=np.int64), vectors=vectors
+        )
+        assert partition_agreement(keyed, keyed) == pytest.approx(1.0)
+
+    def test_rotation_invariant(self):
+        rng = np.random.default_rng(2)
+        a = np.array([1.0, 0.0, 0.0]) + rng.normal(0, 0.02, size=(15, 3))
+        b = np.array([0.0, 1.0, 0.0]) + rng.normal(0, 0.02, size=(15, 3))
+        vectors = np.vstack([a, b])
+        rotation = np.linalg.qr(rng.normal(size=(3, 3)))[0]
+        tokens = np.arange(30, dtype=np.int64)
+        k1 = KeyedVectors(tokens=tokens, vectors=vectors)
+        k2 = KeyedVectors(tokens=tokens, vectors=vectors @ rotation)
+        assert partition_agreement(k1, k2) == pytest.approx(1.0)
+
+    def test_too_few_shared_raises(self):
+        a = KeyedVectors(tokens=np.arange(3), vectors=np.eye(3))
+        with pytest.raises(ValueError):
+            partition_agreement(a, a)
+
+
+class TestCrossEmbeddingReport:
+    def test_perfect_transfer_on_identical_space(self):
+        rng = np.random.default_rng(1)
+        a = np.array([1.0, 0.0]) + rng.normal(0, 0.02, size=(20, 2))
+        b = np.array([0.0, 1.0]) + rng.normal(0, 0.02, size=(20, 2))
+        vectors = np.vstack([a, b])
+        tokens = np.arange(40, dtype=np.int64)
+        reference = KeyedVectors(tokens=tokens, vectors=vectors)
+        query = KeyedVectors(tokens=tokens, vectors=vectors.copy())
+        labels = {int(t): ("A" if t < 20 else "B") for t in tokens}
+        report = cross_embedding_report(reference, query, labels, tokens, k=3)
+        assert report.accuracy == 1.0
+
+    def test_unknown_query_token_raises(self):
+        reference = KeyedVectors(
+            tokens=np.arange(5, dtype=np.int64), vectors=np.random.rand(5, 3)
+        )
+        with pytest.raises(ValueError):
+            cross_embedding_report(
+                reference, reference, {}, np.array([99]), k=2
+            )

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import heatmap, line_chart, raster
+
+
+class TestLineChart:
+    def test_contains_points(self):
+        text = line_chart([0, 1, 2], [0, 1, 4], width=20, height=5)
+        assert "*" in text
+
+    def test_title_and_ranges(self):
+        text = line_chart([0, 10], [1, 2], title="T", x_label="d", y_label="v")
+        assert text.splitlines()[0] == "T"
+        assert "[0, 10]" in text
+        assert "[1, 2]" in text
+
+    def test_constant_series_ok(self):
+        text = line_chart([0, 1], [5, 5])
+        assert "*" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([], [])
+
+    def test_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], [1])
+
+
+class TestRaster:
+    def test_marks_active_cells(self):
+        matrix = np.zeros((3, 5), dtype=bool)
+        matrix[1, 2] = True
+        text = raster(matrix)
+        assert "#" in text
+        assert "." in text
+
+    def test_downsampling_preserves_any(self):
+        matrix = np.zeros((100, 300), dtype=bool)
+        matrix[50, 150] = True
+        text = raster(matrix, max_rows=10, max_cols=20)
+        assert "#" in text
+
+    def test_shape_reported(self):
+        text = raster(np.zeros((7, 9), dtype=bool))
+        assert "(7 senders x 9 time bins)" in text
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            raster(np.zeros(5, dtype=bool))
+
+
+class TestHeatmap:
+    def test_shading_monotone(self):
+        matrix = np.array([[0.0, 0.5, 1.0]])
+        text = heatmap(matrix, ["row"], ["a", "b", "c"])
+        row_line = [l for l in text.splitlines() if l.startswith("row")][0]
+        cells = row_line.split("|")[1]
+        shades = " .:-=+*#%@"
+        assert shades.index(cells[0]) <= shades.index(cells[1]) <= shades.index(cells[2])
+
+    def test_label_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros((2, 2)), ["one"], ["a", "b"])
+
+    def test_all_zero_matrix_ok(self):
+        text = heatmap(np.zeros((2, 2)), ["r1", "r2"], ["c1", "c2"])
+        assert "r1" in text

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.ecdf."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.ecdf import Ecdf, ecdf
+
+
+class TestEcdf:
+    def test_simple_sample(self):
+        e = ecdf(np.array([1, 2, 2, 3]))
+        assert e.at(1) == pytest.approx(0.25)
+        assert e.at(2) == pytest.approx(0.75)
+        assert e.at(3) == pytest.approx(1.0)
+
+    def test_below_minimum_is_zero(self):
+        e = ecdf(np.array([5.0, 6.0]))
+        assert e.at(4.9) == 0.0
+
+    def test_above_maximum_is_one(self):
+        e = ecdf(np.array([5.0, 6.0]))
+        assert e.at(100.0) == 1.0
+
+    def test_between_values_uses_left_step(self):
+        e = ecdf(np.array([1.0, 3.0]))
+        assert e.at(2.0) == pytest.approx(0.5)
+
+    def test_quantile_simple(self):
+        e = ecdf(np.array([1, 2, 3, 4]))
+        assert e.quantile(0.5) == 2.0
+        assert e.quantile(1.0) == 4.0
+
+    def test_quantile_zero_returns_minimum(self):
+        e = ecdf(np.array([3, 1, 2]))
+        assert e.quantile(0.0) == 1.0
+
+    def test_quantile_out_of_range_raises(self):
+        e = ecdf(np.array([1.0]))
+        with pytest.raises(ValueError):
+            e.quantile(1.5)
+
+    def test_empty_sample(self):
+        e = ecdf(np.array([]))
+        assert len(e) == 0
+        with pytest.raises(ValueError):
+            e.at(1.0)
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(ValueError):
+            ecdf(np.zeros((2, 2)))
+
+    def test_mismatched_arrays_raise(self):
+        with pytest.raises(ValueError):
+            Ecdf(values=np.array([1.0]), probabilities=np.array([0.5, 1.0]))
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    def test_probabilities_monotone_and_end_at_one(self, sample):
+        e = ecdf(np.array(sample, dtype=float))
+        assert np.all(np.diff(e.probabilities) > 0) or len(e) == 1
+        assert e.probabilities[-1] == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100),
+        st.floats(-1e6, 1e6, allow_nan=False),
+    )
+    def test_at_matches_naive_count(self, sample, x):
+        e = ecdf(np.array(sample))
+        naive = sum(1 for v in sample if v <= x) / len(sample)
+        assert e.at(x) == pytest.approx(naive)

@@ -1,0 +1,48 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import child_rng, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(5)
+        b = make_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestChildRng:
+    def test_deterministic_given_parent_state(self):
+        a = child_rng(make_rng(5), "actor-a").random(4)
+        b = child_rng(make_rng(5), "actor-a").random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_independent(self):
+        parent = make_rng(5)
+        a = child_rng(parent, "x")
+        parent2 = make_rng(5)
+        b = child_rng(parent2, "y")
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_integer_keys_accepted(self):
+        stream = child_rng(make_rng(0), 3, 4).random(3)
+        assert len(stream) == 3
+
+    def test_consuming_parent_changes_children(self):
+        parent = make_rng(5)
+        first = child_rng(parent, "k").random(3)
+        second = child_rng(parent, "k").random(3)
+        assert not np.array_equal(first, second)

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.tables and repro.utils.timer."""
+
+import time
+
+import pytest
+
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "count"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["n"], [[1], [100]])
+        rows = text.splitlines()[2:]
+        assert rows[0] == "  1"
+        assert rows[1] == "100"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.005
+        assert t.elapsed != first or t.elapsed >= 0
+
+    def test_exit_without_enter_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)

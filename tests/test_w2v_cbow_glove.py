@@ -1,0 +1,147 @@
+"""Tests for the CBOW architecture and the GloVe trainer."""
+
+import numpy as np
+import pytest
+
+from repro.w2v.glove import GloVe, cooccurrence_counts
+from repro.w2v.model import Word2Vec
+from repro.w2v.vocab import Vocabulary
+
+
+def _community_sentences(seed=0, n=300):
+    rng = np.random.default_rng(seed)
+    sentences = []
+    for _ in range(n):
+        g = rng.integers(0, 2)
+        sentences.append(
+            (rng.integers(0, 20, size=30) + g * 20).astype(np.int64)
+        )
+    return sentences
+
+
+class TestCbow:
+    def test_separates_communities(self):
+        keyed = Word2Vec(
+            vector_size=16, context=5, epochs=5, seed=3, architecture="cbow"
+        ).fit(_community_sentences())
+        units = keyed.unit_vectors
+        sims = units @ units.T
+        within = (sims[:20, :20].sum() - 20) / 380
+        across = sims[:20, 20:].mean()
+        assert within > across + 0.4
+
+    def test_deterministic(self):
+        sentences = _community_sentences(n=40)
+        a = Word2Vec(vector_size=8, epochs=1, seed=5, architecture="cbow").fit(
+            sentences
+        )
+        b = Word2Vec(vector_size=8, epochs=1, seed=5, architecture="cbow").fit(
+            sentences
+        )
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_differs_from_skipgram(self):
+        sentences = _community_sentences(n=40)
+        cbow = Word2Vec(vector_size=8, epochs=1, seed=5, architecture="cbow").fit(
+            sentences
+        )
+        sg = Word2Vec(
+            vector_size=8, epochs=1, seed=5, architecture="skipgram"
+        ).fit(sentences)
+        assert not np.array_equal(cbow.vectors, sg.vectors)
+
+    def test_invalid_architecture(self):
+        with pytest.raises(ValueError):
+            Word2Vec(architecture="transformer")
+
+    def test_finite_without_negatives(self):
+        keyed = Word2Vec(
+            vector_size=8, epochs=1, negative=0, architecture="cbow"
+        ).fit(_community_sentences(n=30))
+        assert np.isfinite(keyed.vectors).all()
+
+
+class TestCooccurrence:
+    def test_adjacent_pairs_weight_one(self):
+        vocab = Vocabulary.build([np.array([1, 2])])
+        rows, cols, counts = cooccurrence_counts(
+            [np.array([1, 2])], vocab, context=2
+        )
+        pairs = {(int(r), int(c)): x for r, c, x in zip(rows, cols, counts)}
+        assert pairs[(0, 1)] == pytest.approx(1.0)
+        assert pairs[(1, 0)] == pytest.approx(1.0)
+
+    def test_harmonic_distance_weighting(self):
+        vocab = Vocabulary.build([np.array([1, 2, 3])])
+        rows, cols, counts = cooccurrence_counts(
+            [np.array([1, 2, 3])], vocab, context=2
+        )
+        pairs = {(int(r), int(c)): x for r, c, x in zip(rows, cols, counts)}
+        assert pairs[(0, 2)] == pytest.approx(0.5)  # distance 2
+
+    def test_symmetric(self):
+        vocab = Vocabulary.build([np.array([5, 9, 5, 7])])
+        rows, cols, counts = cooccurrence_counts(
+            [np.array([5, 9, 5, 7])], vocab, context=3
+        )
+        pairs = {(int(r), int(c)): x for r, c, x in zip(rows, cols, counts)}
+        for (i, j), x in pairs.items():
+            assert pairs[(j, i)] == pytest.approx(x)
+
+    def test_empty(self):
+        vocab = Vocabulary.build([])
+        rows, cols, counts = cooccurrence_counts([], vocab, context=2)
+        assert len(rows) == 0
+
+    def test_invalid_context(self):
+        vocab = Vocabulary.build([np.array([1, 2])])
+        with pytest.raises(ValueError):
+            cooccurrence_counts([np.array([1, 2])], vocab, context=0)
+
+
+class TestGloVe:
+    def test_fit_produces_finite_vectors(self):
+        keyed = GloVe(vector_size=8, context=3, epochs=3, seed=1).fit(
+            _community_sentences(n=60)
+        )
+        assert len(keyed) == 40
+        assert np.isfinite(keyed.vectors).all()
+
+    def test_deterministic(self):
+        sentences = _community_sentences(n=30)
+        a = GloVe(vector_size=8, context=3, epochs=2, seed=4).fit(sentences)
+        b = GloVe(vector_size=8, context=3, epochs=2, seed=4).fit(sentences)
+        assert np.allclose(a.vectors, b.vectors)
+
+    def test_empty_corpus(self):
+        keyed = GloVe(vector_size=8).fit([])
+        assert len(keyed) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GloVe(vector_size=0)
+        with pytest.raises(ValueError):
+            GloVe(learning_rate=0.0)
+
+    def test_frequency_structure_learned(self):
+        """Tokens with strongly different co-occurrence profiles split."""
+        rng = np.random.default_rng(0)
+        sentences = []
+        # Tokens 0-4 always co-occur with hub 100; 5-9 with hub 200.
+        for _ in range(500):
+            if rng.random() < 0.5:
+                sentences.append(
+                    np.array([100, rng.integers(0, 5), 100], dtype=np.int64)
+                )
+            else:
+                sentences.append(
+                    np.array([200, rng.integers(5, 10), 200], dtype=np.int64)
+                )
+        keyed = GloVe(vector_size=8, context=2, epochs=30, seed=1).fit(sentences)
+        units = keyed.unit_vectors
+        rows_a = keyed.rows_of(np.arange(0, 5))
+        rows_b = keyed.rows_of(np.arange(5, 10))
+        sims = units @ units.T
+        within = sims[np.ix_(rows_a, rows_a)].mean()
+        across = sims[np.ix_(rows_a, rows_b)].mean()
+        assert within > across

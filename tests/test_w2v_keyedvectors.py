@@ -1,0 +1,74 @@
+"""Tests for repro.w2v.keyedvectors."""
+
+import numpy as np
+import pytest
+
+from repro.w2v.keyedvectors import KeyedVectors
+
+
+@pytest.fixture()
+def keyed():
+    tokens = np.array([10, 20, 30, 40], dtype=np.int64)
+    vectors = np.array(
+        [[1.0, 0.0], [0.9, 0.1], [0.0, 1.0], [-1.0, 0.0]], dtype=np.float32
+    )
+    return KeyedVectors(tokens=tokens, vectors=vectors)
+
+
+class TestLookup:
+    def test_contains(self, keyed):
+        assert 10 in keyed
+        assert 99 not in keyed
+
+    def test_vector(self, keyed):
+        assert np.allclose(keyed.vector(30), [0.0, 1.0])
+        with pytest.raises(KeyError):
+            keyed.vector(99)
+
+    def test_rows_of_mixed(self, keyed):
+        rows = keyed.rows_of(np.array([20, 99, 40]))
+        assert rows.tolist() == [1, -1, 3]
+
+    def test_unsorted_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedVectors(tokens=np.array([2, 1]), vectors=np.zeros((2, 2)))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedVectors(tokens=np.array([1]), vectors=np.zeros((2, 2)))
+
+
+class TestSimilarity:
+    def test_similarity_values(self, keyed):
+        assert keyed.similarity(10, 40) == pytest.approx(-1.0)
+        assert keyed.similarity(10, 30) == pytest.approx(0.0, abs=1e-6)
+        assert keyed.similarity(10, 20) > 0.9
+
+    def test_most_similar_excludes_self(self, keyed):
+        neighbors = keyed.most_similar(10, k=2)
+        tokens = [t for t, _ in neighbors]
+        assert 10 not in tokens
+        assert tokens[0] == 20  # nearest
+
+    def test_most_similar_order(self, keyed):
+        neighbors = keyed.most_similar(10, k=3)
+        sims = [s for _, s in neighbors]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_unknown_token_raises(self, keyed):
+        with pytest.raises(KeyError):
+            keyed.most_similar(99)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, keyed, tmp_path):
+        path = tmp_path / "vectors.npz"
+        keyed.save(path)
+        loaded = KeyedVectors.load(path)
+        assert np.array_equal(loaded.tokens, keyed.tokens)
+        assert np.allclose(loaded.vectors, keyed.vectors)
+
+    def test_subset(self, keyed):
+        sub = keyed.subset(np.array([40, 10, 99]))
+        assert sub.tokens.tolist() == [10, 40]
+        assert len(sub) == 2

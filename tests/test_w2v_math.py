@@ -1,0 +1,83 @@
+"""Tests for repro.w2v.mathutils."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.w2v.mathutils import cosine_similarity, scatter_add, sigmoid, unit_rows
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_clamped_finite(self):
+        values = sigmoid(np.array([-1e9, 1e9]))
+        assert 0.0 < values[0] < 0.001
+        assert 0.999 < values[1] <= 1.0
+        assert np.isfinite(values).all()
+
+    def test_monotone(self):
+        x = np.linspace(-10, 10, 50)
+        assert np.all(np.diff(sigmoid(x)) > 0)
+
+
+class TestUnitRows:
+    def test_unit_norm(self):
+        units = unit_rows(np.array([[3.0, 4.0], [1.0, 0.0]]))
+        assert np.allclose(np.linalg.norm(units, axis=1), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        units = unit_rows(np.array([[0.0, 0.0]]))
+        assert np.allclose(units, 0.0)
+
+
+class TestCosineSimilarity:
+    def test_parallel(self):
+        assert cosine_similarity(np.array([1, 2]), np.array([2, 4])) == pytest.approx(1)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1, 0]), np.array([0, 1])) == pytest.approx(0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestScatterAdd:
+    def test_matches_add_at(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            matrix_a = rng.random((20, 4))
+            matrix_b = matrix_a.copy()
+            rows = rng.integers(0, 20, size=100)
+            updates = rng.random((100, 4))
+            scatter_add(matrix_a, rows, updates)
+            np.add.at(matrix_b, rows, updates)
+            assert np.allclose(matrix_a, matrix_b)
+
+    def test_empty_noop(self):
+        matrix = np.ones((3, 2))
+        scatter_add(matrix, np.empty(0, dtype=np.int64), np.empty((0, 2)))
+        assert np.allclose(matrix, 1.0)
+
+    def test_duplicates_summed(self):
+        matrix = np.zeros((2, 1))
+        scatter_add(
+            matrix, np.array([1, 1, 1]), np.array([[1.0], [2.0], [3.0]])
+        )
+        assert matrix[1, 0] == pytest.approx(6.0)
+        assert matrix[0, 0] == 0.0
+
+    @settings(max_examples=30)
+    @given(
+        arrays(np.int64, st.integers(1, 50), elements=st.integers(0, 9)),
+    )
+    def test_property_matches_add_at(self, rows):
+        updates = np.ones((len(rows), 3))
+        a = np.zeros((10, 3))
+        b = np.zeros((10, 3))
+        scatter_add(a, rows, updates)
+        np.add.at(b, rows, updates)
+        assert np.allclose(a, b)

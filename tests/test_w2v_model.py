@@ -1,0 +1,166 @@
+"""Tests for repro.w2v.model (SGNS training)."""
+
+import numpy as np
+import pytest
+
+from repro.w2v.model import Word2Vec, _cap_norms
+
+
+def _community_sentences(seed=0, n=300, groups=2, group_size=20, length=30):
+    """Sentences drawing tokens from one community each."""
+    rng = np.random.default_rng(seed)
+    sentences = []
+    for _ in range(n):
+        g = rng.integers(0, groups)
+        tokens = rng.integers(0, group_size, size=length) + g * group_size
+        sentences.append(tokens.astype(np.int64))
+    return sentences
+
+
+class TestFit:
+    def test_embedding_covers_vocabulary(self):
+        sentences = _community_sentences(n=50)
+        keyed = Word2Vec(vector_size=8, context=3, epochs=1, seed=1).fit(sentences)
+        assert len(keyed) == 40
+        assert keyed.vector_size == 8
+
+    def test_separates_cooccurrence_communities(self):
+        sentences = _community_sentences(n=400)
+        keyed = Word2Vec(vector_size=16, context=5, epochs=5, seed=3).fit(sentences)
+        units = keyed.unit_vectors
+        sims = units @ units.T
+        within = (sims[:20, :20].sum() - 20) / (20 * 19)
+        across = sims[:20, 20:].mean()
+        assert within > across + 0.4
+
+    def test_deterministic_for_seed(self):
+        sentences = _community_sentences(n=30)
+        a = Word2Vec(vector_size=8, context=3, epochs=1, seed=5).fit(sentences)
+        b = Word2Vec(vector_size=8, context=3, epochs=1, seed=5).fit(sentences)
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_different_seed_differs(self):
+        sentences = _community_sentences(n=30)
+        a = Word2Vec(vector_size=8, context=3, epochs=1, seed=5).fit(sentences)
+        b = Word2Vec(vector_size=8, context=3, epochs=1, seed=6).fit(sentences)
+        assert not np.array_equal(a.vectors, b.vectors)
+
+    def test_min_count_prunes_embedding(self):
+        sentences = [np.array([1, 1, 1, 2], dtype=np.int64)] * 3
+        keyed = Word2Vec(vector_size=4, context=2, epochs=1, min_count=5).fit(
+            sentences
+        )
+        assert 1 in keyed
+        assert 2 not in keyed
+
+    def test_empty_corpus(self):
+        keyed = Word2Vec(vector_size=4).fit([])
+        assert len(keyed) == 0
+
+    def test_vectors_finite(self):
+        sentences = _community_sentences(n=200)
+        keyed = Word2Vec(vector_size=16, context=5, epochs=3, seed=0).fit(sentences)
+        assert np.isfinite(keyed.vectors).all()
+
+    def test_max_norm_enforced(self):
+        sentences = _community_sentences(n=200)
+        keyed = Word2Vec(
+            vector_size=16, context=5, epochs=3, seed=0, max_norm=2.0
+        ).fit(sentences)
+        assert np.linalg.norm(keyed.vectors, axis=1).max() <= 2.0 + 1e-5
+
+    def test_subsampling_runs(self):
+        sentences = _community_sentences(n=100)
+        keyed = Word2Vec(
+            vector_size=8, context=3, epochs=2, seed=0, sample=1e-2
+        ).fit(sentences)
+        assert np.isfinite(keyed.vectors).all()
+
+    def test_no_negative_sampling_path(self):
+        sentences = _community_sentences(n=50)
+        keyed = Word2Vec(vector_size=8, context=3, epochs=1, negative=0).fit(
+            sentences
+        )
+        assert np.isfinite(keyed.vectors).all()
+
+
+class TestFitPairs:
+    def test_groups_by_shared_context(self):
+        rng = np.random.default_rng(0)
+        # Tokens 0-9 pair with context 100; tokens 10-19 with 101.
+        centers, contexts = [], []
+        for _ in range(4000):
+            g = rng.integers(0, 2)
+            centers.append(rng.integers(0, 10) + g * 10)
+            contexts.append(100 + g)
+        keyed = Word2Vec(vector_size=8, epochs=8, seed=1).fit_pairs(
+            np.array(centers), np.array(contexts)
+        )
+        units = keyed.unit_vectors
+        rows_a = keyed.rows_of(np.arange(10))
+        rows_b = keyed.rows_of(np.arange(10, 20))
+        sims = units @ units.T
+        within = sims[np.ix_(rows_a, rows_a)].mean()
+        across = sims[np.ix_(rows_a, rows_b)].mean()
+        assert within > across
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Word2Vec().fit_pairs(np.array([1]), np.array([1, 2]))
+
+    def test_empty_pairs(self):
+        keyed = Word2Vec().fit_pairs(np.empty(0), np.empty(0))
+        assert len(keyed) == 0
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        for kwargs in (
+            {"vector_size": 0},
+            {"context": 0},
+            {"negative": -1},
+            {"epochs": 0},
+            {"alpha": 0.0},
+            {"min_alpha": 1.0, "alpha": 0.5},
+        ):
+            with pytest.raises(ValueError):
+                Word2Vec(**kwargs)
+
+    def test_cap_norms(self):
+        matrix = np.array([[3.0, 4.0], [0.1, 0.0]], dtype=np.float32)
+        _cap_norms(matrix, 1.0)
+        assert np.linalg.norm(matrix[0]) == pytest.approx(1.0, abs=1e-6)
+        assert np.allclose(matrix[1], [0.1, 0.0])
+
+
+class TestLearningRate:
+    def test_linear_decay(self):
+        model = Word2Vec(alpha=0.1, min_alpha=0.01)
+        assert model._learning_rate(0, 100) == pytest.approx(0.1)
+        assert model._learning_rate(50, 100) == pytest.approx(0.05)
+
+    def test_floor_at_min_alpha(self):
+        model = Word2Vec(alpha=0.1, min_alpha=0.01)
+        assert model._learning_rate(99, 100) == pytest.approx(0.01)
+        assert model._learning_rate(200, 100) == pytest.approx(0.01)
+
+    def test_keep_probabilities_bounds(self):
+        import numpy as np
+        from repro.w2v.vocab import Vocabulary
+
+        vocab = Vocabulary(
+            tokens=np.array([1, 2, 3]), counts=np.array([1000, 10, 1])
+        )
+        model = Word2Vec(sample=1e-2)
+        probs = model._keep_probabilities(vocab)
+        assert probs is not None
+        assert (probs > 0).all() and (probs <= 1).all()
+        # Frequent tokens are downsampled harder.
+        assert probs[0] < probs[2]
+
+    def test_no_subsampling_returns_none(self):
+        from repro.w2v.vocab import Vocabulary
+        import numpy as np
+
+        vocab = Vocabulary(tokens=np.array([1]), counts=np.array([5]))
+        assert Word2Vec(sample=0.0)._keep_probabilities(vocab) is None

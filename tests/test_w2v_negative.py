@@ -1,0 +1,43 @@
+"""Tests for repro.w2v.negative."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng
+from repro.w2v.negative import NegativeSampler
+
+
+class TestNegativeSampler:
+    def test_distribution_follows_smoothed_counts(self):
+        counts = np.array([1.0, 16.0])
+        sampler = NegativeSampler(counts, power=0.75)
+        draws = sampler.sample(make_rng(0), (50_000,))
+        share_1 = (draws == 1).mean()
+        expected = 16**0.75 / (1 + 16**0.75)
+        assert abs(share_1 - expected) < 0.02
+
+    def test_power_zero_is_uniform(self):
+        sampler = NegativeSampler(np.array([1.0, 1000.0]), power=0.0)
+        draws = sampler.sample(make_rng(0), (20_000,))
+        assert abs((draws == 0).mean() - 0.5) < 0.02
+
+    def test_shape(self):
+        sampler = NegativeSampler(np.array([3.0, 2.0, 1.0]))
+        draws = sampler.sample(make_rng(0), (7, 5))
+        assert draws.shape == (7, 5)
+        assert draws.min() >= 0 and draws.max() <= 2
+
+    def test_probability_of_sums_to_one(self):
+        sampler = NegativeSampler(np.array([5.0, 3.0, 2.0]))
+        total = sum(sampler.probability_of(i) for i in range(3))
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([]))
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([0.0]))
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([1.0]), power=-1)
+        with pytest.raises(ValueError):
+            NegativeSampler(np.array([1.0])).probability_of(5)

@@ -1,0 +1,121 @@
+"""Tests for repro.w2v.skipgram."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import make_rng
+from repro.w2v.skipgram import skipgram_pairs
+
+
+class TestStaticWindow:
+    def test_full_window_pairs(self):
+        sentence = np.array([10, 11, 12, 13, 14])
+        centers, contexts = skipgram_pairs(sentence, 2, dynamic=False)
+        pairs = set(zip(centers.tolist(), contexts.tolist()))
+        assert (10, 11) in pairs and (10, 12) in pairs
+        assert (12, 10) in pairs and (12, 14) in pairs
+        assert (10, 13) not in pairs  # outside window
+        assert all(c != x for c, x in pairs)  # no self-pairs
+
+    def test_pair_count_formula(self):
+        sentence = np.arange(10)
+        centers, _ = skipgram_pairs(sentence, 3, dynamic=False)
+        expected = sum(min(i, 3) + min(9 - i, 3) for i in range(10))
+        assert len(centers) == expected
+
+    def test_short_sentence(self):
+        centers, contexts = skipgram_pairs(np.array([7]), 5, dynamic=False)
+        assert len(centers) == 0
+
+    def test_pair_of_two(self):
+        centers, contexts = skipgram_pairs(np.array([1, 2]), 5, dynamic=False)
+        assert sorted(zip(centers, contexts)) == [(1, 2), (2, 1)]
+
+    def test_invalid_context(self):
+        with pytest.raises(ValueError):
+            skipgram_pairs(np.array([1, 2]), 0, dynamic=False)
+
+
+class TestDynamicWindow:
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            skipgram_pairs(np.array([1, 2, 3]), 2, rng=None, dynamic=True)
+
+    def test_subset_of_static_pairs(self):
+        sentence = np.arange(30)
+        static = set(
+            zip(*(a.tolist() for a in skipgram_pairs(sentence, 5, dynamic=False)))
+        )
+        dynamic = set(
+            zip(
+                *(
+                    a.tolist()
+                    for a in skipgram_pairs(sentence, 5, make_rng(0), dynamic=True)
+                )
+            )
+        )
+        assert dynamic <= static
+
+    def test_deterministic_given_rng(self):
+        sentence = np.arange(20)
+        a = skipgram_pairs(sentence, 5, make_rng(3))
+        b = skipgram_pairs(sentence, 5, make_rng(3))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    @given(
+        st.lists(st.integers(0, 20), min_size=2, max_size=60),
+        st.integers(1, 10),
+    )
+    def test_pairs_within_window_property(self, tokens, context):
+        sentence = np.array(tokens, dtype=np.int64)
+        centers, contexts = skipgram_pairs(sentence, context, dynamic=False)
+        # Rebuild positions: verify every pair is within `context`
+        # positions of some occurrence of the center value.
+        positions = {v: [i for i, t in enumerate(tokens) if t == v] for v in set(tokens)}
+        for c, x in zip(centers.tolist(), contexts.tolist()):
+            ok = any(
+                any(0 < abs(i - j) <= context for j in positions[x])
+                for i in positions[c]
+            )
+            assert ok
+
+
+class TestExpectedPairCount:
+    def test_matches_static_formula(self):
+        from repro.w2v.skipgram import expected_pair_count
+
+        lengths = np.array([10, 60])
+        expected = expected_pair_count(lengths, 3, dynamic=False)
+        brute = sum(
+            sum(min(i, 3) + min(n - 1 - i, 3) for i in range(n))
+            for n in (10, 60)
+        )
+        assert expected == brute
+
+    def test_dynamic_matches_monte_carlo(self):
+        from repro.w2v.skipgram import expected_pair_count
+
+        rng = make_rng(0)
+        n, c = 40, 25
+        sentence = np.arange(n)
+        trials = 400
+        total = 0
+        for _ in range(trials):
+            centers, _ = skipgram_pairs(sentence, c, rng, dynamic=True)
+            total += len(centers)
+        monte_carlo = total / trials
+        analytic = expected_pair_count(np.array([n]), c, dynamic=True)
+        assert abs(monte_carlo - analytic) / analytic < 0.05
+
+    def test_short_sentences_contribute_nothing(self):
+        from repro.w2v.skipgram import expected_pair_count
+
+        assert expected_pair_count(np.array([0, 1]), 5) == 0.0
+
+    def test_invalid_context(self):
+        from repro.w2v.skipgram import expected_pair_count
+
+        with pytest.raises(ValueError):
+            expected_pair_count(np.array([5]), 0)

@@ -1,0 +1,67 @@
+"""Tests for repro.w2v.vocab."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.w2v.vocab import Vocabulary
+
+
+class TestBuild:
+    def test_counts(self):
+        vocab = Vocabulary.build([np.array([1, 2, 2]), np.array([2, 3])])
+        assert len(vocab) == 3
+        assert vocab.counts[vocab.id_of(2)] == 3
+        assert vocab.total_count == 5
+
+    def test_min_count_prunes(self):
+        vocab = Vocabulary.build([np.array([1, 1, 2])], min_count=2)
+        assert len(vocab) == 1
+        assert vocab.id_of(2) == -1
+        assert vocab.id_of(1) == 0
+
+    def test_empty(self):
+        vocab = Vocabulary.build([])
+        assert len(vocab) == 0
+        assert vocab.encode(np.array([1])).tolist() == [-1]
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            Vocabulary.build([], min_count=0)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        vocab = Vocabulary.build([np.array([5, 9, 100])])
+        ids = vocab.encode(np.array([100, 5, 9]))
+        assert np.array_equal(vocab.decode(ids), np.array([100, 5, 9]))
+
+    def test_oov_is_minus_one(self):
+        vocab = Vocabulary.build([np.array([1])])
+        assert vocab.encode(np.array([1, 42])).tolist() == [0, -1]
+
+    def test_encode_sentence_drops_oov(self):
+        vocab = Vocabulary.build([np.array([1, 2])])
+        encoded = vocab.encode_sentence(np.array([1, 99, 2, 99]))
+        assert encoded.tolist() == [0, 1]
+
+    def test_decode_out_of_range(self):
+        vocab = Vocabulary.build([np.array([1])])
+        with pytest.raises(ValueError):
+            vocab.decode(np.array([5]))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Vocabulary(tokens=np.array([2, 1]), counts=np.array([1, 1]))
+        with pytest.raises(ValueError):
+            Vocabulary(tokens=np.array([1]), counts=np.array([0]))
+        with pytest.raises(ValueError):
+            Vocabulary(tokens=np.array([1, 2]), counts=np.array([1]))
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=100))
+    def test_counts_match_naive(self, tokens):
+        vocab = Vocabulary.build([np.array(tokens, dtype=np.int64)])
+        for token in set(tokens):
+            word_id = vocab.id_of(token)
+            assert vocab.counts[word_id] == tokens.count(token)
