@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.corpus.document import _one_sided_pairs
+from repro.parallel.pool import WorkerPool
 from repro.knn.loo import leave_one_out_predictions
 from repro.knn.report import ClassificationReport, classification_report
 from repro.labels.groundtruth import GroundTruth
@@ -44,6 +45,10 @@ class Dante:
             into a single language.
         max_skipgrams: abort with :class:`DanteDidNotFinish` when the
             corpus exceeds this budget (``None`` disables the guard).
+        workers: per-sender models are independent, so they train
+            concurrently on a worker pool (0 = all cores).  Each model
+            is seeded per sender, so the result is identical for every
+            ``workers`` value.
     """
 
     vector_size: int = 50
@@ -53,6 +58,7 @@ class Dante:
     seed: int = 1
     per_receiver: bool = True
     max_skipgrams: int | None = None
+    workers: int = 1
 
     def _languages(self, trace: Trace) -> dict[int, list[np.ndarray]]:
         """Sender -> list of port-token sentences (one per language)."""
@@ -100,14 +106,20 @@ class Dante:
         languages = self._languages(trace)
         senders = np.array(sorted(languages), dtype=np.int64)
         vectors = np.zeros((len(senders), self.vector_size), dtype=np.float32)
-        for row, sender in enumerate(senders):
+
+        def train_sender(item: tuple[int, int]) -> np.ndarray | None:
+            row, sender = item
             sentences = languages[int(sender)]
+            # Each language corpus is tiny, so the per-model trainer
+            # stays sequential; parallelism comes from training the
+            # independent languages concurrently.
             model = Word2Vec(
                 vector_size=self.vector_size,
                 context=self.context,
                 negative=self.negative,
                 epochs=self.epochs,
                 seed=self.seed + row,
+                workers=1,
             )
             keyed = model.fit(sentences)
             if len(keyed):
@@ -117,7 +129,14 @@ class Dante:
                 rows = keyed.rows_of(flat)
                 rows = rows[rows >= 0]
                 if len(rows):
-                    vectors[row] = keyed.vectors[rows].mean(axis=0)
+                    return keyed.vectors[rows].mean(axis=0)
+            return None
+
+        with WorkerPool(self.workers) as pool:
+            results = pool.map(train_sender, list(enumerate(senders)))
+        for row, vector in enumerate(results):
+            if vector is not None:
+                vectors[row] = vector
         return KeyedVectors(tokens=senders, vectors=vectors)
 
     def evaluate(

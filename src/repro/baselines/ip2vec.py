@@ -46,7 +46,10 @@ class Ip2Vec:
     ``flow_timeout`` switches the input granularity from packets to
     aggregated flows (the original paper works on flows); ``None``
     treats every packet as a flow, which is what a darknet's one-sided
-    SYN traffic effectively is.
+    SYN traffic effectively is.  ``workers`` is forwarded to
+    :class:`~repro.w2v.model.Word2Vec`; the pair stream is extremely
+    repetitive, so the parallel engine's deduplication pays off most
+    here.
     """
 
     vector_size: int = 50
@@ -55,6 +58,7 @@ class Ip2Vec:
     seed: int = 1
     max_pairs: int | None = None
     flow_timeout: float | None = None
+    workers: int = 1
 
     def _records(
         self, trace: Trace
@@ -100,6 +104,7 @@ class Ip2Vec:
             negative=self.negative,
             epochs=self.epochs,
             seed=self.seed,
+            workers=self.workers,
         )
         keyed = model.fit_pairs(targets, contexts)
         # Keep only the src_ip tokens, re-keyed by sender index.

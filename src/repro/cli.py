@@ -76,12 +76,24 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--vector-size", type=int, default=50)
     train.add_argument("--context", type=int, default=25)
     train.add_argument("--seed", type=int, default=1)
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="training parallelism (1 = exact sequential, 0 = all cores)",
+    )
 
     evaluate = sub.add_parser("evaluate", help="leave-one-out 7-NN report")
     evaluate.add_argument("--trace", required=True, type=Path)
     evaluate.add_argument("--vectors", required=True, type=Path)
     evaluate.add_argument("--labels", required=True, type=Path)
     evaluate.add_argument("--k", type=int, default=7)
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="k-NN search parallelism (results are identical)",
+    )
 
     cluster = sub.add_parser("cluster", help="Louvain cluster discovery")
     cluster.add_argument("--trace", required=True, type=Path)
@@ -89,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--k-prime", type=int, default=3)
     cluster.add_argument("--min-size", type=int, default=5)
     cluster.add_argument("--top", type=int, default=20)
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="k-NN search parallelism (results are identical)",
+    )
 
     return parser
 
@@ -165,6 +183,7 @@ def _cmd_train(args) -> int:
         vector_size=args.vector_size,
         context=args.context,
         seed=args.seed,
+        workers=args.workers,
     )
     darkvec = DarkVec(config).fit(trace)
     embedding = darkvec.embedding
@@ -204,7 +223,7 @@ def _cmd_evaluate(args) -> int:
     rows = embedding.rows_of(eval_senders)
     rows = rows[rows >= 0]
     predictions = leave_one_out_predictions(
-        embedding.vectors, labels, rows, k=args.k
+        embedding.vectors, labels, rows, k=args.k, workers=args.workers
     )
     report = classification_report(labels[rows], predictions)
     print(report.to_text(title=f"{args.k}-NN leave-one-out report"))
@@ -218,7 +237,9 @@ def _cmd_cluster(args) -> int:
     from repro.graph.louvain import louvain_communities
     from repro.graph.modularity import modularity
 
-    graph = build_knn_graph(embedding.vectors, k_prime=args.k_prime)
+    graph = build_knn_graph(
+        embedding.vectors, k_prime=args.k_prime, workers=args.workers
+    )
     adjacency = graph.symmetric_adjacency()
     communities = louvain_communities(adjacency, seed=0)
     score = modularity(adjacency, communities)

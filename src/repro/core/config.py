@@ -30,6 +30,11 @@ class DarkVecConfig:
         negative: negative samples per positive pair.
         epochs: training epochs.
         seed: randomness seed (model init, window shrink, negatives).
+        workers: parallelism for training, evaluation, and clustering.
+            ``1`` (default) is the bit-reproducible sequential path,
+            ``0`` uses all cores; any other value routes training
+            through the sharded parallel engine (statistically
+            equivalent embeddings, identical k-NN/graph results).
     """
 
     service: str | ServiceMap = "domain"
@@ -41,8 +46,11 @@ class DarkVecConfig:
     negative: int = 5
     epochs: int = 10
     seed: int = 1
+    workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 means all cores)")
         if isinstance(self.service, str) and self.service not in _SERVICE_CHOICES:
             raise ValueError(
                 f"service must be one of {_SERVICE_CHOICES} or a ServiceMap, "

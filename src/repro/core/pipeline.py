@@ -76,6 +76,7 @@ class DarkVec:
             negative=config.negative,
             epochs=config.epochs,
             seed=config.seed,
+            workers=config.workers,
         )
         self.embedding = model.fit([sentence.tokens for sentence in corpus])
         self.trace = trace
@@ -115,7 +116,9 @@ class DarkVec:
         trace, embedding = self._require_fit()
         labels = truth.labels_for(trace)[embedding.tokens]
         rows = self.evaluation_rows(eval_days)
-        predictions = leave_one_out_predictions(embedding.vectors, labels, rows, k=k)
+        predictions = leave_one_out_predictions(
+            embedding.vectors, labels, rows, k=k, workers=self.config.workers
+        )
         return classification_report(labels[rows], predictions)
 
     # ------------------------------------------------------------------
@@ -125,7 +128,9 @@ class DarkVec:
     def cluster(self, k_prime: int = 3, seed: int = 0) -> ClusterResult:
         """k'-NN graph + Louvain clustering of all embedded senders."""
         _, embedding = self._require_fit()
-        graph = build_knn_graph(embedding.vectors, k_prime=k_prime)
+        graph = build_knn_graph(
+            embedding.vectors, k_prime=k_prime, workers=self.config.workers
+        )
         adjacency = graph.symmetric_adjacency()
         communities = louvain_communities(adjacency, seed=seed)
         score = modularity(adjacency, communities)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.parallel.pool import WorkerPool
 from repro.w2v.mathutils import unit_rows
 
 _CHUNK_ROWS = 1024
@@ -14,6 +15,7 @@ def knn_search(
     query_rows: np.ndarray,
     k: int,
     exclude_self: bool = True,
+    workers: int = 1,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The ``k`` nearest rows (by cosine) for each query row.
 
@@ -22,6 +24,9 @@ def knn_search(
         query_rows: indices of the rows to query.
         k: neighbours per query.
         exclude_self: drop the query row from its own neighbour list.
+        workers: query chunks dispatched to a thread pool (0 = all
+            cores).  Chunks write disjoint output slices, so the result
+            is bitwise identical for every ``workers`` value.
 
     Returns:
         ``(neighbors, similarities)`` of shape (Q, k); neighbours are
@@ -37,8 +42,9 @@ def knn_search(
 
     neighbors = np.empty((len(query_rows), k), dtype=np.int64)
     sims = np.empty((len(query_rows), k))
-    for lo in range(0, len(query_rows), _CHUNK_ROWS):
-        hi = min(lo + _CHUNK_ROWS, len(query_rows))
+
+    def search_chunk(bounds: tuple[int, int]) -> None:
+        lo, hi = bounds
         chunk = query_rows[lo:hi]
         scores = units[chunk] @ units.T  # (chunk, N)
         if exclude_self:
@@ -48,6 +54,17 @@ def knn_search(
         order = np.argsort(top_scores, axis=1)[:, ::-1]
         neighbors[lo:hi] = np.take_along_axis(top, order, axis=1)
         sims[lo:hi] = np.take_along_axis(top_scores, order, axis=1)
+
+    chunks = [
+        (lo, min(lo + _CHUNK_ROWS, len(query_rows)))
+        for lo in range(0, len(query_rows), _CHUNK_ROWS)
+    ]
+    if workers == 1 or len(chunks) <= 1:
+        for bounds in chunks:
+            search_chunk(bounds)
+    else:
+        with WorkerPool(workers) as pool:
+            pool.map(search_chunk, chunks)
     return neighbors, sims
 
 
@@ -57,10 +74,17 @@ class CosineKnn:
     The classifier predicts the label of each query point from the
     labels of its ``k`` nearest neighbours (cosine similarity), breaking
     ties by the summed similarity of the tied labels — a deterministic
-    refinement of the paper's majority vote.
+    refinement of the paper's majority vote.  ``workers`` parallelises
+    the neighbour search without changing any result.
     """
 
-    def __init__(self, vectors: np.ndarray, labels: np.ndarray, k: int = 7) -> None:
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        labels: np.ndarray,
+        k: int = 7,
+        workers: int = 1,
+    ) -> None:
         if len(vectors) != len(labels):
             raise ValueError("vectors and labels must align")
         if k < 1:
@@ -68,13 +92,18 @@ class CosineKnn:
         self.units = unit_rows(np.asarray(vectors))
         self.labels = np.asarray(labels, dtype=object)
         self.k = k
+        self.workers = workers
 
     def predict_rows(
         self, query_rows: np.ndarray, exclude_self: bool = False
     ) -> np.ndarray:
         """Predicted labels for the given row indices."""
         neighbors, sims = knn_search(
-            self.units, query_rows, self.k, exclude_self=exclude_self
+            self.units,
+            query_rows,
+            self.k,
+            exclude_self=exclude_self,
+            workers=self.workers,
         )
         return majority_vote(self.labels, neighbors, sims)
 
@@ -82,7 +111,13 @@ class CosineKnn:
         self, query_rows: np.ndarray, exclude_self: bool = False
     ) -> np.ndarray:
         """Mean cosine *distance* (1 - similarity) to the k neighbours."""
-        _, sims = knn_search(self.units, query_rows, self.k, exclude_self=exclude_self)
+        _, sims = knn_search(
+            self.units,
+            query_rows,
+            self.k,
+            exclude_self=exclude_self,
+            workers=self.workers,
+        )
         return 1.0 - sims.mean(axis=1)
 
 
@@ -92,15 +127,37 @@ def majority_vote(
     """Label of the majority of each row's neighbours.
 
     Ties break on the larger summed similarity, then lexicographically,
-    so results are reproducible.
+    so results are reproducible.  Implemented as label-encoded bincounts
+    over the flattened (Q, k) neighbour matrix: per (row, label) cell,
+    vote counts and similarity sums accumulate in the same left-to-right
+    neighbour order as a per-row loop would, so the result (including
+    float-exact tie behaviour) matches the naive implementation.
     """
-    predictions = np.empty(len(neighbors), dtype=object)
-    for i, (row_neighbors, row_sims) in enumerate(zip(neighbors, similarities)):
-        votes: dict[str, int] = {}
-        weight: dict[str, float] = {}
-        for neighbor, sim in zip(row_neighbors, row_sims):
-            label = labels[neighbor]
-            votes[label] = votes.get(label, 0) + 1
-            weight[label] = weight.get(label, 0.0) + float(sim)
-        predictions[i] = max(votes, key=lambda lab: (votes[lab], weight[lab], lab))
+    n_queries = len(neighbors)
+    predictions = np.empty(n_queries, dtype=object)
+    if n_queries == 0:
+        return predictions
+    labels = np.asarray(labels, dtype=object)
+    unique_labels, codes = np.unique(labels, return_inverse=True)
+    n_labels = len(unique_labels)
+    neighbor_codes = codes[np.asarray(neighbors)]  # (Q, k)
+    cells = (
+        np.arange(n_queries)[:, None] * n_labels + neighbor_codes
+    ).ravel()
+    votes = np.bincount(cells, minlength=n_queries * n_labels).reshape(
+        n_queries, n_labels
+    )
+    weights = np.bincount(
+        cells,
+        weights=np.asarray(similarities, dtype=np.float64).ravel(),
+        minlength=n_queries * n_labels,
+    ).reshape(n_queries, n_labels)
+    best_votes = votes.max(axis=1, keepdims=True)
+    tied_weights = np.where(votes == best_votes, weights, -np.inf)
+    best_weights = tied_weights.max(axis=1, keepdims=True)
+    tied = tied_weights == best_weights
+    # unique_labels is sorted, so the *last* tied column is the
+    # lexicographically largest label — matching max()'s tie-break.
+    winner = n_labels - 1 - np.argmax(tied[:, ::-1], axis=1)
+    predictions[:] = unique_labels[winner]
     return predictions

@@ -17,11 +17,13 @@ def leave_one_out_predictions(
     labels: np.ndarray,
     eval_rows: np.ndarray,
     k: int = 7,
+    workers: int = 1,
 ) -> np.ndarray:
     """LOO predictions for ``eval_rows``.
 
     Each evaluated row is excluded from its own neighbourhood; all other
-    rows (whatever their label, Unknown included) may vote.
+    rows (whatever their label, Unknown included) may vote.  ``workers``
+    parallelises the neighbour search without changing the predictions.
     """
-    classifier = CosineKnn(vectors, labels, k=k)
+    classifier = CosineKnn(vectors, labels, k=k, workers=workers)
     return classifier.predict_rows(np.asarray(eval_rows), exclude_self=True)

@@ -1,0 +1,31 @@
+"""Parallel execution engine for the DarkVec pipeline.
+
+This subsystem provides the machinery behind every ``workers`` knob in
+the library:
+
+* :mod:`repro.parallel.pool` — a :class:`~repro.parallel.pool.WorkerPool`
+  thread-pool wrapper (numpy kernels release the GIL, so threads give
+  real concurrency on the BLAS-heavy hot paths).
+* :mod:`repro.parallel.sgd` — vectorized SGNS kernels (sigmoid lookup
+  table, sparse-matmul scatter-add, pair deduplication) used by the
+  sharded trainer.
+* :mod:`repro.parallel.trainer` — the Hogwild-style
+  :class:`~repro.parallel.trainer.ShardedTrainer` that
+  :class:`~repro.w2v.model.Word2Vec` dispatches to when ``workers != 1``.
+
+``workers=1`` everywhere means "the exact sequential reference path";
+``workers=0`` means "use all available cores".
+"""
+
+from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.parallel.sgd import dedup_pairs, scaled_scatter_add, sigmoid_table
+from repro.parallel.trainer import ShardedTrainer
+
+__all__ = [
+    "ShardedTrainer",
+    "WorkerPool",
+    "dedup_pairs",
+    "resolve_workers",
+    "scaled_scatter_add",
+    "sigmoid_table",
+]

@@ -1,0 +1,76 @@
+"""Worker-pool execution primitives.
+
+:class:`WorkerPool` wraps :class:`concurrent.futures.ThreadPoolExecutor`
+with the semantics the pipeline needs: the ``workers`` knob expresses
+the *requested* parallelism (``0`` = all cores) while the actual thread
+count is capped at the machine's core count — the hot paths are numpy
+kernels that release the GIL, so threads beyond physical cores only add
+scheduling overhead.  A single-threaded pool runs tasks inline at
+submit time; this keeps the task structure (and therefore work
+sharding) identical across machines while skipping thread overhead
+entirely, and makes single-core runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Iterable
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalise a ``workers`` knob: ``<= 0`` means all available cores."""
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+class WorkerPool:
+    """Thread pool with an inline fast path for single-threaded runs.
+
+    Attributes:
+        workers: requested logical parallelism (after resolving ``0``).
+        threads: actual thread count, capped at the core count.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = resolve_workers(workers)
+        self.threads = max(1, min(self.workers, os.cpu_count() or 1))
+        self._executor: ThreadPoolExecutor | None = None
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; runs inline when 1-threaded."""
+        if self.threads == 1:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # mirror executor behaviour
+                future.set_exception(exc)
+            return future
+        return self._ensure_executor().submit(fn, *args, **kwargs)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Apply ``fn`` to every item concurrently, preserving order."""
+        items = list(items)
+        if self.threads == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_executor().map(fn, items))
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        """Context-manager entry; returns the pool itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit; shuts the executor down."""
+        self.close()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.threads)
+        return self._executor

@@ -1,0 +1,176 @@
+"""Vectorized SGNS kernels for the sharded trainer.
+
+Three optimisations over the sequential ``Word2Vec._sgd_step``:
+
+* a word2vec-style sigmoid lookup table (the logistic function is a
+  large share of the sequential profile);
+* scatter-adds expressed as one sparse-matrix × dense-matrix product
+  (``scipy.sparse``), which is several times faster than the
+  sort + ``reduceat`` fallback at training batch sizes;
+* shard-level deduplication of (center, context) pairs: darknet corpora
+  are extremely repetitive, so collapsing duplicates and scaling the
+  positive gradient by the multiplicity does the same SGD work on
+  30-50 % fewer rows.  Within a batch the duplicate pairs would have
+  computed identical scores from the same stale vectors, so the summed
+  gradient is exactly ``multiplicity ×`` the single-pair gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.w2v.mathutils import scatter_add
+from repro.w2v.negative import NegativeSampler
+
+try:  # scipy is a declared dependency, but degrade gracefully without it
+    import scipy.sparse as _sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sparse = None
+
+_TABLE_SIZE = 2048
+_TABLE_CLAMP = 12.0
+_SIG_TABLE = (
+    1.0
+    / (1.0 + np.exp(-np.linspace(-_TABLE_CLAMP, _TABLE_CLAMP, _TABLE_SIZE)))
+).astype(np.float32)
+_SIG_SCALE = np.float32((_TABLE_SIZE - 1) / (2.0 * _TABLE_CLAMP))
+
+
+def sigmoid_table(x: np.ndarray) -> np.ndarray:
+    """Table-lookup logistic function (word2vec's EXP_TABLE trick).
+
+    Quantises the input to one of 2048 buckets on [-12, 12]; the
+    resulting resolution (~0.012 in x) is far below the SGD noise floor
+    and several times faster than evaluating ``exp``.
+    """
+    idx = ((x + np.float32(_TABLE_CLAMP)) * _SIG_SCALE).astype(np.int32)
+    np.clip(idx, 0, _TABLE_SIZE - 1, out=idx)
+    return _SIG_TABLE[idx]
+
+
+def scaled_scatter_add(
+    matrix: np.ndarray,
+    rows: np.ndarray,
+    updates: np.ndarray,
+    scale: np.ndarray | None = None,
+) -> None:
+    """``matrix[rows] += scale[:, None] * updates`` with duplicates summed.
+
+    When scipy is available and the batch is large relative to the
+    matrix, the scatter is expressed as a CSR (n_rows × batch) selection
+    matrix times the dense update block — one BLAS-backed pass instead
+    of a sort + reduce.  Folding ``scale`` into the sparse matrix data
+    also avoids materialising the scaled update block.
+    """
+    batch = len(rows)
+    if batch == 0:
+        return
+    n_rows = len(matrix)
+    if _sparse is not None and n_rows <= 8 * batch:
+        data = np.ones(batch, dtype=np.float32) if scale is None else scale
+        selector = _sparse.csr_matrix(
+            (data, (rows, np.arange(batch))), shape=(n_rows, batch)
+        )
+        np.add(matrix, selector @ updates, out=matrix)
+    else:
+        if scale is not None:
+            updates = updates * scale[:, None]
+        scatter_add(matrix, rows, updates)
+
+
+def dedup_pairs(
+    centers: np.ndarray, contexts: np.ndarray, n_vocab: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse duplicate (center, context) pairs to uniques + counts.
+
+    Returns ``(unique_centers, unique_contexts, multiplicity)`` where
+    ``multiplicity`` is float32 and sums to ``len(centers)``.  The
+    uniques come out sorted by ``center * n_vocab + context``; callers
+    that feed them to SGD with shared negative groups MUST shuffle them
+    first, otherwise same-center pairs land in the same group and share
+    one correlated negative draw, which measurably degrades embeddings.
+    """
+    key = centers.astype(np.int64) * np.int64(n_vocab) + contexts.astype(np.int64)
+    unique_keys, multiplicity = np.unique(key, return_counts=True)
+    unique_centers = unique_keys // n_vocab
+    unique_contexts = unique_keys - unique_centers * n_vocab
+    return (
+        unique_centers.astype(np.int64),
+        unique_contexts.astype(np.int64),
+        multiplicity.astype(np.float32),
+    )
+
+
+def sgd_step_fast(
+    syn0: np.ndarray,
+    syn1: np.ndarray,
+    centers: np.ndarray,
+    contexts: np.ndarray,
+    multiplicity: np.ndarray,
+    sampler: NegativeSampler | None,
+    negative: int,
+    shared_negatives: int,
+    lr: float,
+    rng: np.random.Generator,
+) -> None:
+    """One batched SGNS step over deduplicated (center, context) pairs.
+
+    The update is the same objective as ``Word2Vec._sgd_step`` — each
+    *raw* pair contributes one positive and ``negative`` negative
+    samples — but each unique pair's gradient is scaled by its
+    ``multiplicity``, scores come from :func:`sigmoid_table`, and
+    scatter-adds go through :func:`scaled_scatter_add`.
+
+    Args:
+        syn0, syn1: input/output embedding matrices, updated in place.
+        centers, contexts: unique pair arrays (pre-shuffled).
+        multiplicity: float32 raw-pair count per unique pair.
+        sampler: negative sampler (``None`` disables negatives).
+        negative: negative samples per raw pair.
+        shared_negatives: group size sharing one negative draw.
+        lr: learning rate for this batch.
+        rng: randomness for the negative draws.
+    """
+    n_pairs = len(centers)
+    if n_pairs == 0:
+        return
+    lr32 = np.float32(lr)
+    dim = syn0.shape[1]
+    center_vecs = syn0[centers]
+    context_vecs = syn1[contexts]
+
+    pos_scores = sigmoid_table(np.einsum("ij,ij->i", center_vecs, context_vecs))
+    g_pos = ((1.0 - pos_scores) * lr32 * multiplicity).astype(np.float32)
+    grad_centers = g_pos[:, None] * context_vecs
+
+    if sampler is not None and negative:
+        group = max(min(shared_negatives, n_pairs), 1)
+        n_groups = max(n_pairs // group, 1)
+        main = n_groups * group
+        negatives = sampler.sample(rng, (n_groups, negative))  # (G, K)
+        neg_vecs = syn1[negatives]  # (G, K, V)
+        grouped = center_vecs[:main].reshape(n_groups, group, dim)
+        scores = sigmoid_table(np.matmul(grouped, neg_vecs.transpose(0, 2, 1)))
+        g_neg = (
+            -scores * lr32 * multiplicity[:main].reshape(n_groups, group, 1)
+        ).astype(np.float32)
+        grad_centers[:main] += np.matmul(g_neg, neg_vecs).reshape(main, dim)
+        grad_negatives = np.matmul(g_neg.transpose(0, 2, 1), grouped)
+        scaled_scatter_add(
+            syn1, negatives.reshape(-1), grad_negatives.reshape(-1, dim)
+        )
+        if main < n_pairs:
+            remainder = center_vecs[main:]
+            tail_negatives = sampler.sample(rng, (1, negative))
+            tail_vecs = syn1[tail_negatives[0]]  # (K, V)
+            tail_scores = sigmoid_table(remainder @ tail_vecs.T)
+            g_tail = (-tail_scores * lr32 * multiplicity[main:, None]).astype(
+                np.float32
+            )
+            grad_centers[main:] += g_tail @ tail_vecs
+            scatter_add(syn1, tail_negatives.reshape(-1), g_tail.T @ remainder)
+
+    # Fused: the context gradient is g_pos * center_vecs, so folding
+    # g_pos into the sparse selector skips the dense outer product.
+    scaled_scatter_add(syn1, contexts, center_vecs, scale=g_pos)
+    scaled_scatter_add(syn0, centers, grad_centers)

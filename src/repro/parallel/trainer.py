@@ -1,0 +1,289 @@
+"""Hogwild-style sharded SGNS trainer (the ``workers != 1`` fit path).
+
+Each epoch the sentence permutation is cut into ``workers ×
+shards_per_worker`` shards.  Per shard, a *generation* task gathers the
+shard's sentences from the flattened corpus, applies subsampling, emits
+skip-gram pairs (:func:`~repro.w2v.skipgram.skipgram_pairs_flat`),
+deduplicates them and shuffles the uniques; an *SGD* task then replays
+the deduplicated stream through :func:`~repro.parallel.sgd.sgd_step_fast`.
+Generation for shard ``i+1`` is prefetched while SGD runs on shard
+``i``, and on multi-core machines the SGD tasks of different shards run
+concurrently, updating the shared ``syn0``/``syn1`` matrices lock-free
+(Hogwild); only the learning-rate bookkeeping takes a lock.
+
+Determinism: with one thread (one core, or ``workers=1`` requested at a
+call site that still routes here) the schedule is sequential and runs
+are bit-reproducible for a fixed seed.  With several threads the
+lock-free races make individual runs differ, but the embeddings are
+statistically equivalent — the LOO accuracy criterion the paper uses is
+unaffected (see ``benchmarks/bench_perf_engine.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.parallel.sgd import dedup_pairs, sgd_step_fast
+from repro.w2v.mathutils import cap_row_norms
+from repro.w2v.negative import NegativeSampler
+from repro.w2v.skipgram import skipgram_pairs_flat
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.w2v.model import Word2Vec
+
+# Distinct stream tags so generation and SGD randomness never collide.
+_GEN_STREAM = 11
+_SGD_STREAM = 13
+
+
+class ShardedTrainer:
+    """Parallel trainer bound to one :class:`~repro.w2v.model.Word2Vec`.
+
+    The trainer owns no hyper-parameters of its own beyond the shard
+    layout; everything else (window, negatives, learning-rate schedule,
+    norm capping) is read from the model so the two paths cannot drift.
+
+    Attributes:
+        shards_per_worker: shards per logical worker and epoch; more
+            than one keeps stragglers from idling the pool.
+        shared_negatives: negative-sample group size.  Larger than the
+            sequential default: the deduplicated + shuffled pair stream
+            decorrelates the groups, which is what makes wide sharing
+            safe (and fast) in the first place.
+    """
+
+    shards_per_worker: int = 2
+    shared_negatives: int = 64
+    prefetch_margin: int = 1
+
+    def __init__(self, model: "Word2Vec") -> None:
+        self.model = model
+        self.workers = resolve_workers(model.workers)
+        self.n_shards = max(1, self.workers * self.shards_per_worker)
+        self.shared_negatives = max(model.shared_negatives, self.shared_negatives)
+        self._lock = threading.Lock()
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Entry points (called by Word2Vec.fit / fit_pairs)
+    # ------------------------------------------------------------------
+
+    def train_corpus(
+        self,
+        encoded: list[np.ndarray],
+        lengths: np.ndarray,
+        syn0: np.ndarray,
+        syn1: np.ndarray,
+        sampler: NegativeSampler | None,
+        keep_probs: np.ndarray | None,
+        total_pairs: int,
+        batch_pairs: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Train ``syn0``/``syn1`` in place on an encoded corpus.
+
+        ``rng`` drives only the cross-epoch sentence permutation (as in
+        the sequential path); all per-shard randomness derives from
+        ``(seed, stream, epoch, shard)`` so the work decomposition, not
+        the thread schedule, defines the random streams.
+        """
+        self._begin(syn0, syn1, sampler, total_pairs, batch_pairs)
+        flat = (
+            np.concatenate(encoded) if encoded else np.empty(0, dtype=np.int64)
+        )
+        starts = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+
+        def generate(epoch: int, shard: int, sel: np.ndarray):
+            return self._generate_corpus_shard(
+                flat, starts, lengths, keep_probs, epoch, shard, sel
+            )
+
+        self._train_epochs(len(encoded), generate, rng)
+
+    def train_pair_stream(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        syn0: np.ndarray,
+        syn1: np.ndarray,
+        sampler: NegativeSampler | None,
+        total_pairs: int,
+        batch_pairs: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Train on an explicit pair stream (the ``fit_pairs`` path).
+
+        Generation here is just gather + dedup + shuffle of the shard's
+        slice of the permuted stream; highly repetitive streams (IP2VEC
+        emits five pairs per packet) compress massively under dedup.
+        """
+        self._begin(syn0, syn1, sampler, total_pairs, batch_pairs)
+
+        def generate(epoch: int, shard: int, sel: np.ndarray):
+            if len(sel) == 0:
+                return None
+            grng = self._shard_rng(_GEN_STREAM, epoch, shard)
+            return self._dedup_and_shuffle(centers[sel], contexts[sel], grng)
+
+        self._train_epochs(len(centers), generate, rng)
+
+    # ------------------------------------------------------------------
+    # Epoch / shard machinery
+    # ------------------------------------------------------------------
+
+    def _begin(
+        self,
+        syn0: np.ndarray,
+        syn1: np.ndarray,
+        sampler: NegativeSampler | None,
+        total_pairs: int,
+        batch_pairs: int,
+    ) -> None:
+        self._syn0 = syn0
+        self._syn1 = syn1
+        self._sampler = sampler
+        self._total_pairs = total_pairs
+        self._batch_pairs = batch_pairs
+        self._n_vocab = len(syn0)
+        self._processed = 0
+
+    def _train_epochs(
+        self,
+        n_items: int,
+        generate: Callable[[int, int, np.ndarray], tuple | None],
+        rng: np.random.Generator,
+    ) -> None:
+        if n_items == 0:
+            return
+        with WorkerPool(self.model.workers) as pool:
+            for epoch in range(self.model.epochs):
+                order = rng.permutation(n_items)
+                shards = np.array_split(order, min(self.n_shards, n_items))
+                self._run_epoch(pool, epoch, shards, generate)
+
+    def _run_epoch(
+        self,
+        pool: WorkerPool,
+        epoch: int,
+        shards: list[np.ndarray],
+        generate: Callable[[int, int, np.ndarray], tuple | None],
+    ) -> None:
+        """Pipelined pass over one epoch's shards.
+
+        A bounded window of generation tasks runs ahead of the SGD
+        tasks, so pair construction for shard ``i+1`` overlaps SGD on
+        shard ``i`` while at most ``threads + prefetch_margin`` shards
+        of pairs exist at once.
+        """
+        prefetch = pool.threads + self.prefetch_margin
+        pending: deque = deque()
+        sgd_futures = []
+        next_shard = 0
+
+        def submit_generation() -> None:
+            nonlocal next_shard
+            shard = next_shard
+            pending.append(
+                (shard, pool.submit(generate, epoch, shard, shards[shard]))
+            )
+            next_shard += 1
+
+        while next_shard < len(shards) and len(pending) < prefetch:
+            submit_generation()
+        while pending:
+            shard, future = pending.popleft()
+            payload = future.result()
+            if payload is not None:
+                sgd_futures.append(
+                    pool.submit(self._train_shard, epoch, shard, payload)
+                )
+            if next_shard < len(shards):
+                submit_generation()
+        for future in sgd_futures:
+            future.result()
+
+    def _shard_rng(self, stream: int, epoch: int, shard: int):
+        return np.random.default_rng([self.model.seed, stream, epoch, shard])
+
+    def _generate_corpus_shard(
+        self,
+        flat: np.ndarray,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+        keep_probs: np.ndarray | None,
+        epoch: int,
+        shard: int,
+        sel: np.ndarray,
+    ) -> tuple | None:
+        model = self.model
+        grng = self._shard_rng(_GEN_STREAM, epoch, shard)
+        shard_lengths = lengths[sel]
+        n_tokens = int(shard_lengths.sum())
+        if n_tokens == 0:
+            return None
+        # Gather the shard's sentences from the flat corpus in one shot.
+        segment = np.concatenate([[0], np.cumsum(shard_lengths)[:-1]])
+        token_idx = np.repeat(starts[:-1][sel], shard_lengths) + (
+            np.arange(n_tokens) - np.repeat(segment, shard_lengths)
+        )
+        tokens = flat[token_idx]
+        if keep_probs is not None:
+            keep = grng.random(n_tokens) < keep_probs[tokens]
+            sentence_id = np.repeat(np.arange(len(sel)), shard_lengths)
+            shard_lengths = np.bincount(sentence_id[keep], minlength=len(sel))
+            tokens = tokens[keep]
+        shard_starts = np.concatenate([[0], np.cumsum(shard_lengths)]).astype(
+            np.int64
+        )
+        centers, contexts = skipgram_pairs_flat(
+            tokens, shard_starts, model.context, grng, dynamic=model.dynamic_window
+        )
+        if len(centers) == 0:
+            return None
+        return self._dedup_and_shuffle(centers, contexts, grng)
+
+    def _dedup_and_shuffle(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        grng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        uniq_c, uniq_x, multiplicity = dedup_pairs(
+            centers, contexts, self._n_vocab
+        )
+        # Shuffling is load-bearing: np.unique returns same-center pairs
+        # adjacent, and adjacent pairs share a negative draw.
+        perm = grng.permutation(len(uniq_c))
+        return uniq_c[perm], uniq_x[perm], multiplicity[perm]
+
+    def _train_shard(self, epoch: int, shard: int, payload: tuple) -> None:
+        model = self.model
+        centers, contexts, multiplicity = payload
+        srng = self._shard_rng(_SGD_STREAM, epoch, shard)
+        for lo in range(0, len(centers), self._batch_pairs):
+            hi = min(lo + self._batch_pairs, len(centers))
+            represented = int(multiplicity[lo:hi].sum())
+            with self._lock:
+                fraction = min(self._processed / self._total_pairs, 1.0)
+                lr = max(model.alpha * (1.0 - fraction), model.min_alpha)
+                self._processed += represented
+            sgd_step_fast(
+                self._syn0,
+                self._syn1,
+                centers[lo:hi],
+                contexts[lo:hi],
+                multiplicity[lo:hi],
+                self._sampler,
+                model.negative,
+                self.shared_negatives,
+                lr,
+                srng,
+            )
+            if model.max_norm is not None:
+                cap_row_norms(self._syn0, model.max_norm)
+                cap_row_norms(self._syn1, model.max_norm)

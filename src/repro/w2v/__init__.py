@@ -10,7 +10,11 @@ from repro.w2v.glove import GloVe
 from repro.w2v.keyedvectors import KeyedVectors
 from repro.w2v.model import Word2Vec
 from repro.w2v.negative import NegativeSampler
-from repro.w2v.skipgram import expected_pair_count, skipgram_pairs
+from repro.w2v.skipgram import (
+    expected_pair_count,
+    skipgram_pairs,
+    skipgram_pairs_flat,
+)
 from repro.w2v.vocab import Vocabulary
 
 __all__ = [
@@ -21,4 +25,5 @@ __all__ = [
     "Word2Vec",
     "expected_pair_count",
     "skipgram_pairs",
+    "skipgram_pairs_flat",
 ]

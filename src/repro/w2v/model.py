@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.w2v.cbow import cbow_step
 from repro.w2v.keyedvectors import KeyedVectors
-from repro.w2v.mathutils import scatter_add, sigmoid
+from repro.w2v.mathutils import cap_row_norms, scatter_add, sigmoid
 from repro.w2v.negative import NegativeSampler
 from repro.w2v.skipgram import expected_pair_count, skipgram_pairs
 from repro.w2v.vocab import Vocabulary
@@ -23,10 +23,7 @@ from repro.utils.rng import make_rng
 
 def _cap_norms(matrix: np.ndarray, max_norm: float) -> None:
     """Scale rows with L2 norm above ``max_norm`` back onto the ball."""
-    norms = np.linalg.norm(matrix, axis=1)
-    over = norms > max_norm
-    if over.any():
-        matrix[over] *= (max_norm / norms[over, None]).astype(matrix.dtype)
+    cap_row_norms(matrix, max_norm)
 
 
 @dataclass
@@ -37,6 +34,14 @@ class Word2Vec:
     ``vector_size`` is the embedding dimension V, ``context`` the
     one-sided window c, ``negative`` the number of negative samples,
     ``sample`` the frequent-token subsampling threshold (0 disables).
+
+    ``workers`` selects the training engine: ``1`` (the default) is the
+    bit-reproducible sequential reference path; any other value routes
+    skip-gram training through the sharded parallel engine
+    (:class:`repro.parallel.trainer.ShardedTrainer`), with ``0`` meaning
+    "use all available cores".  The parallel engine optimises the same
+    objective and is statistically equivalent, but not bit-identical,
+    to the sequential path.  CBOW always trains sequentially.
     """
 
     vector_size: int = 50
@@ -54,8 +59,11 @@ class Word2Vec:
     max_norm: float | None = 10.0
     dynamic_window: bool = True
     seed: int = 1
+    workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 means all cores)")
         if self.vector_size < 1:
             raise ValueError("vector_size must be positive")
         if self.context < 1:
@@ -107,6 +115,22 @@ class Word2Vec:
         batch_pairs = min(
             self.batch_pairs, max(256, self.batch_vocab_factor * len(vocab))
         )
+
+        if self.workers != 1 and self.architecture == "skipgram":
+            from repro.parallel.trainer import ShardedTrainer
+
+            ShardedTrainer(self).train_corpus(
+                encoded,
+                lengths,
+                syn0,
+                syn1,
+                sampler,
+                keep_probs,
+                total_pairs,
+                batch_pairs,
+                rng,
+            )
+            return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
 
         centers_buf: list[np.ndarray] = []
         contexts_buf: list[np.ndarray] = []
@@ -207,6 +231,15 @@ class Word2Vec:
             self.batch_pairs, max(256, self.batch_vocab_factor * len(vocab))
         )
         total_pairs = max(len(centers) * self.epochs, 1)
+
+        if self.workers != 1:
+            from repro.parallel.trainer import ShardedTrainer
+
+            ShardedTrainer(self).train_pair_stream(
+                centers, contexts, syn0, syn1, sampler, total_pairs, batch_pairs, rng
+            )
+            return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
+
         processed = 0
         for _ in range(self.epochs):
             order = rng.permutation(len(centers))

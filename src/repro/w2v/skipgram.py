@@ -28,26 +28,29 @@ def expected_pair_count(
     if context < 1:
         raise ValueError("context must be positive")
     lengths = np.asarray(lengths, dtype=np.int64)
-    total = 0.0
-    for n in lengths:
-        n = int(n)
-        if n < 2:
-            continue
-        k = np.arange(n)  # room on one side, per position
-        if dynamic:
-            # E[min(k, b)], b ~ U{1..c}:
-            #   k >= c: (c + 1) / 2
-            #   k <  c: (k(k+1)/2 + (c-k)k) / c
-            clipped = np.minimum(k, context)
-            expected = (
-                clipped * (clipped + 1) / 2 + (context - clipped) * clipped
-            ) / context
-            expected[k >= context] = (context + 1) / 2
-        else:
-            expected = np.minimum(k, context).astype(float)
-        # By symmetry both sides sum to the same value.
-        total += 2.0 * float(expected.sum())
-    return total
+    lengths = lengths[lengths >= 2]
+    if lengths.size == 0:
+        return 0.0
+    # One closed-form pass over the length *histogram*: the per-position
+    # expectation depends only on the one-sided room k, so a sentence of
+    # length n contributes 2 * sum_{k<n} E[min(k, b)] (both sides are
+    # symmetric) and the prefix sums cover every n at once.
+    n_max = int(lengths.max())
+    k = np.arange(n_max)  # room on one side, per position
+    if dynamic:
+        # E[min(k, b)], b ~ U{1..c}:
+        #   k >= c: (c + 1) / 2
+        #   k <  c: (k(k+1)/2 + (c-k)k) / c
+        clipped = np.minimum(k, context)
+        expected = (
+            clipped * (clipped + 1) / 2 + (context - clipped) * clipped
+        ) / context
+        expected[k >= context] = (context + 1) / 2
+    else:
+        expected = np.minimum(k, context).astype(float)
+    prefix = np.cumsum(expected)  # prefix[i] = sum of expected[0..i]
+    histogram = np.bincount(lengths, minlength=n_max + 1)[2:]
+    return float(2.0 * (histogram * prefix[1:]).sum())
 
 
 def skipgram_pairs(
@@ -99,3 +102,64 @@ def skipgram_pairs(
     contexts_pos[contexts_pos >= centers] += 1
     sentence = np.asarray(sentence, dtype=np.int64)
     return sentence[centers], sentence[contexts_pos]
+
+
+def skipgram_pairs_flat(
+    tokens: np.ndarray,
+    starts: np.ndarray,
+    context: int,
+    rng: np.random.Generator | None = None,
+    dynamic: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Skip-gram pairs for many sentences stored in one flat array.
+
+    Equivalent to concatenating :func:`skipgram_pairs` over every
+    sentence (and, with the same ``rng``, produces the identical pair
+    stream when all sentences have length >= 2), but one vectorized
+    pass over the whole corpus slab — this is what lets the parallel
+    trainer generate a shard's pairs in a handful of numpy calls.
+
+    Args:
+        tokens: all sentences' word ids, concatenated.
+        starts: sentence boundary offsets, shape ``(n_sentences + 1,)``;
+            sentence ``i`` is ``tokens[starts[i]:starts[i + 1]]``.
+        context: maximum one-sided window size ``c``.
+        rng: randomness for dynamic window shrinking; one window is
+            drawn per token position (including positions of length-1
+            sentences, which emit no pairs).
+        dynamic: shrink each center's window uniformly to ``1..c``.
+
+    Returns:
+        ``(centers, contexts)`` aligned int64 arrays.
+    """
+    if context < 1:
+        raise ValueError("context must be positive")
+    tokens = np.asarray(tokens, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    n_tokens = len(tokens)
+    empty = np.empty(0, dtype=np.int64)
+    if n_tokens == 0:
+        return empty, empty
+    lengths = np.diff(starts)
+    sentence_id = np.repeat(np.arange(len(lengths)), lengths)
+    sentence_start = starts[:-1][sentence_id]
+    sentence_end = starts[1:][sentence_id]
+    positions = np.arange(n_tokens)
+    if dynamic:
+        if rng is None:
+            raise ValueError("dynamic windows need an rng")
+        windows = rng.integers(1, context + 1, size=n_tokens)
+    else:
+        windows = np.full(n_tokens, context, dtype=np.int64)
+    lo = np.maximum(positions - windows, sentence_start)
+    hi = np.minimum(positions + windows, sentence_end - 1)
+    pair_counts = hi - lo  # context slots excluding the center itself
+    total = int(pair_counts.sum())
+    if total == 0:
+        return empty, empty
+    centers_pos = np.repeat(positions, pair_counts)
+    segment = np.concatenate([[0], np.cumsum(pair_counts)[:-1]])
+    slot = np.arange(total) - np.repeat(segment, pair_counts)
+    contexts_pos = np.repeat(lo, pair_counts) + slot
+    contexts_pos[contexts_pos >= centers_pos] += 1
+    return tokens[centers_pos], tokens[contexts_pos]
