@@ -21,15 +21,31 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core import DarkVec, DarkVecConfig
 from repro.trace.generator import generate_trace
 from repro.trace.scenario import default_scenario
 from repro.w2v.skipgram import expected_pair_count
+
+
+def _peak_rss_kb() -> int:
+    """Process-lifetime peak RSS in KiB (monotone high-water mark)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _counter_delta(after: dict, before: dict) -> dict:
+    """Per-stage counter increments between two telemetry snapshots."""
+    return {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value != before.get(name, 0)
+    }
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,31 +63,64 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def run_setting(trace, truth, workers: int, epochs: int, seed: int) -> dict:
-    """Fit + evaluate + cluster once at the given worker count."""
+    """Fit + evaluate + cluster once at the given worker count.
+
+    Runs inside a counters-only telemetry session (no ``tracemalloc``,
+    so timings stay honest) and records a per-stage snapshot — seconds,
+    peak RSS after the stage, and the stage's counter increments — in
+    the returned ``stage_metrics`` mapping.
+    """
     config = DarkVecConfig(
         service="domain", epochs=epochs, seed=seed, workers=workers
     )
     darkvec = DarkVec(config)
+    telemetry = obs.Telemetry(profile_memory=False)
+    stage_metrics: dict[str, dict] = {}
 
-    t0 = time.perf_counter()
-    darkvec.fit(trace)
-    fit_seconds = time.perf_counter() - t0
+    with obs.session(telemetry):
+        before = telemetry.snapshot()["counters"]
+        t0 = time.perf_counter()
+        darkvec.fit(trace)
+        fit_seconds = time.perf_counter() - t0
+        after = telemetry.snapshot()["counters"]
+        stage_metrics["fit"] = {
+            "seconds": round(fit_seconds, 3),
+            "peak_rss_kb": _peak_rss_kb(),
+            "counters": _counter_delta(after, before),
+        }
 
-    assert darkvec.corpus is not None and darkvec.embedding is not None
-    lengths = np.array(
-        [len(s) for s in darkvec.corpus if len(s) >= 2], dtype=np.int64
+        assert darkvec.corpus is not None and darkvec.embedding is not None
+        lengths = np.array(
+            [len(s) for s in darkvec.corpus if len(s) >= 2], dtype=np.int64
+        )
+        pairs_per_epoch = expected_pair_count(lengths, config.context)
+        trained_pairs = pairs_per_epoch * epochs
+
+        before = after
+        t0 = time.perf_counter()
+        report = darkvec.evaluate(truth)
+        evaluate_seconds = time.perf_counter() - t0
+        after = telemetry.snapshot()["counters"]
+        stage_metrics["evaluate"] = {
+            "seconds": round(evaluate_seconds, 3),
+            "peak_rss_kb": _peak_rss_kb(),
+            "counters": _counter_delta(after, before),
+        }
+
+        before = after
+        t0 = time.perf_counter()
+        clusters = darkvec.cluster(k_prime=3)
+        cluster_seconds = time.perf_counter() - t0
+        after = telemetry.snapshot()["counters"]
+        stage_metrics["cluster"] = {
+            "seconds": round(cluster_seconds, 3),
+            "peak_rss_kb": _peak_rss_kb(),
+            "counters": _counter_delta(after, before),
+        }
+
+    stage_metrics["fit"]["pairs_per_second"] = round(
+        trained_pairs / fit_seconds, 1
     )
-    pairs_per_epoch = expected_pair_count(lengths, config.context)
-    trained_pairs = pairs_per_epoch * epochs
-
-    t0 = time.perf_counter()
-    report = darkvec.evaluate(truth)
-    evaluate_seconds = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    clusters = darkvec.cluster(k_prime=3)
-    cluster_seconds = time.perf_counter() - t0
-
     end_to_end = fit_seconds + evaluate_seconds + cluster_seconds
     return {
         "workers": workers,
@@ -85,6 +134,7 @@ def run_setting(trace, truth, workers: int, epochs: int, seed: int) -> dict:
         "modularity": round(clusters.modularity, 4),
         "n_clusters": clusters.n_clusters,
         "embedded_senders": len(darkvec.embedding),
+        "stage_metrics": stage_metrics,
     }
 
 

@@ -7,9 +7,15 @@ Subcommands mirror the DarkVec workflow:
     repro train     --trace trace.csv --out vectors.npz [--service ...]
     repro evaluate  --trace trace.csv --vectors vectors.npz --labels labels.csv
     repro cluster   --trace trace.csv --vectors vectors.npz [--k-prime K]
+    repro profile   [--preset small|medium] [--metrics-out trace.ndjson]
 
 ``simulate`` also writes ``<out>.labels.csv`` with the ground truth so
 the evaluate step can be run on the simulated data.
+
+``train``, ``evaluate`` and ``cluster`` accept ``--metrics-out PATH``
+(export the telemetry trace as NDJSON) and ``--profile`` (also print a
+per-stage time/memory/throughput table).  ``profile`` runs the whole
+pipeline on a synthetic scenario with both enabled.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.stats import dataset_stats
 from repro.core import DarkVec, DarkVecConfig
 from repro.core.inspection import inspect_clusters
@@ -44,6 +51,20 @@ def build_parser() -> argparse.ArgumentParser:
         "with word embeddings",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_telemetry_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--metrics-out",
+            type=Path,
+            default=None,
+            help="write the telemetry trace (spans + metrics) as NDJSON",
+        )
+        cmd.add_argument(
+            "--profile",
+            action="store_true",
+            help="profile the run and print a per-stage table "
+            "(time, peak memory, throughput)",
+        )
 
     simulate = sub.add_parser("simulate", help="generate a synthetic trace")
     simulate.add_argument("--out", required=True, type=Path)
@@ -82,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="training parallelism (1 = exact sequential, 0 = all cores)",
     )
+    add_telemetry_flags(train)
 
     evaluate = sub.add_parser("evaluate", help="leave-one-out 7-NN report")
     evaluate.add_argument("--trace", required=True, type=Path)
@@ -94,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="k-NN search parallelism (results are identical)",
     )
+    add_telemetry_flags(evaluate)
 
     cluster = sub.add_parser("cluster", help="Louvain cluster discovery")
     cluster.add_argument("--trace", required=True, type=Path)
@@ -107,6 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="k-NN search parallelism (results are identical)",
     )
+    add_telemetry_flags(cluster)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the full pipeline on a synthetic scenario and print "
+        "a per-stage time/memory/throughput table",
+    )
+    profile.add_argument(
+        "--preset",
+        choices=("small", "medium"),
+        default="small",
+        help="scenario size: small (~seconds) or medium (~a minute)",
+    )
+    profile.add_argument("--epochs", type=int, default=10)
+    profile.add_argument("--workers", type=int, default=1)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the telemetry trace (spans + metrics) as NDJSON",
+    )
+    profile.set_defaults(profile=True)
 
     return parser
 
@@ -175,6 +221,17 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _print_progress(event) -> None:
+    """Epoch-line progress printer used when ``--profile`` is active."""
+    loss = f" loss {event.loss:.3f}" if event.loss is not None else ""
+    print(
+        f"epoch {event.epoch + 1}/{event.total_epochs}: "
+        f"{event.pairs_processed:,} pairs, "
+        f"{event.pairs_per_second:,.0f} pairs/s, "
+        f"eta {event.eta_seconds:.1f}s{loss}"
+    )
+
+
 def _cmd_train(args) -> int:
     trace = read_trace_csv(args.trace)
     config = DarkVecConfig(
@@ -185,7 +242,8 @@ def _cmd_train(args) -> int:
         seed=args.seed,
         workers=args.workers,
     )
-    darkvec = DarkVec(config).fit(trace)
+    progress = _print_progress if args.profile else None
+    darkvec = DarkVec(config).fit(trace, progress=progress)
     embedding = darkvec.embedding
     assert embedding is not None and darkvec.corpus is not None
     # Persist keyed by IP address (sender indices are trace-specific).
@@ -277,19 +335,60 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Full pipeline on a synthetic scenario, under full telemetry."""
+    if args.preset == "medium":
+        scenario = default_scenario(scale=0.05, days=10.0, seed=args.seed)
+    else:
+        scenario = default_scenario(scale=0.02, days=3.0, seed=args.seed)
+    bundle = generate_trace(scenario)
+    config = DarkVecConfig(epochs=args.epochs, workers=args.workers)
+    darkvec = DarkVec(config).fit(bundle.trace, progress=_print_progress)
+    report = darkvec.evaluate(bundle.truth, eval_days=None)
+    result = darkvec.cluster()
+    print(
+        f"accuracy {report.accuracy:.3f}, {result.n_clusters} clusters, "
+        f"modularity {result.modularity:.3f}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "stats": _cmd_stats,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "cluster": _cmd_cluster,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When ``--metrics-out`` or ``--profile`` is given, the command runs
+    inside a telemetry session; afterwards the trace is exported as
+    NDJSON and/or the per-stage table is printed.  Without either flag
+    the no-op recorder stays installed and nothing is measured.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    metrics_out = getattr(args, "metrics_out", None)
+    profiling = getattr(args, "profile", False)
+    if metrics_out is None and not profiling:
+        return handler(args)
+    telemetry = obs.Telemetry(profile_memory=profiling)
+    with obs.session(telemetry):
+        code = handler(args)
+    if profiling:
+        print()
+        print(obs.format_stage_table(telemetry, title="Pipeline stages"))
+        print()
+        print(obs.format_counters_table(telemetry))
+    if metrics_out is not None:
+        obs.write_metrics_ndjson(telemetry, metrics_out)
+        print(f"wrote telemetry NDJSON to {metrics_out}")
+    return code
 
 
 if __name__ == "__main__":

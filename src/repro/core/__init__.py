@@ -9,7 +9,7 @@ from repro.core.config import DarkVecConfig
 from repro.core.extension import extend_ground_truth
 from repro.core.filtering import active_filter, coverage
 from repro.core.inspection import ClusterProfile, inspect_clusters
-from repro.core.pipeline import ClusterResult, DarkVec
+from repro.core.pipeline import ClusterResult, DarkVec, NotFittedError
 from repro.core.report import ClusterFinding, describe_cluster, describe_clusters
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "describe_clusters",
     "DarkVec",
     "DarkVecConfig",
+    "NotFittedError",
     "active_filter",
     "coverage",
     "extend_ground_truth",

@@ -12,9 +12,11 @@ Usage sketch::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import DarkVecConfig
 from repro.corpus.builder import CorpusBuilder
 from repro.corpus.document import Corpus
@@ -24,9 +26,18 @@ from repro.graph.modularity import modularity
 from repro.knn.loo import leave_one_out_predictions
 from repro.knn.report import ClassificationReport, classification_report
 from repro.labels.groundtruth import GroundTruth
+from repro.obs.progress import ProgressEvent
 from repro.trace.packet import Trace
 from repro.w2v.keyedvectors import KeyedVectors
 from repro.w2v.model import Word2Vec
+
+
+class NotFittedError(RuntimeError):
+    """Raised when an analysis method runs before :meth:`DarkVec.fit`.
+
+    Subclasses ``RuntimeError`` so pre-existing ``except RuntimeError``
+    handlers keep working.
+    """
 
 
 @dataclass
@@ -63,29 +74,47 @@ class DarkVec:
     # Training
     # ------------------------------------------------------------------
 
-    def fit(self, trace: Trace) -> "DarkVec":
-        """Build the corpus of ``trace`` and train the embedding."""
-        config = self.config
-        active = trace.active_senders(config.min_packets)
-        service_map = config.resolve_service_map(trace)
-        builder = CorpusBuilder(service_map, delta_t=config.delta_t)
-        corpus = builder.build(trace, keep_senders=active)
-        model = Word2Vec(
-            vector_size=config.vector_size,
-            context=config.context,
-            negative=config.negative,
-            epochs=config.epochs,
-            seed=config.seed,
-            workers=config.workers,
-        )
-        self.embedding = model.fit([sentence.tokens for sentence in corpus])
-        self.trace = trace
-        self.corpus = corpus
+    def fit(
+        self,
+        trace: Trace,
+        progress: Callable[[ProgressEvent], None] | None = None,
+    ) -> "DarkVec":
+        """Build the corpus of ``trace`` and train the embedding.
+
+        Args:
+            trace: packet trace to embed.
+            progress: optional per-epoch callback forwarded to
+                :class:`~repro.w2v.model.Word2Vec` (receives a
+                :class:`~repro.obs.progress.ProgressEvent`).
+        """
+        with obs.span("pipeline.fit"):
+            config = self.config
+            active = trace.active_senders(config.min_packets)
+            service_map = config.resolve_service_map(trace)
+            builder = CorpusBuilder(service_map, delta_t=config.delta_t)
+            corpus = builder.build(trace, keep_senders=active)
+            model = Word2Vec(
+                vector_size=config.vector_size,
+                context=config.context,
+                negative=config.negative,
+                epochs=config.epochs,
+                seed=config.seed,
+                workers=config.workers,
+                progress=progress,
+            )
+            self.embedding = model.fit(
+                [sentence.tokens for sentence in corpus]
+            )
+            self.trace = trace
+            self.corpus = corpus
         return self
 
     def _require_fit(self) -> tuple[Trace, KeyedVectors]:
         if self.trace is None or self.embedding is None:
-            raise RuntimeError("call fit() before analysing")
+            raise NotFittedError(
+                "this DarkVec instance is not fitted yet: "
+                "call fit(trace) before evaluate()/cluster()"
+            )
         return self.trace, self.embedding
 
     # ------------------------------------------------------------------
@@ -114,12 +143,17 @@ class DarkVec:
     ) -> ClassificationReport:
         """Leave-one-out k-NN evaluation (the Table 3/4 protocol)."""
         trace, embedding = self._require_fit()
-        labels = truth.labels_for(trace)[embedding.tokens]
-        rows = self.evaluation_rows(eval_days)
-        predictions = leave_one_out_predictions(
-            embedding.vectors, labels, rows, k=k, workers=self.config.workers
-        )
-        return classification_report(labels[rows], predictions)
+        with obs.span("pipeline.evaluate", k=k):
+            labels = truth.labels_for(trace)[embedding.tokens]
+            rows = self.evaluation_rows(eval_days)
+            predictions = leave_one_out_predictions(
+                embedding.vectors,
+                labels,
+                rows,
+                k=k,
+                workers=self.config.workers,
+            )
+            return classification_report(labels[rows], predictions)
 
     # ------------------------------------------------------------------
     # Unsupervised analysis
@@ -128,10 +162,11 @@ class DarkVec:
     def cluster(self, k_prime: int = 3, seed: int = 0) -> ClusterResult:
         """k'-NN graph + Louvain clustering of all embedded senders."""
         _, embedding = self._require_fit()
-        graph = build_knn_graph(
-            embedding.vectors, k_prime=k_prime, workers=self.config.workers
-        )
-        adjacency = graph.symmetric_adjacency()
-        communities = louvain_communities(adjacency, seed=seed)
-        score = modularity(adjacency, communities)
+        with obs.span("pipeline.cluster", k_prime=k_prime):
+            graph = build_knn_graph(
+                embedding.vectors, k_prime=k_prime, workers=self.config.workers
+            )
+            adjacency = graph.symmetric_adjacency()
+            communities = louvain_communities(adjacency, seed=seed)
+            score = modularity(adjacency, communities)
         return ClusterResult(communities=communities, modularity=score, graph=graph)

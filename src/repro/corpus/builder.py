@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.corpus.document import Corpus, Sentence
 from repro.corpus.windows import window_indices
 from repro.services.base import ServiceMap
@@ -44,35 +45,45 @@ class CorpusBuilder:
             t_start: origin of the ΔT grid; defaults to the first
                 packet's timestamp.
         """
-        if keep_senders is not None:
-            trace = trace.from_senders(np.asarray(keep_senders))
-        if not len(trace):
-            return Corpus(sentences=[], service_names=self.service_map.names)
-        if t_start is None:
-            t_start = trace.start_time
+        with obs.span("corpus.build", delta_t=self.delta_t) as sp:
+            if keep_senders is not None:
+                trace = trace.from_senders(np.asarray(keep_senders))
+            if not len(trace):
+                return Corpus(
+                    sentences=[], service_names=self.service_map.names
+                )
+            if t_start is None:
+                t_start = trace.start_time
 
-        service_ids = self.service_map.service_ids(trace.ports, trace.protos)
-        windows = window_indices(trace.times, t_start, self.delta_t)
-
-        # Stable sort by (service, window): packets keep their time
-        # order inside each sentence because the trace is time-sorted.
-        order = np.lexsort((windows, service_ids))
-        service_sorted = service_ids[order]
-        window_sorted = windows[order]
-        tokens_sorted = trace.senders[order]
-
-        boundaries = np.flatnonzero(
-            (np.diff(service_sorted) != 0) | (np.diff(window_sorted) != 0)
-        )
-        starts = np.concatenate([[0], boundaries + 1])
-        ends = np.concatenate([boundaries + 1, [len(tokens_sorted)]])
-
-        sentences = [
-            Sentence(
-                tokens=tokens_sorted[lo:hi].copy(),
-                service_id=int(service_sorted[lo]),
-                window=int(window_sorted[lo]),
+            service_ids = self.service_map.service_ids(
+                trace.ports, trace.protos
             )
-            for lo, hi in zip(starts, ends)
-        ]
+            windows = window_indices(trace.times, t_start, self.delta_t)
+
+            # Stable sort by (service, window): packets keep their time
+            # order inside each sentence because the trace is time-sorted.
+            order = np.lexsort((windows, service_ids))
+            service_sorted = service_ids[order]
+            window_sorted = windows[order]
+            tokens_sorted = trace.senders[order]
+
+            boundaries = np.flatnonzero(
+                (np.diff(service_sorted) != 0) | (np.diff(window_sorted) != 0)
+            )
+            starts = np.concatenate([[0], boundaries + 1])
+            ends = np.concatenate([boundaries + 1, [len(tokens_sorted)]])
+
+            sentences = [
+                Sentence(
+                    tokens=tokens_sorted[lo:hi].copy(),
+                    service_id=int(service_sorted[lo]),
+                    window=int(window_sorted[lo]),
+                )
+                for lo, hi in zip(starts, ends)
+            ]
+            total = int(ends[-1])
+            obs.add("corpus.sentences", len(sentences))
+            obs.add("corpus.tokens", total)
+            obs.observe_many("corpus.sentence_length", ends - starts)
+            sp.set(items=total, items_unit="tokens")
         return Corpus(sentences=sentences, service_names=self.service_map.names)

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.knn.classifier import knn_search
 from repro.w2v.mathutils import unit_rows
 
@@ -118,9 +119,13 @@ def build_knn_graph(
     units = unit_rows(np.asarray(vectors))
     n = len(units)
     all_rows = np.arange(n)
-    neighbors, sims = knn_search(
-        units, all_rows, k_prime, exclude_self=True, workers=workers
-    )
+    with obs.span("graph.knn_graph", k_prime=k_prime, nodes=n) as sp:
+        obs.set_gauge("graph.nodes", n)
+        obs.add("graph.edges", n * k_prime)
+        sp.set(items=n * k_prime, items_unit="edges")
+        neighbors, sims = knn_search(
+            units, all_rows, k_prime, exclude_self=True, workers=workers
+        )
     sources = np.repeat(all_rows, k_prime)
     targets = neighbors.reshape(-1)
     weights = np.clip(sims.reshape(-1), 0.0, None)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.utils.rng import make_rng
 
 
@@ -36,18 +37,21 @@ def louvain_communities(
     if n == 0:
         return np.empty(0, dtype=np.int64)
 
-    # node -> community of the *original* graph, refined every level.
-    membership = np.arange(n, dtype=np.int64)
-    current = adjacency
+    with obs.span("graph.louvain", nodes=n) as sp:
+        # node -> community of the *original* graph, refined every level.
+        membership = np.arange(n, dtype=np.int64)
+        current = adjacency
 
-    while True:
-        local, improved = _one_level(current, resolution, rng, min_gain)
-        membership = local[membership]
-        if not improved or len(np.unique(local)) == len(current):
-            break
-        current = _aggregate(current, local)
-    # Renumber to contiguous ids.
-    _, contiguous = np.unique(membership, return_inverse=True)
+        while True:
+            obs.add("louvain.passes", 1)
+            local, improved = _one_level(current, resolution, rng, min_gain)
+            membership = local[membership]
+            if not improved or len(np.unique(local)) == len(current):
+                break
+            current = _aggregate(current, local)
+        # Renumber to contiguous ids.
+        _, contiguous = np.unique(membership, return_inverse=True)
+        sp.set(items=n, items_unit="nodes")
     return contiguous.astype(np.int64)
 
 
@@ -68,6 +72,7 @@ def _one_level(
         return community, False
 
     any_move = False
+    n_moves = 0
     moved = True
     while moved:
         moved = False
@@ -106,7 +111,9 @@ def _one_level(
                 community[u] = best_community
                 moved = True
                 any_move = True
+                n_moves += 1
 
+    obs.add("louvain.moves", n_moves)
     _, contiguous = np.unique(community, return_inverse=True)
     return contiguous.astype(np.int64), any_move
 

@@ -2,12 +2,19 @@
 
 from repro.io.anonymize import anonymize_trace
 from repro.io.csvio import read_trace_csv, write_trace_csv
-from repro.io.ndjson import read_trace_ndjson, write_trace_ndjson
+from repro.io.ndjson import (
+    read_ndjson,
+    read_trace_ndjson,
+    write_ndjson,
+    write_trace_ndjson,
+)
 
 __all__ = [
     "anonymize_trace",
+    "read_ndjson",
     "read_trace_csv",
     "read_trace_ndjson",
+    "write_ndjson",
     "write_trace_csv",
     "write_trace_ndjson",
 ]

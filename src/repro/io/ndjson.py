@@ -26,6 +26,44 @@ def _open(path: Path, mode: str) -> IO[str]:
     return path.open(mode, encoding="utf-8")
 
 
+def write_ndjson(records, path: str | Path) -> None:
+    """Write an iterable of JSON-serialisable dicts, one per line.
+
+    The generic sibling of :func:`write_trace_ndjson`, used by the
+    telemetry exporter (:mod:`repro.obs.export`) and any other
+    record-stream producer.  Gzip-compresses when the path ends in
+    ``.gz``; non-JSON values fall back to their ``str()`` form.
+    """
+    path = Path(path)
+    with _open(path, "w") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(record, separators=(",", ":"), default=str) + "\n"
+            )
+
+
+def read_ndjson(path: str | Path) -> list[dict]:
+    """Read a file written by :func:`write_ndjson` back into dicts.
+
+    Blank lines are skipped; malformed lines raise :class:`ValueError`
+    with the offending line number.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    with _open(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed record ({exc})"
+                ) from None
+    return records
+
+
 def write_trace_ndjson(trace: Trace, path: str | Path) -> None:
     """Write a trace as NDJSON (gzip when the path ends in ``.gz``)."""
     path = Path(path)

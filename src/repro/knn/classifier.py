@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.parallel.pool import WorkerPool
 from repro.w2v.mathutils import unit_rows
 
@@ -59,12 +60,16 @@ def knn_search(
         (lo, min(lo + _CHUNK_ROWS, len(query_rows)))
         for lo in range(0, len(query_rows), _CHUNK_ROWS)
     ]
-    if workers == 1 or len(chunks) <= 1:
-        for bounds in chunks:
-            search_chunk(bounds)
-    else:
-        with WorkerPool(workers) as pool:
-            pool.map(search_chunk, chunks)
+    with obs.span("knn.search", k=k, queries=len(query_rows)) as sp:
+        obs.add("knn.queries", len(query_rows))
+        obs.add("knn.distance_computations", len(query_rows) * n)
+        sp.set(items=len(query_rows) * n, items_unit="dists")
+        if workers == 1 or len(chunks) <= 1:
+            for bounds in chunks:
+                search_chunk(bounds)
+        else:
+            with WorkerPool(workers) as pool:
+                pool.map(search_chunk, chunks)
     return neighbors, sims
 
 

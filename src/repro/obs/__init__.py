@@ -1,0 +1,78 @@
+"""Pipeline observability: tracing spans, metrics, progress events.
+
+This package is the single instrument panel of the reproduction:
+
+* **Spans** (:func:`span`) form a trace tree recording wall time, peak
+  ``tracemalloc`` memory and custom attributes per pipeline region.
+* **Metrics** (:func:`add` / :func:`set_gauge` / :func:`observe`) are
+  counters, gauges and fixed-bucket histograms declared centrally in
+  :data:`~repro.obs.metrics.METRICS`; worker-task writes are recorded
+  into task-local registries and merged back through the
+  :class:`~repro.parallel.pool.WorkerPool`.
+* **Progress** (:class:`~repro.obs.progress.ProgressEvent`) delivers
+  epoch-level pairs/sec, loss-estimate and ETA callbacks from
+  ``Word2Vec.fit`` / ``DarkVec.fit``.
+
+Everything is **off by default**: the installed recorder is a
+:class:`~repro.obs.recorder.NullRecorder` whose operations are empty
+calls, instrumentation never consumes randomness, and the
+``workers=1`` reference path stays bit-reproducible whether or not a
+session is active.  Enable recording with::
+
+    from repro import obs
+
+    with obs.session(obs.Telemetry(profile_memory=True)) as telemetry:
+        DarkVec(config).fit(trace)
+    obs.write_metrics_ndjson(telemetry, "run.ndjson")
+    print(obs.format_stage_table(telemetry))
+"""
+
+from repro.obs.export import (
+    counters_from_records,
+    format_counters_table,
+    format_stage_table,
+    telemetry_records,
+    write_metrics_ndjson,
+)
+from repro.obs.metrics import METRICS, Histogram, MetricSpec, MetricsRegistry
+from repro.obs.progress import ProgressEvent, epoch_event
+from repro.obs.recorder import (
+    NullRecorder,
+    SpanHandle,
+    Telemetry,
+    add,
+    current,
+    observe,
+    observe_many,
+    session,
+    set_gauge,
+    span,
+    wrap_task,
+)
+from repro.obs.spans import Span
+
+__all__ = [
+    "METRICS",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "NullRecorder",
+    "ProgressEvent",
+    "Span",
+    "SpanHandle",
+    "Telemetry",
+    "add",
+    "counters_from_records",
+    "current",
+    "epoch_event",
+    "format_counters_table",
+    "format_stage_table",
+    "observe",
+    "observe_many",
+    "session",
+    "set_gauge",
+    "span",
+    "telemetry_records",
+    "wrap_task",
+    "write_metrics_ndjson",
+]

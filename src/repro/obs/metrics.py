@@ -1,0 +1,246 @@
+"""Metric registry: counters, gauges and fixed-bucket histograms.
+
+Every metric the pipeline can emit is declared up front in
+:data:`METRICS`; recording to an undeclared name raises immediately,
+and ``tests/test_obs_docs.py`` asserts the README metric table matches
+this registry exactly, so code and documentation cannot drift apart.
+
+Registries are cheap plain-dict containers with snapshot/merge
+semantics: a worker task records into its own registry and the
+resulting snapshot is merged into the parent, so multi-worker runs
+aggregate without locking the hot path (see
+:meth:`repro.obs.recorder.Telemetry.task_scope`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric.
+
+    Attributes:
+        kind: ``"counter"``, ``"gauge"`` or ``"histogram"``.
+        description: one-line meaning, surfaced in the README table.
+        unit: unit of the recorded values (informational).
+        buckets: upper-inclusive bucket edges (histograms only); values
+            above the last edge land in an overflow bucket.
+        deterministic: True when the aggregated value is identical for
+            every ``workers`` setting of the same run (timing aside);
+            False for values that depend on the RNG streams of the
+            chosen training schedule.
+    """
+
+    kind: str
+    description: str
+    unit: str = ""
+    buckets: tuple[float, ...] | None = None
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unknown metric kind {self.kind!r}")
+        if (self.kind == "histogram") != (self.buckets is not None):
+            raise ValueError("histograms (and only histograms) need buckets")
+
+
+#: Every metric name the pipeline emits, with its kind and meaning.
+METRICS: dict[str, MetricSpec] = {
+    "trace.packets": MetricSpec(
+        "counter", "packets emitted by the trace simulator", unit="packets"
+    ),
+    "corpus.sentences": MetricSpec(
+        "counter", "sentences (service x dT cells) built into the corpus"
+    ),
+    "corpus.tokens": MetricSpec(
+        "counter", "tokens (packet sender occurrences) in the corpus"
+    ),
+    "corpus.sentence_length": MetricSpec(
+        "histogram",
+        "distribution of corpus sentence lengths",
+        unit="tokens",
+        buckets=(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    ),
+    "train.vocab_size": MetricSpec(
+        "gauge", "vocabulary size (senders embedded) of the last fit"
+    ),
+    "train.pairs_planned": MetricSpec(
+        "gauge",
+        "expected (center, context) pairs over all epochs "
+        "(drives the learning-rate schedule)",
+    ),
+    "train.epochs": MetricSpec("counter", "training epochs run"),
+    "train.pairs": MetricSpec(
+        "counter",
+        "skip-gram pairs pushed through SGD",
+        deterministic=False,
+    ),
+    "train.batches": MetricSpec(
+        "counter", "SGD batches executed", deterministic=False
+    ),
+    "train.batch_pairs": MetricSpec(
+        "histogram",
+        "distribution of SGD batch sizes",
+        unit="pairs",
+        buckets=(256, 1024, 4096, 16384, 65536),
+        deterministic=False,
+    ),
+    "train.negative_draws": MetricSpec(
+        "counter",
+        "negative samples drawn from the unigram^0.75 table",
+        deterministic=False,
+    ),
+    "knn.queries": MetricSpec("counter", "k-NN query points searched"),
+    "knn.distance_computations": MetricSpec(
+        "counter",
+        "candidate cosine similarities computed (queries x corpus size)",
+    ),
+    "graph.nodes": MetricSpec("gauge", "vertices of the last k'-NN graph"),
+    "graph.edges": MetricSpec(
+        "counter", "directed edges added to k'-NN graphs"
+    ),
+    "louvain.passes": MetricSpec(
+        "counter",
+        "Louvain level passes (local moving + aggregation rounds)",
+        deterministic=False,
+    ),
+    "louvain.moves": MetricSpec(
+        "counter",
+        "accepted node moves across all Louvain passes",
+        deterministic=False,
+    ),
+}
+
+
+def _spec_for(name: str, kind: str) -> MetricSpec:
+    spec = METRICS.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown metric {name!r}; declare it in repro.obs.metrics.METRICS"
+        )
+    if spec.kind != kind:
+        raise ValueError(f"metric {name!r} is a {spec.kind}, not a {kind}")
+    return spec
+
+
+class Histogram:
+    """Fixed-bucket histogram with upper-inclusive edges.
+
+    A value ``v`` lands in the first bucket whose edge is ``>= v``;
+    values above the last edge land in the trailing overflow bucket.
+    Tracks the observation count and sum alongside the bucket counts,
+    so means survive snapshot/merge.
+    """
+
+    __slots__ = ("edges", "counts", "total", "sum")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        self.edges = np.asarray(edges, dtype=np.float64)
+        if len(self.edges) == 0 or np.any(np.diff(self.edges) <= 0):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.counts = np.zeros(len(self.edges) + 1, dtype=np.int64)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.observe_many(np.asarray([value], dtype=np.float64))
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Record a batch of observations in one vectorized pass."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.edges, values, side="left")
+        self.counts += np.bincount(idx, minlength=len(self.counts))
+        self.total += int(values.size)
+        self.sum += float(values.sum())
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for snapshots and NDJSON export."""
+        return {
+            "edges": self.edges.tolist(),
+            "counts": self.counts.tolist(),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot into this histogram."""
+        if list(data["edges"]) != self.edges.tolist():
+            raise ValueError("cannot merge histograms with different edges")
+        self.counts += np.asarray(data["counts"], dtype=np.int64)
+        self.total += int(data["total"])
+        self.sum += float(data["sum"])
+
+
+class MetricsRegistry:
+    """One process- or task-local set of metric values.
+
+    All operations validate the metric name against :data:`METRICS`.
+    The registry itself is not thread-safe; concurrent writers each get
+    their own registry (via task scopes) and merge snapshots.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int | float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def add(self, name: str, value: int | float = 1) -> None:
+        """Increment counter ``name`` by ``value``."""
+        _spec_for(name, "counter")
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        _spec_for(name, "gauge")
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        self._histogram(name).observe(value)
+
+    def observe_many(self, name: str, values: np.ndarray) -> None:
+        """Record a batch of observations into histogram ``name``."""
+        self._histogram(name).observe_many(values)
+
+    def _histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            spec = _spec_for(name, "histogram")
+            assert spec.buckets is not None
+            hist = self.histograms[name] = Histogram(spec.buckets)
+        return hist
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of every recorded value."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.to_dict() for name, hist in self.histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins, as for direct :meth:`set_gauge` calls).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.add(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            self._histogram(name).merge_dict(data)

@@ -1,0 +1,67 @@
+"""Hierarchical tracing spans.
+
+A :class:`Span` records the wall time (and, under memory profiling,
+the ``tracemalloc`` peak) of one named region of the pipeline, plus
+arbitrary key/value attributes; nested regions become child spans, so
+one run produces a tree rooted at the telemetry session's synthetic
+``root`` span.  Spans carry no behaviour of their own — the recorder
+(:mod:`repro.obs.recorder`) creates, times and links them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One timed region of the pipeline.
+
+    Attributes:
+        name: dotted region name, e.g. ``"train.epoch"``.
+        attrs: custom attributes captured at entry or via
+            :meth:`repro.obs.recorder.SpanHandle.set`.
+        elapsed: wall-clock seconds (0.0 while the span is open).
+        mem_peak_bytes: ``tracemalloc`` peak of the region, or ``None``
+            when memory profiling is off.
+        children: nested spans in creation order.
+    """
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    elapsed: float = 0.0
+    mem_peak_bytes: int | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    def walk(self, depth: int = 0, path: str = "") -> Iterator[tuple["Span", int, str]]:
+        """Depth-first ``(span, depth, path)`` traversal of the subtree.
+
+        ``path`` joins ancestor names with ``/`` (the root's own name is
+        included); useful as a stable span identifier in exports.
+        """
+        here = f"{path}/{self.name}" if path else self.name
+        yield self, depth, here
+        for child in self.children:
+            yield from child.walk(depth + 1, here)
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given name, DFS order."""
+        for span, _, _ in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    @property
+    def throughput(self) -> float | None:
+        """``attrs["items"] / elapsed`` when both are available.
+
+        Instrumentation sites set ``items`` (and ``items_unit``) on
+        spans whose work has a natural volume — pairs trained, packets
+        generated — which is what the profile table surfaces as
+        throughput.
+        """
+        items = self.attrs.get("items")
+        if items is None or self.elapsed <= 0:
+            return None
+        return float(items) / self.elapsed

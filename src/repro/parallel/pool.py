@@ -9,6 +9,12 @@ scheduling overhead.  A single-threaded pool runs tasks inline at
 submit time; this keeps the task structure (and therefore work
 sharding) identical across machines while skipping thread overhead
 entirely, and makes single-core runs fully deterministic.
+
+When a telemetry session is active (:mod:`repro.obs`), every task runs
+inside a task scope: its metric writes land in a task-local registry
+whose snapshot is merged back into the parent when the task finishes,
+so ``workers > 1`` runs aggregate counters exactly like single-worker
+runs.  With no session active the wrapping is skipped entirely.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Iterable
+
+from repro.obs.recorder import wrap_task
 
 
 def resolve_workers(workers: int) -> int:
@@ -40,6 +48,7 @@ class WorkerPool:
 
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
         """Schedule ``fn(*args, **kwargs)``; runs inline when 1-threaded."""
+        fn = wrap_task(fn)
         if self.threads == 1:
             future: Future = Future()
             try:
@@ -52,6 +61,7 @@ class WorkerPool:
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
         """Apply ``fn`` to every item concurrently, preserving order."""
         items = list(items)
+        fn = wrap_task(fn)
         if self.threads == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         return list(self._ensure_executor().map(fn, items))

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.w2v.mathutils import scatter_add
 from repro.w2v.negative import NegativeSampler
 
@@ -112,7 +113,8 @@ def sgd_step_fast(
     shared_negatives: int,
     lr: float,
     rng: np.random.Generator,
-) -> None:
+    track_loss: bool = False,
+) -> float | None:
     """One batched SGNS step over deduplicated (center, context) pairs.
 
     The update is the same objective as ``Word2Vec._sgd_step`` — each
@@ -130,16 +132,28 @@ def sgd_step_fast(
         shared_negatives: group size sharing one negative draw.
         lr: learning rate for this batch.
         rng: randomness for the negative draws.
+        track_loss: when true, return the multiplicity-weighted sum of
+            the positive-pair losses ``-log σ(u·v)`` (else ``None``).
+            Off by default — the extra ``log`` is not free.
+
+    Returns:
+        The batch's summed positive-pair loss when ``track_loss`` is
+        set, otherwise ``None``.
     """
     n_pairs = len(centers)
     if n_pairs == 0:
-        return
+        return 0.0 if track_loss else None
     lr32 = np.float32(lr)
     dim = syn0.shape[1]
     center_vecs = syn0[centers]
     context_vecs = syn1[contexts]
 
     pos_scores = sigmoid_table(np.einsum("ij,ij->i", center_vecs, context_vecs))
+    loss: float | None = None
+    if track_loss:
+        loss = float(
+            (-np.log(np.maximum(pos_scores, 1e-7)) * multiplicity).sum()
+        )
     g_pos = ((1.0 - pos_scores) * lr32 * multiplicity).astype(np.float32)
     grad_centers = g_pos[:, None] * context_vecs
 
@@ -148,6 +162,7 @@ def sgd_step_fast(
         n_groups = max(n_pairs // group, 1)
         main = n_groups * group
         negatives = sampler.sample(rng, (n_groups, negative))  # (G, K)
+        obs.add("train.negative_draws", int(negatives.size))
         neg_vecs = syn1[negatives]  # (G, K, V)
         grouped = center_vecs[:main].reshape(n_groups, group, dim)
         scores = sigmoid_table(np.matmul(grouped, neg_vecs.transpose(0, 2, 1)))
@@ -162,6 +177,7 @@ def sgd_step_fast(
         if main < n_pairs:
             remainder = center_vecs[main:]
             tail_negatives = sampler.sample(rng, (1, negative))
+            obs.add("train.negative_draws", negative)
             tail_vecs = syn1[tail_negatives[0]]  # (K, V)
             tail_scores = sigmoid_table(remainder @ tail_vecs.T)
             g_tail = (-tail_scores * lr32 * multiplicity[main:, None]).astype(
@@ -174,3 +190,4 @@ def sgd_step_fast(
     # g_pos into the sparse selector skips the dense outer product.
     scaled_scatter_add(syn1, contexts, center_vecs, scale=g_pos)
     scaled_scatter_add(syn0, centers, grad_centers)
+    return loss

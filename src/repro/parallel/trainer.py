@@ -22,11 +22,14 @@ unaffected (see ``benchmarks/bench_perf_engine.py``).
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro import obs
+from repro.obs.progress import epoch_event
 from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.parallel.sgd import dedup_pairs, sgd_step_fast
 from repro.w2v.mathutils import cap_row_norms
@@ -68,6 +71,13 @@ class ShardedTrainer:
         self.shared_negatives = max(model.shared_negatives, self.shared_negatives)
         self._lock = threading.Lock()
         self._processed = 0
+        self._loss_sum = 0.0
+        self._loss_pairs = 0
+
+    @property
+    def processed_pairs(self) -> int:
+        """Raw (pre-dedup) skip-gram pairs trained so far."""
+        return self._processed
 
     # ------------------------------------------------------------------
     # Entry points (called by Word2Vec.fit / fit_pairs)
@@ -151,6 +161,9 @@ class ShardedTrainer:
         self._batch_pairs = batch_pairs
         self._n_vocab = len(syn0)
         self._processed = 0
+        self._loss_sum = 0.0
+        self._loss_pairs = 0
+        self._track_loss = self.model.progress is not None
 
     def _train_epochs(
         self,
@@ -160,11 +173,34 @@ class ShardedTrainer:
     ) -> None:
         if n_items == 0:
             return
+        t_start = time.perf_counter()
         with WorkerPool(self.model.workers) as pool:
             for epoch in range(self.model.epochs):
-                order = rng.permutation(n_items)
-                shards = np.array_split(order, min(self.n_shards, n_items))
-                self._run_epoch(pool, epoch, shards, generate)
+                loss_sum0, loss_pairs0 = self._loss_sum, self._loss_pairs
+                with obs.span("train.epoch", epoch=epoch):
+                    order = rng.permutation(n_items)
+                    shards = np.array_split(order, min(self.n_shards, n_items))
+                    self._run_epoch(pool, epoch, shards, generate)
+                self._emit_progress(epoch, t_start, loss_sum0, loss_pairs0)
+
+    def _emit_progress(
+        self, epoch: int, t_start: float, loss_sum0: float, loss_pairs0: int
+    ) -> None:
+        model = self.model
+        if model.progress is None:
+            return
+        epoch_loss = self._loss_sum - loss_sum0
+        epoch_pairs = self._loss_pairs - loss_pairs0
+        model.progress(
+            epoch_event(
+                epoch,
+                model.epochs,
+                self._processed,
+                self._total_pairs,
+                time.perf_counter() - t_start,
+                loss=epoch_loss / epoch_pairs if epoch_pairs else None,
+            )
+        )
 
     def _run_epoch(
         self,
@@ -272,7 +308,7 @@ class ShardedTrainer:
                 fraction = min(self._processed / self._total_pairs, 1.0)
                 lr = max(model.alpha * (1.0 - fraction), model.min_alpha)
                 self._processed += represented
-            sgd_step_fast(
+            loss = sgd_step_fast(
                 self._syn0,
                 self._syn1,
                 centers[lo:hi],
@@ -283,7 +319,15 @@ class ShardedTrainer:
                 self.shared_negatives,
                 lr,
                 srng,
+                track_loss=self._track_loss,
             )
+            obs.add("train.pairs", represented)
+            obs.add("train.batches", 1)
+            obs.observe("train.batch_pairs", hi - lo)
+            if loss is not None:
+                with self._lock:
+                    self._loss_sum += loss
+                    self._loss_pairs += represented
             if model.max_norm is not None:
                 cap_row_norms(self._syn0, model.max_norm)
                 cap_row_norms(self._syn1, model.max_norm)

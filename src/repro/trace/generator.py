@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.labels.groundtruth import GroundTruth
 from repro.trace.address import AddressSpace
 from repro.trace.backscatter import render_backscatter
@@ -76,41 +77,45 @@ def generate_trace(scenario: Scenario) -> TraceBundle:
     actor_ips: dict[str, np.ndarray] = {}
     actor_subgroups: dict[str, np.ndarray] = {}
 
-    for actor in scenario.actors:
-        events = actor.render(rng, scenario.t_start, scenario.t_end)
-        for key in columns:
-            columns[key].append(events[key])
-        actor_ips[actor.name] = actor.addresses
-        actor_subgroups[actor.name] = actor.sender_subgroups()
-        if actor.label is not None:
-            truth.add_class(actor.label, actor.addresses)
+    with obs.span("trace.generate", actors=len(scenario.actors)) as sp:
+        for actor in scenario.actors:
+            events = actor.render(rng, scenario.t_start, scenario.t_end)
+            for key in columns:
+                columns[key].append(events[key])
+            actor_ips[actor.name] = actor.addresses
+            actor_subgroups[actor.name] = actor.sender_subgroups()
+            if actor.label is not None:
+                truth.add_class(actor.label, actor.addresses)
 
-    if scenario.n_backscatter:
-        # Backscatter addresses come from a dedicated allocator so their
-        # count does not shift actor address pools across configurations.
-        noise_space = AddressSpace(child_rng(rng, "backscatter-space"))
-        events = render_backscatter(
-            child_rng(rng, "backscatter"),
-            noise_space,
-            scenario.n_backscatter,
-            scenario.t_start,
-            scenario.t_end,
+        if scenario.n_backscatter:
+            # Backscatter addresses come from a dedicated allocator so
+            # their count does not shift actor address pools across
+            # configurations.
+            noise_space = AddressSpace(child_rng(rng, "backscatter-space"))
+            events = render_backscatter(
+                child_rng(rng, "backscatter"),
+                noise_space,
+                scenario.n_backscatter,
+                scenario.t_start,
+                scenario.t_end,
+            )
+            for key in columns:
+                columns[key].append(events[key])
+
+        times = np.concatenate(columns["times"])
+        ips = np.concatenate(columns["ips"])
+        n = len(times)
+        receiver_rng = child_rng(rng, "receivers")
+        trace = Trace.from_events(
+            times=times,
+            sender_ips_per_packet=ips,
+            ports=np.concatenate(columns["ports"]),
+            protos=np.concatenate(columns["protos"]),
+            receivers=receiver_rng.integers(0, 256, size=n).astype(np.uint8),
+            mirai=np.concatenate(columns["mirai"]),
         )
-        for key in columns:
-            columns[key].append(events[key])
-
-    times = np.concatenate(columns["times"])
-    ips = np.concatenate(columns["ips"])
-    n = len(times)
-    receiver_rng = child_rng(rng, "receivers")
-    trace = Trace.from_events(
-        times=times,
-        sender_ips_per_packet=ips,
-        ports=np.concatenate(columns["ports"]),
-        protos=np.concatenate(columns["protos"]),
-        receivers=receiver_rng.integers(0, 256, size=n).astype(np.uint8),
-        mirai=np.concatenate(columns["mirai"]),
-    )
+        obs.add("trace.packets", n)
+        sp.set(items=n, items_unit="packets")
     return TraceBundle(
         trace=trace,
         truth=truth,

@@ -6,25 +6,56 @@ import time
 
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Re-entrant context manager measuring elapsed wall-clock seconds.
+
+    ``elapsed`` holds the duration of the most recently *completed*
+    ``with`` block; blocks may nest (each exit pops its own entry).
+    :meth:`lap` reads split times inside a block without stopping it.
 
     Example:
         >>> with Timer() as t:
         ...     _ = sum(range(1000))
-        >>> t.elapsed >= 0.0
+        ...     first_lap = t.lap()
+        >>> t.elapsed >= first_lap >= 0.0
         True
     """
 
     def __init__(self) -> None:
-        self._start: float | None = None
+        self._starts: list[float] = []
+        self._lap_start: float | None = None
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        now = time.perf_counter()
+        self._starts.append(now)
+        self._lap_start = now
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        if self._start is None:
-            raise RuntimeError("Timer exited without entering")
-        self.elapsed = time.perf_counter() - self._start
-        self._start = None
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Record the innermost block's duration.
+
+        Exiting a timer that was never entered is a programming error
+        and raises ``RuntimeError`` — but only when no exception is
+        already propagating, so a broken ``finally``/``__exit__`` chain
+        never masks the original exception with the timer's own.
+        """
+        if not self._starts:
+            if exc_type is None:
+                raise RuntimeError("Timer exited without entering")
+            return
+        now = time.perf_counter()
+        self.elapsed = now - self._starts.pop()
+        self._lap_start = now if self._starts else None
+
+    def lap(self) -> float:
+        """Seconds since the last :meth:`lap` (or the block entry).
+
+        Resets the lap origin, so consecutive calls return consecutive
+        split durations.  Only valid inside a ``with`` block.
+        """
+        if self._lap_start is None:
+            raise RuntimeError("lap() is only valid inside a with-block")
+        now = time.perf_counter()
+        lap = now - self._lap_start
+        self._lap_start = now
+        return lap

@@ -8,10 +8,14 @@ linearly decaying learning rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro import obs
+from repro.obs.progress import ProgressEvent, epoch_event
 from repro.w2v.cbow import cbow_step
 from repro.w2v.keyedvectors import KeyedVectors
 from repro.w2v.mathutils import cap_row_norms, scatter_add, sigmoid
@@ -42,6 +46,11 @@ class Word2Vec:
     "use all available cores".  The parallel engine optimises the same
     objective and is statistically equivalent, but not bit-identical,
     to the sequential path.  CBOW always trains sequentially.
+
+    ``progress`` is an optional per-epoch callback receiving a
+    :class:`~repro.obs.progress.ProgressEvent` (pairs/sec, loss
+    estimate, ETA) on both training paths.  The callback consumes no
+    randomness, so supplying one leaves the trained vectors unchanged.
     """
 
     vector_size: int = 50
@@ -60,8 +69,14 @@ class Word2Vec:
     dynamic_window: bool = True
     seed: int = 1
     workers: int = 1
+    progress: Callable[[ProgressEvent], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
+        self._loss_sum = 0.0
+        self._loss_pairs = 0
+        self._track_loss = False
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 means all cores)")
         if self.vector_size < 1:
@@ -84,7 +99,14 @@ class Word2Vec:
 
     def fit(self, sentences: list[np.ndarray]) -> KeyedVectors:
         """Train on integer-token sentences and return the embedding."""
+        with obs.span(
+            "train.fit", architecture=self.architecture, workers=self.workers
+        ) as fit_span:
+            return self._fit(sentences, fit_span)
+
+    def _fit(self, sentences: list[np.ndarray], fit_span) -> KeyedVectors:
         vocab = Vocabulary.build(sentences, min_count=self.min_count)
+        obs.set_gauge("train.vocab_size", len(vocab))
         if len(vocab) == 0:
             return KeyedVectors(
                 tokens=np.empty(0, dtype=np.int64),
@@ -107,6 +129,9 @@ class Word2Vec:
         )
         total_pairs = max(int(pairs_per_epoch * self.epochs), 1)
         processed = 0
+        obs.set_gauge("train.pairs_planned", total_pairs)
+        obs.add("train.epochs", self.epochs)
+        self._track_loss = self.progress is not None
 
         # Batched SGD sums the gradients of duplicate words computed
         # from the same stale vectors.  Keeping the batch small relative
@@ -119,7 +144,8 @@ class Word2Vec:
         if self.workers != 1 and self.architecture == "skipgram":
             from repro.parallel.trainer import ShardedTrainer
 
-            ShardedTrainer(self).train_corpus(
+            trainer = ShardedTrainer(self)
+            trainer.train_corpus(
                 encoded,
                 lengths,
                 syn0,
@@ -130,6 +156,7 @@ class Word2Vec:
                 batch_pairs,
                 rng,
             )
+            fit_span.set(items=trainer.processed_pairs, items_unit="pairs")
             return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
 
         centers_buf: list[np.ndarray] = []
@@ -164,6 +191,9 @@ class Word2Vec:
                         syn0, syn1, centers[lo:hi], contexts[lo:hi], sampler, lr, rng
                     )
                 processed += hi - lo
+                obs.add("train.pairs", hi - lo)
+                obs.add("train.batches", 1)
+                obs.observe("train.batch_pairs", hi - lo)
             if self.max_norm is not None:
                 # DarkVec only consumes cosine similarities, so capping
                 # row norms (max-norm regularisation) changes nothing
@@ -172,26 +202,34 @@ class Word2Vec:
                 _cap_norms(syn0, self.max_norm)
                 _cap_norms(syn1, self.max_norm)
 
-        for _ in range(self.epochs):
-            order = rng.permutation(len(encoded))
-            for idx in order:
-                sentence = encoded[idx]
-                if keep_probs is not None:
-                    mask = rng.random(len(sentence)) < keep_probs[sentence]
-                    sentence = sentence[mask]
-                    if len(sentence) < 2:
+        t_start = time.perf_counter()
+        for epoch in range(self.epochs):
+            self._loss_sum, self._loss_pairs = 0.0, 0
+            with obs.span("train.epoch", epoch=epoch):
+                order = rng.permutation(len(encoded))
+                for idx in order:
+                    sentence = encoded[idx]
+                    if keep_probs is not None:
+                        mask = rng.random(len(sentence)) < keep_probs[sentence]
+                        sentence = sentence[mask]
+                        if len(sentence) < 2:
+                            continue
+                    centers, contexts = skipgram_pairs(
+                        sentence, self.context, rng, dynamic=self.dynamic_window
+                    )
+                    if len(centers) == 0:
                         continue
-                centers, contexts = skipgram_pairs(
-                    sentence, self.context, rng, dynamic=self.dynamic_window
-                )
-                if len(centers) == 0:
-                    continue
-                centers_buf.append(centers)
-                contexts_buf.append(contexts)
-                buffered += len(centers)
-                if buffered >= batch_pairs:
-                    flush()
+                    centers_buf.append(centers)
+                    contexts_buf.append(contexts)
+                    buffered += len(centers)
+                    if buffered >= batch_pairs:
+                        flush()
+            # Buffered pairs carry over into the next epoch's batches
+            # (flushing here would change batch boundaries and break
+            # bit-reproducibility), so progress counts them as seen.
+            self._emit_progress(epoch, processed + buffered, total_pairs, t_start)
         flush()
+        fit_span.set(items=processed, items_unit="pairs")
         return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
 
     def fit_pairs(
@@ -204,6 +242,17 @@ class Word2Vec:
         parameters (``context``, ``dynamic_window``, ``sample``) are
         ignored; everything else behaves as in :meth:`fit`.
         """
+        with obs.span(
+            "train.fit", architecture="pairs", workers=self.workers
+        ) as fit_span:
+            return self._fit_pairs(center_tokens, context_tokens, fit_span)
+
+    def _fit_pairs(
+        self,
+        center_tokens: np.ndarray,
+        context_tokens: np.ndarray,
+        fit_span,
+    ) -> KeyedVectors:
         center_tokens = np.asarray(center_tokens, dtype=np.int64)
         context_tokens = np.asarray(context_tokens, dtype=np.int64)
         if len(center_tokens) != len(context_tokens):
@@ -211,6 +260,7 @@ class Word2Vec:
         vocab = Vocabulary.build(
             [center_tokens, context_tokens], min_count=self.min_count
         )
+        obs.set_gauge("train.vocab_size", len(vocab))
         if len(vocab) == 0:
             return KeyedVectors(
                 tokens=np.empty(0, dtype=np.int64),
@@ -231,31 +281,44 @@ class Word2Vec:
             self.batch_pairs, max(256, self.batch_vocab_factor * len(vocab))
         )
         total_pairs = max(len(centers) * self.epochs, 1)
+        obs.set_gauge("train.pairs_planned", total_pairs)
+        obs.add("train.epochs", self.epochs)
+        self._track_loss = self.progress is not None
 
         if self.workers != 1:
             from repro.parallel.trainer import ShardedTrainer
 
-            ShardedTrainer(self).train_pair_stream(
+            trainer = ShardedTrainer(self)
+            trainer.train_pair_stream(
                 centers, contexts, syn0, syn1, sampler, total_pairs, batch_pairs, rng
             )
+            fit_span.set(items=trainer.processed_pairs, items_unit="pairs")
             return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
 
         processed = 0
-        for _ in range(self.epochs):
-            order = rng.permutation(len(centers))
-            for lo in range(0, len(order), batch_pairs):
-                batch = order[lo : lo + batch_pairs]
-                lr = self._learning_rate(processed, total_pairs)
-                self._sgd_step(
-                    syn0, syn1, centers[batch], contexts[batch], sampler, lr, rng
-                )
-                processed += len(batch)
-                if self.max_norm is not None:
-                    # IP2VEC-style pair streams are extremely skewed
-                    # (one port can be a quarter of all pairs), so the
-                    # cap must be applied per batch, not per epoch.
-                    _cap_norms(syn0, self.max_norm)
-                    _cap_norms(syn1, self.max_norm)
+        t_start = time.perf_counter()
+        for epoch in range(self.epochs):
+            self._loss_sum, self._loss_pairs = 0.0, 0
+            with obs.span("train.epoch", epoch=epoch):
+                order = rng.permutation(len(centers))
+                for lo in range(0, len(order), batch_pairs):
+                    batch = order[lo : lo + batch_pairs]
+                    lr = self._learning_rate(processed, total_pairs)
+                    self._sgd_step(
+                        syn0, syn1, centers[batch], contexts[batch], sampler, lr, rng
+                    )
+                    processed += len(batch)
+                    obs.add("train.pairs", len(batch))
+                    obs.add("train.batches", 1)
+                    obs.observe("train.batch_pairs", len(batch))
+                    if self.max_norm is not None:
+                        # IP2VEC-style pair streams are extremely skewed
+                        # (one port can be a quarter of all pairs), so the
+                        # cap must be applied per batch, not per epoch.
+                        _cap_norms(syn0, self.max_norm)
+                        _cap_norms(syn1, self.max_norm)
+            self._emit_progress(epoch, processed, total_pairs, t_start)
+        fit_span.set(items=processed, items_unit="pairs")
         return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
 
     # ------------------------------------------------------------------
@@ -265,6 +328,25 @@ class Word2Vec:
     def _learning_rate(self, processed: int, total: int) -> float:
         fraction = min(processed / total, 1.0)
         return max(self.alpha * (1.0 - fraction), self.min_alpha)
+
+    def _emit_progress(
+        self, epoch: int, processed: int, total: int, t_start: float
+    ) -> None:
+        if self.progress is None:
+            return
+        loss = (
+            self._loss_sum / self._loss_pairs if self._loss_pairs else None
+        )
+        self.progress(
+            epoch_event(
+                epoch,
+                self.epochs,
+                processed,
+                total,
+                time.perf_counter() - t_start,
+                loss=loss,
+            )
+        )
 
     def _keep_probabilities(self, vocab: Vocabulary) -> np.ndarray | None:
         """Frequent-token subsampling probabilities (word2vec style)."""
@@ -290,6 +372,13 @@ class Word2Vec:
         context_vecs = syn1[contexts]  # (B, V)
 
         pos_scores = sigmoid((center_vecs * context_vecs).sum(axis=1))
+        if self._track_loss:
+            # Positive-pair loss estimate for the progress callback;
+            # gated so uninstrumented runs skip the log entirely.
+            self._loss_sum += float(
+                -np.log(np.maximum(pos_scores, 1e-7)).sum()
+            )
+            self._loss_pairs += len(centers)
         g_pos = ((1.0 - pos_scores) * lr).astype(np.float32)
 
         grad_centers = g_pos[:, None] * context_vecs
@@ -346,6 +435,7 @@ class Word2Vec:
         """Apply the negative-sampling part of the SGNS gradient."""
         n_groups, _, _ = center_groups.shape
         negatives = sampler.sample(rng, (n_groups, self.negative))  # (G, K)
+        obs.add("train.negative_draws", negatives.size)
         neg_vecs = syn1[negatives]  # (G, K, V)
         scores = sigmoid(
             np.matmul(center_groups, neg_vecs.transpose(0, 2, 1))

@@ -121,6 +121,112 @@ class TestCluster:
         assert "Cluster" in out
 
 
+class TestTelemetryFlags:
+    def test_metrics_out_writes_ndjson(self, workspace, tmp_path):
+        from repro.io.ndjson import read_ndjson
+
+        _, trace_file, _ = workspace
+        metrics_file = tmp_path / "train.ndjson"
+        rc = main(
+            [
+                "train",
+                "--trace",
+                str(trace_file),
+                "--out",
+                str(tmp_path / "v.npz"),
+                "--epochs",
+                "2",
+                "--vector-size",
+                "8",
+                "--metrics-out",
+                str(metrics_file),
+            ]
+        )
+        assert rc == 0
+        records = read_ndjson(metrics_file)
+        types = {record["type"] for record in records}
+        assert {"span", "counter", "gauge"} <= types
+        counters = {
+            record["name"]: record["value"]
+            for record in records
+            if record["type"] == "counter"
+        }
+        assert counters["train.epochs"] == 2
+        assert counters["corpus.tokens"] > 0
+        paths = [r["path"] for r in records if r["type"] == "span"]
+        assert "pipeline.fit/train.fit" in paths
+
+    def test_profile_flag_prints_tables(self, workspace, tmp_path, capsys):
+        _, trace_file, _ = workspace
+        rc = main(
+            [
+                "train",
+                "--trace",
+                str(trace_file),
+                "--out",
+                str(tmp_path / "v.npz"),
+                "--epochs",
+                "2",
+                "--vector-size",
+                "8",
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "epoch 1/2" in out
+        assert "Pipeline stages" in out
+        assert "train.fit" in out
+        assert "Peak mem" in out
+        assert "train.pairs" in out
+
+    def test_profile_subcommand_smoke(self, tmp_path, capsys):
+        metrics_file = tmp_path / "profile.ndjson"
+        rc = main(
+            [
+                "profile",
+                "--preset",
+                "small",
+                "--epochs",
+                "2",
+                "--metrics-out",
+                str(metrics_file),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "modularity" in out
+        assert "pipeline.cluster" in out
+        assert metrics_file.exists()
+
+    def test_deterministic_counters_match_across_workers(self, tmp_path):
+        from repro.io.ndjson import read_ndjson
+        from repro.obs import counters_from_records
+
+        counters = {}
+        for workers in (1, 2):
+            metrics_file = tmp_path / f"w{workers}.ndjson"
+            rc = main(
+                [
+                    "profile",
+                    "--preset",
+                    "small",
+                    "--epochs",
+                    "2",
+                    "--workers",
+                    str(workers),
+                    "--metrics-out",
+                    str(metrics_file),
+                ]
+            )
+            assert rc == 0
+            counters[workers] = counters_from_records(
+                read_ndjson(metrics_file), deterministic_only=True
+            )
+        assert counters[1] and counters[1] == counters[2]
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -65,6 +65,20 @@ class TestDarkVecPipeline:
         with pytest.raises(RuntimeError):
             darkvec.cluster()
 
+    def test_not_fitted_error_type_and_message(self):
+        from repro.core import NotFittedError
+        from repro.labels.groundtruth import GroundTruth
+
+        darkvec = DarkVec()
+        with pytest.raises(NotFittedError, match="not fitted"):
+            darkvec.cluster()
+        with pytest.raises(NotFittedError, match="fit\\(trace\\)"):
+            darkvec.evaluate(GroundTruth())
+        with pytest.raises(NotFittedError):
+            darkvec.evaluation_rows()
+        # Backwards compatible with except RuntimeError handlers.
+        assert issubclass(NotFittedError, RuntimeError)
+
     def test_evaluation_rows_subset(self, fitted_darkvec):
         rows_last_day = fitted_darkvec.evaluation_rows(1.0)
         rows_all = fitted_darkvec.evaluation_rows(None)

@@ -1,0 +1,399 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.io.ndjson import read_ndjson, write_ndjson
+from repro.obs import (
+    METRICS,
+    Histogram,
+    MetricSpec,
+    MetricsRegistry,
+    Telemetry,
+    counters_from_records,
+    epoch_event,
+    format_stage_table,
+    telemetry_records,
+    write_metrics_ndjson,
+)
+from repro.parallel.pool import WorkerPool
+
+
+class TestNullRecorder:
+    def test_disabled_by_default(self):
+        assert obs.current().enabled is False
+
+    def test_span_and_metrics_are_noops(self):
+        with obs.span("train.fit", workers=1) as sp:
+            sp.set(items=10)
+        obs.add("trace.packets", 5)
+        obs.set_gauge("graph.nodes", 3)
+        obs.observe("corpus.sentence_length", 4)
+        obs.observe_many("corpus.sentence_length", np.array([1.0, 2.0]))
+
+    def test_unknown_names_not_validated_when_disabled(self):
+        # Zero-overhead path: no dict lookup, no validation.
+        obs.add("not.a.metric")
+
+    def test_wrap_task_returns_fn_unchanged(self):
+        def fn(x):
+            return x + 1
+
+        assert obs.wrap_task(fn) is fn
+
+
+class TestSpans:
+    def test_nesting_and_attributes(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with obs.span("pipeline.fit", stage="outer") as outer:
+                with obs.span("train.fit", workers=1):
+                    pass
+                outer.set(items=7, items_unit="pairs")
+        root = telemetry.root
+        assert [child.name for child in root.children] == ["pipeline.fit"]
+        fit = root.children[0]
+        assert fit.attrs["stage"] == "outer"
+        assert fit.attrs["items"] == 7
+        assert [child.name for child in fit.children] == ["train.fit"]
+        assert fit.elapsed >= fit.children[0].elapsed >= 0.0
+
+    def test_walk_paths(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+        paths = [path for _, _, path in telemetry.root.walk()]
+        assert paths == ["root", "root/a", "root/a/b"]
+
+    def test_find(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with obs.span("a"):
+                with obs.span("b", tag=1):
+                    pass
+        found = telemetry.root.find("b")
+        assert found is not None and found.attrs["tag"] == 1
+        assert telemetry.root.find("missing") is None
+
+    def test_exception_propagates_and_span_closes(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with pytest.raises(ValueError):
+                with obs.span("a"):
+                    raise ValueError("boom")
+        assert telemetry.root.children[0].elapsed >= 0.0
+
+    def test_throughput_from_items(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with obs.span("a") as sp:
+                sp.set(items=1000, items_unit="pairs")
+        span = telemetry.root.children[0]
+        assert span.throughput is not None and span.throughput > 0
+
+    def test_memory_profiling_records_peaks(self):
+        telemetry = Telemetry(profile_memory=True)
+        with obs.session(telemetry):
+            with obs.span("alloc"):
+                _ = np.zeros(200_000)
+        span = telemetry.root.children[0]
+        assert span.mem_peak_bytes is not None
+        assert span.mem_peak_bytes > 1_000_000
+
+    def test_nested_peak_folds_into_parent(self):
+        telemetry = Telemetry(profile_memory=True)
+        with obs.session(telemetry):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    _ = np.zeros(200_000)
+        outer, inner = (
+            telemetry.root.children[0],
+            telemetry.root.children[0].children[0],
+        )
+        assert outer.mem_peak_bytes >= inner.mem_peak_bytes
+
+
+class TestMetrics:
+    def test_unknown_name_raises_when_enabled(self):
+        with obs.session(Telemetry()):
+            with pytest.raises(ValueError, match="unknown metric"):
+                obs.add("not.a.metric")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.set_gauge("trace.packets", 1.0)
+
+    def test_counter_accumulates(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            obs.add("trace.packets", 3)
+            obs.add("trace.packets", 4)
+        assert telemetry.snapshot()["counters"]["trace.packets"] == 7
+
+    def test_gauge_last_write_wins(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            obs.set_gauge("graph.nodes", 5)
+            obs.set_gauge("graph.nodes", 9)
+        assert telemetry.snapshot()["gauges"]["graph.nodes"] == 9
+
+    def test_metric_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            MetricSpec("bogus", "x")
+        with pytest.raises(ValueError, match="buckets"):
+            MetricSpec("histogram", "x")
+        with pytest.raises(ValueError, match="buckets"):
+            MetricSpec("counter", "x", buckets=(1, 2))
+
+
+class TestHistogram:
+    def test_bucket_edges_upper_inclusive(self):
+        hist = Histogram((2, 4, 8))
+        hist.observe_many(np.array([1, 2, 3, 4, 5, 8, 9, 100]))
+        # v <= 2 -> bucket 0; 2 < v <= 4 -> bucket 1; 4 < v <= 8 ->
+        # bucket 2; v > 8 -> overflow.
+        assert hist.counts.tolist() == [2, 2, 2, 2]
+        assert hist.total == 8
+        assert hist.sum == 132.0
+
+    def test_mean(self):
+        hist = Histogram((10,))
+        assert hist.mean == 0.0
+        hist.observe(4)
+        hist.observe(6)
+        assert hist.mean == 5.0
+
+    def test_bad_edges_raise(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((5, 5))
+
+    def test_merge(self):
+        a, b = Histogram((2, 4)), Histogram((2, 4))
+        a.observe(1)
+        b.observe(3)
+        b.observe(100)
+        a.merge_dict(b.to_dict())
+        assert a.counts.tolist() == [1, 1, 1]
+        assert a.total == 3
+
+    def test_merge_mismatched_edges_raises(self):
+        a, b = Histogram((2, 4)), Histogram((2, 8))
+        with pytest.raises(ValueError, match="different edges"):
+            a.merge_dict(b.to_dict())
+
+
+class TestWorkerPoolAggregation:
+    def _count_task(self, n):
+        obs.add("trace.packets", n)
+        obs.observe("corpus.sentence_length", n)
+        return n
+
+    def test_submit_merges_task_metrics(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with WorkerPool(workers=2) as pool:
+                futures = [
+                    pool.submit(self._count_task, n) for n in range(1, 11)
+                ]
+                assert sorted(f.result() for f in futures) == list(
+                    range(1, 11)
+                )
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["trace.packets"] == 55
+        assert snapshot["histograms"]["corpus.sentence_length"]["total"] == 10
+
+    def test_map_merges_task_metrics(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with WorkerPool(workers=3) as pool:
+                pool.map(self._count_task, range(1, 11))
+        assert telemetry.snapshot()["counters"]["trace.packets"] == 55
+
+    def test_inline_pool_same_aggregation(self):
+        results = {}
+        for workers in (1, 4):
+            telemetry = Telemetry()
+            with obs.session(telemetry):
+                with WorkerPool(workers=workers) as pool:
+                    pool.map(self._count_task, range(1, 11))
+            results[workers] = telemetry.snapshot()["counters"]
+        assert results[1] == results[4]
+
+
+class TestNdjsonExport:
+    def _session(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with obs.span("pipeline.fit") as sp:
+                sp.set(items=10, items_unit="pairs")
+                obs.add("trace.packets", 42)
+                obs.set_gauge("graph.nodes", 7)
+                obs.observe_many(
+                    "corpus.sentence_length", np.array([3.0, 9.0])
+                )
+        return telemetry
+
+    def test_records_structure(self):
+        records = telemetry_records(self._session())
+        kinds = [record["type"] for record in records]
+        assert kinds == ["span", "counter", "gauge", "histogram"]
+        span = records[0]
+        assert span["path"] == "pipeline.fit" and span["depth"] == 0
+        counter = records[1]
+        assert counter["name"] == "trace.packets"
+        assert counter["value"] == 42
+        assert counter["deterministic"] is True
+
+    def test_round_trip(self, tmp_path):
+        telemetry = self._session()
+        path = tmp_path / "metrics.ndjson"
+        write_metrics_ndjson(telemetry, path)
+        records = read_ndjson(path)
+        assert records == telemetry_records(telemetry)
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.ndjson.gz"
+        write_ndjson([{"a": 1}, {"b": [1, 2]}], path)
+        with gzip.open(path, "rt") as handle:
+            assert json.loads(handle.readline()) == {"a": 1}
+        assert read_ndjson(path) == [{"a": 1}, {"b": [1, 2]}]
+
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"ok": 1}\nnot-json\n')
+        with pytest.raises(ValueError, match=":2: malformed"):
+            read_ndjson(path)
+
+    def test_counters_from_records_filters_deterministic(self):
+        records = [
+            {"type": "counter", "name": "a", "value": 1, "deterministic": True},
+            {"type": "counter", "name": "b", "value": 2, "deterministic": False},
+            {"type": "gauge", "name": "c", "value": 3, "deterministic": True},
+        ]
+        assert counters_from_records(records) == {"a": 1, "b": 2}
+        assert counters_from_records(records, deterministic_only=True) == {
+            "a": 1
+        }
+
+
+class TestProgress:
+    def test_epoch_event_rates(self):
+        event = epoch_event(0, 4, 500, 2000, 2.0, loss=1.5)
+        assert event.pairs_per_second == 250.0
+        assert event.eta_seconds == pytest.approx(6.0)
+        assert event.loss == 1.5
+
+    def test_zero_elapsed_is_safe(self):
+        event = epoch_event(0, 1, 0, 0, 0.0)
+        assert event.pairs_per_second == 0.0
+        assert event.eta_seconds == 0.0
+        assert event.loss is None
+
+    def test_fit_emits_one_event_per_epoch(self):
+        from repro.w2v.model import Word2Vec
+
+        rng = np.random.default_rng(3)
+        sentences = [
+            rng.integers(0, 20, size=12).astype(np.int64) for _ in range(30)
+        ]
+        events = []
+        model = Word2Vec(
+            vector_size=8, epochs=3, seed=5, progress=events.append
+        )
+        model.fit(sentences)
+        assert [event.epoch for event in events] == [0, 1, 2]
+        assert all(event.total_epochs == 3 for event in events)
+        assert events[-1].pairs_processed > 0
+        # pairs_processed tracks the *expected* pair count only
+        # approximately (buffered pairs carry over), so the final ETA
+        # is near zero, not exactly zero.
+        assert 0.0 <= events[-1].eta_seconds < 0.1
+        assert all(event.loss is not None and event.loss > 0 for event in events)
+
+    def test_parallel_fit_emits_events(self):
+        from repro.w2v.model import Word2Vec
+
+        rng = np.random.default_rng(3)
+        sentences = [
+            rng.integers(0, 20, size=12).astype(np.int64) for _ in range(30)
+        ]
+        events = []
+        model = Word2Vec(
+            vector_size=8, epochs=2, seed=5, workers=2, progress=events.append
+        )
+        model.fit(sentences)
+        assert [event.epoch for event in events] == [0, 1]
+        assert all(event.loss is not None and event.loss > 0 for event in events)
+
+
+class TestDeterminism:
+    """Instrumentation must not perturb the reference RNG streams."""
+
+    def _sentences(self):
+        rng = np.random.default_rng(0)
+        return [
+            rng.integers(0, 40, size=rng.integers(3, 25)).astype(np.int64)
+            for _ in range(80)
+        ]
+
+    def test_instrumented_fit_bit_identical(self):
+        from repro.w2v.model import Word2Vec
+
+        sentences = self._sentences()
+        plain = Word2Vec(vector_size=12, epochs=2, seed=9).fit(sentences)
+        instrumented_model = Word2Vec(
+            vector_size=12, epochs=2, seed=9, progress=lambda event: None
+        )
+        with obs.session(Telemetry(profile_memory=True)):
+            instrumented = instrumented_model.fit(sentences)
+        assert np.array_equal(plain.vectors, instrumented.vectors)
+        assert np.array_equal(plain.tokens, instrumented.tokens)
+
+
+class TestStageTable:
+    def test_table_contains_stages_and_throughput(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            with obs.span("pipeline.fit"):
+                with obs.span("train.fit") as sp:
+                    sp.set(items=50_000, items_unit="pairs")
+        table = format_stage_table(telemetry, title="Stages")
+        lines = table.splitlines()
+        assert lines[0] == "Stages"
+        assert any(line.startswith("pipeline.fit") for line in lines)
+        assert any(line.startswith("  train.fit") for line in lines)
+        assert "pairs/s" in table
+        assert "Peak mem" in table
+
+    def test_counters_table(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            obs.add("trace.packets", 1234)
+        table = obs.format_counters_table(telemetry)
+        assert "trace.packets" in table
+        assert "1,234" in table
+
+
+class TestMetricDeclarations:
+    def test_all_spec_kinds_valid(self):
+        for name, spec in METRICS.items():
+            assert spec.kind in ("counter", "gauge", "histogram"), name
+            assert spec.description, name
+
+    def test_deterministic_flags(self):
+        # Schedule-dependent training/louvain metrics must be flagged.
+        assert not METRICS["train.pairs"].deterministic
+        assert not METRICS["train.negative_draws"].deterministic
+        assert not METRICS["louvain.passes"].deterministic
+        assert METRICS["trace.packets"].deterministic
+        assert METRICS["corpus.tokens"].deterministic
+        assert METRICS["knn.distance_computations"].deterministic

@@ -1,0 +1,67 @@
+"""Documentation-drift checks for the observability metric registry.
+
+The README "Observability" section carries a metric table; these tests
+pin it to :data:`repro.obs.metrics.METRICS` in both directions, and
+check that every declared metric is actually emitted somewhere in the
+source tree — so code, registry and documentation cannot drift apart.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.metrics import METRICS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+SRC = REPO_ROOT / "src"
+
+
+def _readme_metric_rows() -> dict[str, tuple[str, str]]:
+    """Metric name -> (kind, deterministic cell) from the README table."""
+    rows = {}
+    pattern = re.compile(
+        r"^\|\s*`(?P<name>[a-z_.]+)`\s*\|\s*(?P<kind>\w+)\s*\|"
+        r"\s*(?P<det>yes|no)\s*\|"
+    )
+    for line in README.read_text().splitlines():
+        match = pattern.match(line)
+        if match:
+            rows[match["name"]] = (match["kind"], match["det"])
+    return rows
+
+
+class TestReadmeMetricTable:
+    def test_table_parsed(self):
+        assert len(_readme_metric_rows()) > 0
+
+    def test_every_metric_documented(self):
+        documented = _readme_metric_rows()
+        missing = sorted(set(METRICS) - set(documented))
+        assert not missing, f"metrics missing from README table: {missing}"
+
+    def test_no_stale_documentation(self):
+        documented = _readme_metric_rows()
+        stale = sorted(set(documented) - set(METRICS))
+        assert not stale, f"README documents unknown metrics: {stale}"
+
+    def test_kind_and_determinism_match(self):
+        documented = _readme_metric_rows()
+        for name, spec in METRICS.items():
+            kind, det = documented[name]
+            assert kind == spec.kind, f"{name}: README kind {kind!r}"
+            expected = "yes" if spec.deterministic else "no"
+            assert det == expected, f"{name}: README deterministic {det!r}"
+
+
+class TestMetricsEmitted:
+    def test_every_metric_referenced_in_source(self):
+        emitting = ""
+        for path in SRC.rglob("*.py"):
+            if "obs" not in path.parts:  # exclude the registry itself
+                emitting += path.read_text()
+        unused = sorted(
+            name
+            for name in METRICS
+            if f'"{name}"' not in emitting and f"'{name}'" not in emitting
+        )
+        assert not unused, f"declared but never emitted: {unused}"

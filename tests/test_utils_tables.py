@@ -58,3 +58,43 @@ class TestTimer:
         t = Timer()
         with pytest.raises(RuntimeError):
             t.__exit__(None, None, None)
+
+    def test_exit_does_not_mask_propagating_exception(self):
+        t = Timer()
+        # A broken exit path while ValueError propagates must not
+        # replace it with the timer's own RuntimeError.
+        with pytest.raises(ValueError, match="original"):
+            with t:
+                t.__exit__(None, None, None)  # spuriously closes the block
+                raise ValueError("original")
+
+    def test_reentrant_nesting(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+            with t:
+                time.sleep(0.002)
+            inner = t.elapsed
+            time.sleep(0.002)
+        outer = t.elapsed
+        assert inner >= 0.002
+        assert outer >= inner + 0.002
+
+    def test_lap_returns_consecutive_splits(self):
+        with Timer() as t:
+            time.sleep(0.002)
+            first = t.lap()
+            time.sleep(0.004)
+            second = t.lap()
+        assert first >= 0.002
+        assert second >= 0.004
+        assert t.elapsed >= first + second
+
+    def test_lap_outside_block_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="lap"):
+            t.lap()
+        with t:
+            t.lap()
+        with pytest.raises(RuntimeError, match="lap"):
+            t.lap()
