@@ -1,0 +1,181 @@
+"""Incremental daily retraining benchmark (cold vs warm day-31 arrival).
+
+Simulates the paper's operational loop: a model is fitted on a 30-day
+window, then day 31 arrives.  The benchmark compares
+
+* **cold** — retrain from scratch on the updated rolling window
+  (the paper's daily-retrain baseline), and
+* **warm** — :meth:`DarkVec.update`: merge the new day, evict packets
+  outside the rolling window, rebuild only the affected dT windows and
+  refit warm from the prior embedding,
+
+recording wall time, artifact-cache hit counts (a second staged run of
+an unchanged config must be a pure cache hit), and the LOO accuracy
+drift of the warm model versus the cold retrain.  Results land in
+``BENCH_incremental.json``.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py
+
+Options: ``--scale/--days/--seed`` size the scenario (``--days`` is the
+rolling window; one extra day is simulated and arrives as the update),
+``--epochs`` the cold training length, ``--out`` the JSON path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DarkVec, DarkVecConfig
+from repro.trace.generator import generate_trace
+from repro.trace.packet import SECONDS_PER_DAY
+from repro.trace.scenario import default_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.04)
+    parser.add_argument("--days", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--model-seed", type=int, default=1)
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_incremental.json")
+    )
+    return parser
+
+
+def _statuses(darkvec: DarkVec) -> list[dict]:
+    return [
+        {"stage": s.stage, "status": s.status, "seconds": round(s.seconds, 3)}
+        for s in darkvec.stage_statuses
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the cold-vs-warm comparison and write the JSON report."""
+    args = _build_parser().parse_args(argv)
+
+    t0 = time.perf_counter()
+    scenario = default_scenario(
+        scale=args.scale, days=args.days + 1.0, seed=args.seed
+    )
+    bundle = generate_trace(scenario)
+    simulate_seconds = time.perf_counter() - t0
+    full = bundle.trace
+    cut = full.start_time + args.days * SECONDS_PER_DAY
+    head = full.between(full.start_time, cut)
+    tail = full.between(cut, np.inf)
+    print(
+        f"simulated {len(full)} packets; day-31 split: "
+        f"{len(head)} + {len(tail)}"
+    )
+
+    cache_root = args.cache_dir or Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    config = DarkVecConfig(
+        service="domain",
+        epochs=args.epochs,
+        seed=args.model_seed,
+        window_days=args.days,
+        cache_dir=cache_root,
+    )
+
+    # -- staged fit on the 30-day window, twice: cold then all-hit ------
+    t0 = time.perf_counter()
+    first = DarkVec(config).fit(head)
+    first_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_model = DarkVec(config).fit(head)
+    second_seconds = time.perf_counter() - t0
+    hits = sum(1 for s in warm_model.stage_statuses if s.status == "hit")
+    print(
+        f"staged fit: {first_seconds:.1f}s cold, {second_seconds:.1f}s "
+        f"re-run ({hits}/{len(warm_model.stage_statuses)} cache hits)"
+    )
+    assert hits == len(warm_model.stage_statuses), "unchanged rerun must hit"
+
+    # -- warm incremental update vs cold full retrain -------------------
+    t0 = time.perf_counter()
+    warm_model.update(tail)
+    warm_seconds = time.perf_counter() - t0
+    report = warm_model.last_update
+
+    cold_config = DarkVecConfig(
+        service="domain",
+        epochs=args.epochs,
+        seed=args.model_seed,
+        window_days=args.days,
+    )
+    t0 = time.perf_counter()
+    cold_model = DarkVec(cold_config).fit(warm_model.trace)
+    cold_seconds = time.perf_counter() - t0
+
+    warm_eval = warm_model.evaluate(bundle.truth, eval_days=1.0)
+    cold_eval = cold_model.evaluate(bundle.truth, eval_days=1.0)
+    drift = abs(warm_eval.accuracy - cold_eval.accuracy)
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    print(
+        f"warm update {warm_seconds:.1f}s (acc {warm_eval.accuracy:.4f}) vs "
+        f"cold retrain {cold_seconds:.1f}s (acc {cold_eval.accuracy:.4f}): "
+        f"{speedup:.1f}x faster, drift {drift:.4f}"
+    )
+
+    payload = {
+        "benchmark": "incremental",
+        "preset": {
+            "scale": args.scale,
+            "window_days": args.days,
+            "scenario_seed": args.seed,
+            "model_seed": args.model_seed,
+            "epochs": args.epochs,
+            "update_epochs": config.update_epochs,
+            "update_alpha": config.update_alpha,
+            "service": "domain",
+        },
+        "trace": {
+            "n_packets": int(full.n_packets),
+            "window_packets": int(head.n_packets),
+            "new_day_packets": int(tail.n_packets),
+            "simulate_seconds": round(simulate_seconds, 3),
+        },
+        "cache": {
+            "first_run_seconds": round(first_seconds, 3),
+            "second_run_seconds": round(second_seconds, 3),
+            "second_run_hits": hits,
+            "second_run_stages": len(warm_model.stage_statuses),
+            "first_run": _statuses(first),
+            "second_run": _statuses(warm_model),
+        },
+        "results": {
+            "warm_update_seconds": round(warm_seconds, 3),
+            "cold_retrain_seconds": round(cold_seconds, 3),
+            "speedup": round(speedup, 2),
+            "warm_loo_accuracy": round(warm_eval.accuracy, 4),
+            "cold_loo_accuracy": round(cold_eval.accuracy, 4),
+            "accuracy_drift": round(drift, 4),
+            "update_report": {
+                "new_packets": report.new_packets,
+                "evicted_packets": report.evicted_packets,
+                "sentences_retained": report.sentences_retained,
+                "sentences_rebuilt": report.sentences_rebuilt,
+                "sentences_evicted": report.sentences_evicted,
+                "warm_tokens": report.warm_tokens,
+                "new_tokens": report.new_tokens,
+            },
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,9 +5,21 @@ Subcommands mirror the DarkVec workflow:
     repro simulate  --out trace.csv [--scale S --days D --seed N]
     repro stats     --trace trace.csv
     repro train     --trace trace.csv --out vectors.npz [--service ...]
+    repro run       --trace trace.csv --cache-dir cache [--state DIR]
+    repro resume    --trace trace.csv --cache-dir cache [--state DIR]
+    repro update    --trace day31.csv --cache-dir cache [--window-days W]
     repro evaluate  --trace trace.csv --vectors vectors.npz --labels labels.csv
     repro cluster   --trace trace.csv --vectors vectors.npz [--k-prime K]
     repro profile   [--preset small|medium] [--metrics-out trace.ndjson]
+
+``run`` executes the staged pipeline against a content-addressed
+artifact store and prints the per-stage hit/miss table; ``resume`` is
+the same command under a name that documents the intent — re-running
+with an unchanged config is a pure cache hit, and flipping one knob
+re-runs exactly the stages downstream of it.  ``run`` also persists
+the fitted state (default ``<cache-dir>/state``) so ``update`` can
+later append a day of traffic and refit warm instead of retraining
+from scratch.
 
 ``simulate`` also writes ``<out>.labels.csv`` with the ground truth so
 the evaluate step can be run on the simulated data.
@@ -104,6 +116,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="training parallelism (1 = exact sequential, 0 = all cores)",
     )
     add_telemetry_flags(train)
+
+    def add_run_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--trace", required=True, type=Path)
+        cmd.add_argument(
+            "--cache-dir",
+            required=True,
+            type=Path,
+            help="artifact-store directory (created if missing)",
+        )
+        cmd.add_argument(
+            "--state",
+            type=Path,
+            default=None,
+            help="fitted-state directory (default: <cache-dir>/state)",
+        )
+        cmd.add_argument(
+            "--service", choices=("single", "auto", "domain"), default="domain"
+        )
+        cmd.add_argument("--epochs", type=int, default=10)
+        cmd.add_argument("--vector-size", type=int, default=50)
+        cmd.add_argument("--context", type=int, default=25)
+        cmd.add_argument("--seed", type=int, default=1)
+        cmd.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="training parallelism (1 = exact sequential, 0 = all cores)",
+        )
+        cmd.add_argument(
+            "--out",
+            type=Path,
+            default=None,
+            help="also export the embedding as IP-keyed vectors",
+        )
+        add_telemetry_flags(cmd)
+
+    run = sub.add_parser(
+        "run",
+        help="staged pipeline with a content-addressed artifact cache",
+    )
+    add_run_args(run)
+
+    resume = sub.add_parser(
+        "resume",
+        help="re-run the staged pipeline, reusing cached stage artifacts",
+    )
+    add_run_args(resume)
+
+    update = sub.add_parser(
+        "update",
+        help="append a day of traffic to a fitted state and refit warm",
+    )
+    update.add_argument(
+        "--trace", required=True, type=Path, help="the new day's trace CSV"
+    )
+    update.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache directory whose <cache-dir>/state holds the fitted state",
+    )
+    update.add_argument(
+        "--state",
+        type=Path,
+        default=None,
+        help="fitted-state directory (overrides --cache-dir/state)",
+    )
+    update.add_argument(
+        "--window-days",
+        type=float,
+        default=None,
+        help="rolling training window (default: the state's config)",
+    )
+    update.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="warm-refit epochs (default: the state's update_epochs)",
+    )
+    add_telemetry_flags(update)
 
     evaluate = sub.add_parser("evaluate", help="leave-one-out 7-NN report")
     evaluate.add_argument("--trace", required=True, type=Path)
@@ -259,6 +351,77 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _export_ip_keyed(darkvec, out: Path) -> None:
+    """Save the fitted embedding keyed by IP address (portable)."""
+    trace, embedding = darkvec.trace, darkvec.embedding
+    ips = trace.sender_ips[embedding.tokens].astype(np.int64)
+    order = np.argsort(ips)
+    KeyedVectors(tokens=ips[order], vectors=embedding.vectors[order]).save(out)
+
+
+def _cmd_run(args) -> int:
+    """Staged pipeline against the artifact store (also `repro resume`)."""
+    trace = read_trace_csv(args.trace)
+    config = DarkVecConfig(
+        service=args.service,
+        epochs=args.epochs,
+        vector_size=args.vector_size,
+        context=args.context,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    progress = _print_progress if args.profile else None
+    darkvec = DarkVec(config).fit(trace, progress=progress)
+    rows = [
+        [status.stage, status.status, f"{status.seconds:.2f}", status.fingerprint]
+        for status in darkvec.stage_statuses
+    ]
+    print(format_table(["Stage", "Status", "Seconds", "Fingerprint"], rows))
+    hits = sum(1 for s in darkvec.stage_statuses if s.status == "hit")
+    print(
+        f"{hits}/{len(darkvec.stage_statuses)} stages served from "
+        f"{args.cache_dir}"
+    )
+    state_dir = args.state or args.cache_dir / "state"
+    darkvec.save_state(state_dir)
+    print(f"saved fitted state to {state_dir}")
+    if args.out is not None:
+        _export_ip_keyed(darkvec, args.out)
+        print(f"exported {len(darkvec.embedding)} vectors to {args.out}")
+    return 0
+
+
+def _cmd_update(args) -> int:
+    """Warm incremental retrain of a previously saved fitted state."""
+    if args.state is not None:
+        state_dir = args.state
+    elif args.cache_dir is not None:
+        state_dir = args.cache_dir / "state"
+    else:
+        print("update needs --state or --cache-dir", file=sys.stderr)
+        return 2
+    darkvec = DarkVec.load_state(state_dir)
+    new_trace = read_trace_csv(args.trace)
+    darkvec.update(new_trace, window_days=args.window_days, epochs=args.epochs)
+    report = darkvec.last_update
+    print(
+        f"appended {report.new_packets} packets, evicted "
+        f"{report.evicted_packets} outside the rolling window"
+    )
+    print(
+        f"sentences: {report.sentences_retained} retained, "
+        f"{report.sentences_rebuilt} rebuilt, {report.sentences_evicted} evicted"
+    )
+    print(
+        f"warm-started {report.warm_tokens} senders, "
+        f"{report.new_tokens} new; refit took {report.seconds:.2f}s"
+    )
+    darkvec.save_state(state_dir)
+    print(f"saved updated state to {state_dir}")
+    return 0
+
+
 def _load_embedding_for(trace, path: Path) -> KeyedVectors:
     """Load an IP-keyed embedding and re-key it by sender index."""
     keyed = KeyedVectors.load(path)
@@ -357,6 +520,9 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "stats": _cmd_stats,
     "train": _cmd_train,
+    "run": _cmd_run,
+    "resume": _cmd_run,
+    "update": _cmd_update,
     "evaluate": _cmd_evaluate,
     "cluster": _cmd_cluster,
     "profile": _cmd_profile,

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.services.auto import AutoServiceMap
 from repro.services.base import ServiceMap
@@ -13,6 +14,18 @@ from repro.trace.packet import Trace
 #: The paper's default parameters (Section 6.2): domain-knowledge
 #: services, dT = 1 hour, c = 25, V = 50, 10 epochs, k = 7.
 _SERVICE_CHOICES = ("single", "auto", "domain")
+
+#: Config fields each pipeline stage reads, used to build stage
+#: fingerprints: flipping a field re-runs exactly the stages that list
+#: it (plus their downstream consumers, via upstream artifact hashes).
+STAGE_CONFIG_FIELDS: dict[str, tuple[str, ...]] = {
+    "ingest": (),
+    "service-map": ("service", "auto_top_n"),
+    "corpus": ("delta_t",),
+    "vocab": ("min_packets",),
+    "train": ("vector_size", "context", "negative", "epochs", "seed", "workers"),
+    "knn-index": ("k_prime",),
+}
 
 
 @dataclass
@@ -35,6 +48,23 @@ class DarkVecConfig:
             ``0`` uses all cores; any other value routes training
             through the sharded parallel engine (statistically
             equivalent embeddings, identical k-NN/graph results).
+        k_prime: neighbours per vertex of the k'-NN clustering graph
+            (the default for :meth:`~repro.core.pipeline.DarkVec.cluster`
+            and the knn-index stage; paper: 3).
+        window_days: rolling training window for incremental updates —
+            :meth:`~repro.core.pipeline.DarkVec.update` evicts packets
+            (at dT-window granularity) older than this many days before
+            the newest packet.  Fig. 6 studies 1..30 days.
+        update_epochs: training epochs for warm refits in ``update``;
+            warm-started vectors converge in far fewer epochs than a
+            cold start needs.
+        update_alpha: starting learning rate for warm refits.  The
+            cold-start default (0.025) would push already-converged
+            vectors back through the large-gradient regime and lose
+            the prior structure; a reduced fine-tuning rate keeps the
+            warm model within noise of a full cold retrain.
+        cache_dir: artifact-store directory.  ``None`` (the default)
+            disables caching and keeps ``fit`` fully in memory.
     """
 
     service: str | ServiceMap = "domain"
@@ -47,6 +77,11 @@ class DarkVecConfig:
     epochs: int = 10
     seed: int = 1
     workers: int = 1
+    k_prime: int = 3
+    window_days: float = 30.0
+    update_epochs: int = 3
+    update_alpha: float = 0.01
+    cache_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -60,6 +95,14 @@ class DarkVecConfig:
             raise ValueError("min_packets must be positive")
         if self.auto_top_n < 1:
             raise ValueError("auto_top_n must be positive")
+        if self.k_prime < 1:
+            raise ValueError("k_prime must be positive")
+        if self.window_days <= 0:
+            raise ValueError("window_days must be positive")
+        if self.update_epochs < 1:
+            raise ValueError("update_epochs must be positive")
+        if self.update_alpha <= 0:
+            raise ValueError("update_alpha must be positive")
 
     def resolve_service_map(self, trace: Trace) -> ServiceMap:
         """Materialise the service map (auto services need the trace)."""
@@ -70,3 +113,24 @@ class DarkVecConfig:
         if self.service == "auto":
             return AutoServiceMap.from_trace(trace, n=self.auto_top_n)
         return DomainServiceMap()
+
+    def stage_fields(self, stage: str, **overrides) -> dict[str, object]:
+        """Fingerprintable values of the config fields ``stage`` reads.
+
+        ``overrides`` substitute call-site values for config fields
+        (e.g. a ``k_prime`` passed directly to ``cluster``).  The
+        ``service`` field is translated to a stable key: the config
+        string for built-in maps, or class name + service names for
+        custom :class:`~repro.services.base.ServiceMap` instances.
+        """
+        fields = STAGE_CONFIG_FIELDS[stage]
+        values: dict[str, object] = {}
+        for name in fields:
+            value = overrides.get(name, getattr(self, name))
+            if name == "service" and isinstance(value, ServiceMap):
+                value = ["custom", type(value).__qualname__, list(value.names)]
+            values[name] = value
+        unknown = set(overrides) - set(fields)
+        if unknown:
+            raise ValueError(f"stage {stage!r} does not read fields {unknown}")
+        return values

@@ -7,29 +7,44 @@ Usage sketch::
     darkvec.fit(trace)                      # corpus + embedding
     report = darkvec.evaluate(truth)        # Table 4-style LOO report
     clusters = darkvec.cluster(k_prime=3)   # Louvain communities
+    darkvec.update(next_day)                # warm incremental retrain
+
+``fit`` is a thin wrapper over the staged pipeline
+(:class:`~repro.core.stages.StagedPipeline`): with no ``cache_dir``
+configured it runs fully in memory and is bit-identical to the
+historical monolithic path at ``workers=1``; with a cache directory,
+every stage is served from the content-addressed artifact store when
+its fingerprint matches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
 
 from repro import obs
 from repro.core.config import DarkVecConfig
+from repro.core.stages import STAGE_VERSIONS, StagedPipeline, StageStatus
 from repro.corpus.builder import CorpusBuilder
-from repro.corpus.document import Corpus
+from repro.corpus.document import Corpus, Sentence
 from repro.graph.knn_graph import KnnGraph, build_knn_graph
 from repro.graph.louvain import louvain_communities
 from repro.graph.modularity import modularity
+from repro.io.artifacts import KNN_GRAPH_CODEC
 from repro.knn.loo import leave_one_out_predictions
 from repro.knn.report import ClassificationReport, classification_report
 from repro.labels.groundtruth import GroundTruth
 from repro.obs.progress import ProgressEvent
-from repro.trace.packet import Trace
+from repro.store.cache import ArtifactStore
+from repro.store.fingerprint import stage_fingerprint
+from repro.trace.merge import merge_traces
+from repro.trace.packet import SECONDS_PER_DAY, Trace
 from repro.w2v.keyedvectors import KeyedVectors
 from repro.w2v.model import Word2Vec
+from repro.w2v.vocab import Vocabulary
 
 
 class NotFittedError(RuntimeError):
@@ -58,17 +73,57 @@ class ClusterResult:
 
     @property
     def n_clusters(self) -> int:
+        """Number of distinct communities."""
         return len(np.unique(self.communities)) if len(self.communities) else 0
+
+
+@dataclass
+class UpdateReport:
+    """What one incremental :meth:`DarkVec.update` call did.
+
+    Attributes:
+        seconds: wall time of the whole update.
+        new_packets: packets in the appended trace.
+        evicted_packets: packets dropped by the rolling-window eviction.
+        sentences_retained: corpus sentences reused untouched.
+        sentences_rebuilt: sentences rebuilt from the affected dT windows.
+        sentences_evicted: sentences dropped with their windows.
+        warm_tokens: vocabulary tokens seeded from the prior embedding.
+        new_tokens: vocabulary tokens initialised fresh (unseen senders).
+    """
+
+    seconds: float
+    new_packets: int
+    evicted_packets: int
+    sentences_retained: int
+    sentences_rebuilt: int
+    sentences_evicted: int
+    warm_tokens: int
+    new_tokens: int
 
 
 class DarkVec:
     """DarkVec pipeline: trace -> corpus -> embedding -> analyses."""
 
-    def __init__(self, config: DarkVecConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: DarkVecConfig | None = None,
+        store: ArtifactStore | None = None,
+    ) -> None:
         self.config = config or DarkVecConfig()
+        if store is None and self.config.cache_dir is not None:
+            store = ArtifactStore(self.config.cache_dir)
+        self.store = store
         self.trace: Trace | None = None
         self.corpus: Corpus | None = None
         self.embedding: KeyedVectors | None = None
+        self.stage_statuses: list[StageStatus] = []
+        self.last_update: UpdateReport | None = None
+        self._raw_corpus: Corpus | None = None
+        self._active: np.ndarray | None = None
+        self._t_origin: float = 0.0
+        self._service_map = None
+        self._embedding_hash: str | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -81,6 +136,12 @@ class DarkVec:
     ) -> "DarkVec":
         """Build the corpus of ``trace`` and train the embedding.
 
+        Runs the staged pipeline (ingest -> service-map -> corpus ->
+        vocab -> train).  With :attr:`store` configured, stages whose
+        fingerprints match cached artifacts are loaded instead of
+        recomputed; without it, the run is in-memory and bit-identical
+        to the historical monolithic path at ``workers=1``.
+
         Args:
             trace: packet trace to embed.
             progress: optional per-epoch callback forwarded to
@@ -88,26 +149,176 @@ class DarkVec:
                 :class:`~repro.obs.progress.ProgressEvent`).
         """
         with obs.span("pipeline.fit"):
-            config = self.config
-            active = trace.active_senders(config.min_packets)
-            service_map = config.resolve_service_map(trace)
-            builder = CorpusBuilder(service_map, delta_t=config.delta_t)
-            corpus = builder.build(trace, keep_senders=active)
+            pipeline = StagedPipeline(
+                self.config, store=self.store, progress=progress
+            )
+            artifacts = pipeline.run(trace, until="train")
+            self._adopt(artifacts)
+        return self
+
+    def _adopt(self, artifacts) -> None:
+        """Install the staged-pipeline outputs as the fitted state."""
+        self.trace = artifacts.trace
+        self._raw_corpus = artifacts.corpus
+        self._active = artifacts.active
+        self.corpus = artifacts.corpus.filtered_to(artifacts.active)
+        self.embedding = artifacts.embedding
+        self._t_origin = artifacts.t_origin
+        self._service_map = artifacts.service_map
+        self.stage_statuses = list(artifacts.statuses)
+        from repro.io.artifacts import KEYEDVECTORS_CODEC
+
+        self._embedding_hash = KEYEDVECTORS_CODEC.content_hash(artifacts.embedding)
+
+    # ------------------------------------------------------------------
+    # Incremental retraining
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        new_trace: Trace,
+        window_days: float | None = None,
+        epochs: int | None = None,
+        progress: Callable[[ProgressEvent], None] | None = None,
+    ) -> "DarkVec":
+        """Append a day of traffic and refit warm — O(delta), not O(full).
+
+        The rolling-window daily-retrain loop of the paper (Fig. 6) and
+        of DANTE: the new trace is merged into the fitted one, packets
+        outside the last ``window_days`` days are evicted (at dT-window
+        granularity, so retained sentences stay exact), only the dT
+        windows the new day touches are rebuilt, and the embedding is
+        refit **warm**: previously-seen senders resume from their prior
+        input and context vectors (fresh senders from random
+        initialisation) at the reduced fine-tuning learning rate
+        ``config.update_alpha``.
+
+        The dT window grid keeps the origin of the first ``fit`` and
+        the service map is *not* re-derived (relevant for ``"auto"``
+        services), so successive updates stay mutually consistent.
+
+        A report of the work done lands in :attr:`last_update`.
+
+        Args:
+            new_trace: the appended traffic (its sender table may be
+                completely disjoint from the fitted trace's).
+            window_days: rolling-window override; defaults to
+                ``config.window_days``.
+            epochs: warm-refit epochs; defaults to ``config.update_epochs``.
+            progress: optional per-epoch training callback.
+        """
+        trace, embedding = self._require_fit()
+        if not len(new_trace):
+            raise ValueError("update requires a non-empty trace")
+        config = self.config
+        window_days = config.window_days if window_days is None else window_days
+        epochs = config.update_epochs if epochs is None else epochs
+        if window_days <= 0:
+            raise ValueError("window_days must be positive")
+        t0 = perf_counter()
+        with obs.span("pipeline.update"):
+            merged, remap_old, _ = merge_traces(trace, new_trace)
+            prior = KeyedVectors(
+                tokens=remap_old[embedding.tokens],
+                vectors=embedding.vectors,
+                context_vectors=embedding.context_vectors,
+            )
+            raw = self._raw_corpus.remapped(remap_old)
+
+            delta_t = config.delta_t
+            origin = self._t_origin
+            keep_from = int(
+                np.floor(
+                    (merged.end_time - window_days * SECONDS_PER_DAY - origin)
+                    / delta_t
+                )
+            )
+            keep_from = max(keep_from, 0)
+            rebuild_from = max(
+                int(np.floor((new_trace.start_time - origin) / delta_t)),
+                keep_from,
+            )
+
+            kept_trace = merged.between(origin + keep_from * delta_t, np.inf)
+            evicted, rest = raw.split_windows(keep_from)
+            retained = [s for s in rest if s.window < rebuild_from]
+            rebuild_slice = kept_trace.between(
+                origin + rebuild_from * delta_t, np.inf
+            )
+            rebuilt = CorpusBuilder(self._service_map, delta_t=delta_t).build(
+                rebuild_slice, t_start=origin
+            )
+
+            sentences = sorted(
+                retained + rebuilt.sentences,
+                key=lambda s: (s.service_id, s.window),
+            )
+            new_raw = Corpus(
+                sentences=sentences, service_names=raw.service_names
+            )
+
+            active = kept_trace.active_senders(config.min_packets)
+            vocab = Vocabulary.merge(
+                Vocabulary.build([s.tokens for s in retained]),
+                Vocabulary.build([s.tokens for s in rebuilt.sentences]),
+            ).restricted_to(active)
+            warm_tokens = int((prior.rows_of(vocab.tokens) >= 0).sum())
+
             model = Word2Vec(
                 vector_size=config.vector_size,
                 context=config.context,
                 negative=config.negative,
-                epochs=config.epochs,
+                epochs=epochs,
+                alpha=config.update_alpha,
                 seed=config.seed,
                 workers=config.workers,
                 progress=progress,
             )
-            self.embedding = model.fit(
-                [sentence.tokens for sentence in corpus]
+            refit = model.fit(
+                [sentence.tokens for sentence in sentences],
+                vocab=vocab,
+                init=prior,
             )
-            self.trace = trace
-            self.corpus = corpus
+
+            self.trace = kept_trace
+            self._raw_corpus = new_raw
+            self._active = active
+            self.corpus = new_raw.filtered_to(active)
+            self.embedding = refit
+            from repro.io.artifacts import KEYEDVECTORS_CODEC
+
+            self._embedding_hash = KEYEDVECTORS_CODEC.content_hash(refit)
+            self.last_update = UpdateReport(
+                seconds=perf_counter() - t0,
+                new_packets=len(new_trace),
+                evicted_packets=len(trace) + len(new_trace) - len(kept_trace),
+                sentences_retained=len(retained),
+                sentences_rebuilt=len(rebuilt.sentences),
+                sentences_evicted=len(evicted),
+                warm_tokens=warm_tokens,
+                new_tokens=len(vocab) - warm_tokens,
+            )
         return self
+
+    # ------------------------------------------------------------------
+    # State persistence
+    # ------------------------------------------------------------------
+
+    def save_state(self, path) -> None:
+        """Persist the fitted state for later :func:`load_state`/update.
+
+        See :func:`repro.store.state.save_state` for the layout.
+        """
+        from repro.store.state import save_state
+
+        save_state(self, path)
+
+    @staticmethod
+    def load_state(path) -> "DarkVec":
+        """Restore a fitted :class:`DarkVec` saved with :meth:`save_state`."""
+        from repro.store.state import load_state
+
+        return load_state(path)
 
     def _require_fit(self) -> tuple[Trace, KeyedVectors]:
         if self.trace is None or self.embedding is None:
@@ -126,14 +337,25 @@ class DarkVec:
 
         The paper evaluates on the senders of the last collection day
         that are covered by the embedding; ``eval_days=None`` evaluates
-        every embedded sender.
+        every embedded sender.  Raises ``ValueError`` when the window
+        is empty — no sender of the evaluation period is covered by the
+        embedding — instead of producing an empty-slice report.
         """
         trace, embedding = self._require_fit()
         if eval_days is None:
-            return np.arange(len(embedding))
-        eval_senders = trace.last_days(eval_days).observed_senders()
-        rows = embedding.rows_of(eval_senders)
-        return rows[rows >= 0]
+            rows = np.arange(len(embedding))
+        else:
+            eval_senders = trace.last_days(eval_days).observed_senders()
+            rows = embedding.rows_of(eval_senders)
+            rows = rows[rows >= 0]
+        if len(rows) == 0:
+            raise ValueError(
+                "empty evaluation window: no sender of the last "
+                f"{eval_days if eval_days is not None else 'N/A'} day(s) is "
+                "covered by the embedding — train on a window overlapping "
+                "the evaluation period or pass eval_days=None"
+            )
+        return rows
 
     def evaluate(
         self,
@@ -141,11 +363,15 @@ class DarkVec:
         k: int = 7,
         eval_days: float | None = 1.0,
     ) -> ClassificationReport:
-        """Leave-one-out k-NN evaluation (the Table 3/4 protocol)."""
+        """Leave-one-out k-NN evaluation (the Table 3/4 protocol).
+
+        Raises ``ValueError`` when the evaluation window is empty (see
+        :meth:`evaluation_rows`).
+        """
         trace, embedding = self._require_fit()
+        rows = self.evaluation_rows(eval_days)
         with obs.span("pipeline.evaluate", k=k):
             labels = truth.labels_for(trace)[embedding.tokens]
-            rows = self.evaluation_rows(eval_days)
             predictions = leave_one_out_predictions(
                 embedding.vectors,
                 labels,
@@ -159,13 +385,40 @@ class DarkVec:
     # Unsupervised analysis
     # ------------------------------------------------------------------
 
-    def cluster(self, k_prime: int = 3, seed: int = 0) -> ClusterResult:
-        """k'-NN graph + Louvain clustering of all embedded senders."""
-        _, embedding = self._require_fit()
-        with obs.span("pipeline.cluster", k_prime=k_prime):
+    def _knn_graph(self, k_prime: int) -> KnnGraph:
+        """k'-NN graph over the embedding, via the store when possible."""
+        embedding = self.embedding
+        if self.store is not None and self._embedding_hash is not None:
+            fingerprint = stage_fingerprint(
+                "knn-index",
+                STAGE_VERSIONS["knn-index"],
+                self.config.stage_fields("knn-index", k_prime=k_prime),
+                {"train": self._embedding_hash},
+            )
+            cached = self.store.load("knn-index", fingerprint, KNN_GRAPH_CODEC)
+            if cached is not None:
+                return cached[0]
             graph = build_knn_graph(
                 embedding.vectors, k_prime=k_prime, workers=self.config.workers
             )
+            self.store.save("knn-index", fingerprint, KNN_GRAPH_CODEC, graph)
+            return graph
+        return build_knn_graph(
+            embedding.vectors, k_prime=k_prime, workers=self.config.workers
+        )
+
+    def cluster(self, k_prime: int | None = None, seed: int = 0) -> ClusterResult:
+        """k'-NN graph + Louvain clustering of all embedded senders.
+
+        ``k_prime`` defaults to ``config.k_prime``.  With a store
+        configured the knn-index stage artifact is reused when the
+        embedding and ``k_prime`` are unchanged.
+        """
+        self._require_fit()
+        if k_prime is None:
+            k_prime = self.config.k_prime
+        with obs.span("pipeline.cluster", k_prime=k_prime):
+            graph = self._knn_graph(k_prime)
             adjacency = graph.symmetric_adjacency()
             communities = louvain_communities(adjacency, seed=seed)
             score = modularity(adjacency, communities)

@@ -1,0 +1,367 @@
+"""The explicit stage graph behind :meth:`DarkVec.fit`.
+
+The monolithic ``fit`` is decomposed into six stages::
+
+    ingest ──► service-map ──► corpus ──► vocab ──► train ──► knn-index
+       │____________│____________▲          ▲
+       │_________________________│__________│
+
+Each stage consumes and produces persistable artifacts.  When an
+:class:`~repro.store.cache.ArtifactStore` is configured, every stage is
+keyed by a fingerprint of (stage code version, the config fields it
+reads, the content hashes of its upstream artifacts): re-running with
+an unchanged config is a pure cache hit, and flipping one knob re-runs
+exactly the stages downstream of it.
+
+The staged path is **bit-identical** to the historical monolithic
+``fit`` at ``workers=1``: the corpus stage builds *unfiltered*
+sentences and the vocab stage applies the activity filter at
+vocabulary level, which provably yields the same encoded sentences
+(filtering tokens before or after (service, dT) grouping produces the
+same per-cell subsequences, and empty sentences are dropped by the
+trainer in both paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.core.config import DarkVecConfig
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.document import Corpus
+from repro.graph.knn_graph import KnnGraph, build_knn_graph
+from repro.io.artifacts import (
+    CORPUS_CODEC,
+    KEYEDVECTORS_CODEC,
+    KNN_GRAPH_CODEC,
+    SERVICE_MAP_CODEC,
+    TRACE_CODEC,
+    VOCAB_CODEC,
+    trace_content_hash,
+)
+from repro.obs.progress import ProgressEvent
+from repro.services import service_map_from_spec
+from repro.services.base import ServiceMap
+from repro.store.cache import ArtifactStore
+from repro.store.fingerprint import stable_hash, stage_fingerprint
+from repro.trace.packet import Trace
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.model import Word2Vec
+from repro.w2v.vocab import Vocabulary
+
+#: Execution order of the stage graph.
+STAGE_ORDER = ("ingest", "service-map", "corpus", "vocab", "train", "knn-index")
+
+#: Code version per stage; bump when a stage's semantics change so
+#: stale cached artifacts stop matching.
+STAGE_VERSIONS = {
+    "ingest": 1,
+    "service-map": 1,
+    "corpus": 1,
+    "vocab": 1,
+    "train": 1,
+    "knn-index": 1,
+}
+
+
+@dataclass(frozen=True)
+class StageStatus:
+    """Outcome of one stage execution.
+
+    Attributes:
+        stage: stage name.
+        status: ``"hit"`` (loaded from the store), ``"miss"`` (computed
+            and written), or ``"uncached"`` (computed; no store, or the
+            artifact is not serialisable).
+        seconds: wall time of the stage, including store I/O.
+        fingerprint: the stage's cache key ("-" when uncacheable).
+    """
+
+    stage: str
+    status: str
+    seconds: float
+    fingerprint: str
+
+
+@dataclass
+class PipelineArtifacts:
+    """Everything the staged pipeline produced.
+
+    Attributes:
+        trace: the ingested trace (shared with the caller).
+        trace_hash: content hash of the trace.
+        service_map: resolved service map.
+        corpus: the **unfiltered** corpus (every observed sender); use
+            :meth:`~repro.corpus.document.Corpus.filtered_to` with
+            ``active`` for the paper's activity-filtered view.
+        active: sender indices passing the activity filter.
+        vocab: activity-filtered training vocabulary.
+        embedding: trained sender embedding.
+        graph: directed k'-NN graph (None unless the knn-index stage ran).
+        t_origin: origin of the dT window grid (first packet time).
+        statuses: per-stage cache outcomes, in execution order.
+    """
+
+    trace: Trace
+    trace_hash: str
+    service_map: ServiceMap
+    corpus: Corpus
+    active: np.ndarray
+    vocab: Vocabulary
+    embedding: KeyedVectors | None = None
+    graph: KnnGraph | None = None
+    t_origin: float = 0.0
+    statuses: list[StageStatus] = field(default_factory=list)
+
+    def hits(self) -> int:
+        """Number of stages served from the artifact store."""
+        return sum(1 for status in self.statuses if status.status == "hit")
+
+
+class StagedPipeline:
+    """Runs the stage graph, consulting an optional artifact store."""
+
+    def __init__(
+        self,
+        config: DarkVecConfig,
+        store: ArtifactStore | None = None,
+        progress: Callable[[ProgressEvent], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.store = store
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Stage runner plumbing
+    # ------------------------------------------------------------------
+
+    def _run_stage(
+        self,
+        stage: str,
+        fields: dict,
+        upstream: dict[str, str],
+        codec,
+        compute: Callable[[], object],
+        statuses: list[StageStatus],
+        inputs: dict[str, str] | None = None,
+        cacheable: bool = True,
+    ) -> tuple[object, str]:
+        """Load-or-compute one stage; returns (artifact, content hash)."""
+        t0 = perf_counter()
+        with obs.span(f"stage.{stage}") as sp:
+            if not cacheable or self.store is None:
+                obj = compute()
+                content_hash = codec.content_hash(obj)
+                status = "uncached"
+                fingerprint = "-"
+            else:
+                fingerprint = stage_fingerprint(
+                    stage, STAGE_VERSIONS[stage], fields, upstream, inputs
+                )
+                cached = self.store.load(stage, fingerprint, codec)
+                if cached is not None:
+                    obj, content_hash = cached
+                    status = "hit"
+                else:
+                    obj = compute()
+                    content_hash = self.store.save(stage, fingerprint, codec, obj)
+                    status = "miss"
+            sp.set(status=status)
+        statuses.append(
+            StageStatus(
+                stage=stage,
+                status=status,
+                seconds=perf_counter() - t0,
+                fingerprint=fingerprint,
+            )
+        )
+        return obj, content_hash
+
+    # ------------------------------------------------------------------
+    # The graph
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        until: str = "train",
+        warm_init: KeyedVectors | None = None,
+    ) -> PipelineArtifacts:
+        """Execute stages in order up to and including ``until``.
+
+        ``warm_init`` seeds the train stage from a prior embedding (and
+        is folded into the train fingerprint, so warm and cold results
+        never collide in the store).
+        """
+        if until not in STAGE_ORDER:
+            raise ValueError(f"unknown stage {until!r}; expected {STAGE_ORDER}")
+        last = STAGE_ORDER.index(until)
+        config = self.config
+        statuses: list[StageStatus] = []
+
+        # -- ingest: canonicalise + hash the input trace -------------------
+        trace_hash = trace_content_hash(trace)
+        t0 = perf_counter()
+        with obs.span("stage.ingest") as sp:
+            if self.store is None:
+                ingest_status = "uncached"
+                ingest_fp = "-"
+            else:
+                ingest_fp = stage_fingerprint(
+                    "ingest",
+                    STAGE_VERSIONS["ingest"],
+                    config.stage_fields("ingest"),
+                    {},
+                    {"trace": trace_hash},
+                )
+                if self.store.verify("ingest", ingest_fp, TRACE_CODEC) is not None:
+                    ingest_status = "hit"
+                else:
+                    self.store.save("ingest", ingest_fp, TRACE_CODEC, trace)
+                    ingest_status = "miss"
+            sp.set(status=ingest_status)
+        statuses.append(
+            StageStatus("ingest", ingest_status, perf_counter() - t0, ingest_fp)
+        )
+
+        artifacts = PipelineArtifacts(
+            trace=trace,
+            trace_hash=trace_hash,
+            service_map=None,  # set below
+            corpus=None,
+            active=None,
+            vocab=None,
+            statuses=statuses,
+        )
+        if last == 0:
+            return artifacts
+
+        # -- service-map ---------------------------------------------------
+        custom_map = isinstance(config.service, ServiceMap)
+
+        def compute_service_map():
+            if custom_map:
+                return config.service.to_spec()
+            return config.resolve_service_map(trace).to_spec()
+
+        if custom_map and config.service.to_spec() is None:
+            # Custom, non-serialisable map: run uncached.
+            t0 = perf_counter()
+            with obs.span("stage.service-map") as sp:
+                service_map = config.service
+                sm_hash = stable_hash(
+                    ["custom", type(service_map).__qualname__, list(service_map.names)]
+                )
+                sp.set(status="uncached")
+            statuses.append(
+                StageStatus("service-map", "uncached", perf_counter() - t0, "-")
+            )
+        else:
+            spec, sm_hash = self._run_stage(
+                "service-map",
+                config.stage_fields("service-map"),
+                {"ingest": trace_hash},
+                SERVICE_MAP_CODEC,
+                compute_service_map,
+                statuses,
+            )
+            service_map = service_map_from_spec(spec)
+        artifacts.service_map = service_map
+        if last == 1:
+            return artifacts
+
+        # -- corpus (unfiltered; activity filter applied at vocab) ---------
+        t_origin = trace.start_time if len(trace) else 0.0
+        artifacts.t_origin = t_origin
+
+        def compute_corpus():
+            builder = CorpusBuilder(service_map, delta_t=config.delta_t)
+            return builder.build(trace, keep_senders=None, t_start=t_origin)
+
+        corpus, corpus_hash = self._run_stage(
+            "corpus",
+            config.stage_fields("corpus"),
+            {"ingest": trace_hash, "service-map": sm_hash},
+            CORPUS_CODEC,
+            compute_corpus,
+            statuses,
+        )
+        artifacts.corpus = corpus
+        if last == 2:
+            return artifacts
+
+        # -- vocab (activity filter as a vocabulary restriction) -----------
+        def compute_vocab():
+            active = trace.active_senders(config.min_packets)
+            vocab = Vocabulary.build(
+                [sentence.tokens for sentence in corpus], min_count=1
+            ).restricted_to(active)
+            return vocab, active
+
+        (vocab, active), vocab_hash = self._run_stage(
+            "vocab",
+            config.stage_fields("vocab"),
+            {"ingest": trace_hash, "corpus": corpus_hash},
+            VOCAB_CODEC,
+            compute_vocab,
+            statuses,
+        )
+        artifacts.vocab = vocab
+        artifacts.active = active
+        if last == 3:
+            return artifacts
+
+        # -- train ---------------------------------------------------------
+        def compute_embedding():
+            model = Word2Vec(
+                vector_size=config.vector_size,
+                context=config.context,
+                negative=config.negative,
+                epochs=config.epochs,
+                seed=config.seed,
+                workers=config.workers,
+                progress=self.progress,
+            )
+            return model.fit(
+                [sentence.tokens for sentence in corpus],
+                vocab=vocab,
+                init=warm_init,
+            )
+
+        train_inputs = None
+        if warm_init is not None:
+            train_inputs = {"warm_init": KEYEDVECTORS_CODEC.content_hash(warm_init)}
+        embedding, train_hash = self._run_stage(
+            "train",
+            config.stage_fields("train"),
+            {"corpus": corpus_hash, "vocab": vocab_hash},
+            KEYEDVECTORS_CODEC,
+            compute_embedding,
+            statuses,
+            inputs=train_inputs,
+        )
+        artifacts.embedding = embedding
+        if last == 4:
+            return artifacts
+
+        # -- knn-index -----------------------------------------------------
+        def compute_graph():
+            return build_knn_graph(
+                embedding.vectors, k_prime=config.k_prime, workers=config.workers
+            )
+
+        graph, _ = self._run_stage(
+            "knn-index",
+            config.stage_fields("knn-index"),
+            {"train": train_hash},
+            KNN_GRAPH_CODEC,
+            compute_graph,
+            statuses,
+        )
+        artifacts.graph = graph
+        return artifacts

@@ -66,6 +66,59 @@ class Corpus:
             self._token_counts = counts
         return self._token_counts
 
+    def filtered_to(self, allowed: np.ndarray) -> "Corpus":
+        """Corpus view keeping only tokens present in ``allowed``.
+
+        Sentences whose tokens are all filtered out are dropped.  For
+        sender tokens this is exactly the paper's activity filter
+        applied *after* windowing, which yields the same sentences as
+        filtering the trace first: packet order is preserved and
+        (service, window) cells never merge or split.
+        """
+        allowed = np.unique(np.asarray(allowed, dtype=np.int64))
+        kept: list[Sentence] = []
+        for sentence in self.sentences:
+            tokens = np.asarray(sentence.tokens, dtype=np.int64)
+            if len(allowed) == 0:
+                continue
+            positions = np.clip(
+                np.searchsorted(allowed, tokens), 0, len(allowed) - 1
+            )
+            mask = allowed[positions] == tokens
+            if not mask.any():
+                continue
+            kept.append(
+                Sentence(
+                    tokens=sentence.tokens[mask],
+                    service_id=sentence.service_id,
+                    window=sentence.window,
+                )
+            )
+        return Corpus(sentences=kept, service_names=self.service_names)
+
+    def remapped(self, mapping: np.ndarray) -> "Corpus":
+        """Corpus with every token ``t`` replaced by ``mapping[t]``.
+
+        Used when a trace merge re-interns the sender table: old sender
+        indices move, and retained sentences must follow.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        sentences = [
+            Sentence(
+                tokens=mapping[np.asarray(sentence.tokens, dtype=np.int64)],
+                service_id=sentence.service_id,
+                window=sentence.window,
+            )
+            for sentence in self.sentences
+        ]
+        return Corpus(sentences=sentences, service_names=self.service_names)
+
+    def split_windows(self, boundary: int) -> tuple[list[Sentence], list[Sentence]]:
+        """Partition sentences into (window < boundary, window >= boundary)."""
+        before = [s for s in self.sentences if s.window < boundary]
+        after = [s for s in self.sentences if s.window >= boundary]
+        return before, after
+
     def skipgram_count(self, context: int) -> int:
         """Number of skip-grams a full context window ``c`` generates.
 

@@ -1,0 +1,211 @@
+"""Artifact serialisation for the staged pipeline.
+
+Every stage artifact — trace, corpus, vocabulary, embedding, k'-NN
+graph, service-map spec — maps to a flat payload (a dict of numpy
+arrays for ``.npz`` codecs, a JSON document for ``.json`` codecs).
+The payload doubles as the artifact's canonical content: its
+:func:`~repro.store.fingerprint.stable_hash` is the content hash used
+to key downstream stage fingerprints, so two artifacts with equal
+payloads are interchangeable regardless of when or where they were
+serialised.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.corpus.document import Corpus, Sentence
+from repro.graph.knn_graph import KnnGraph
+from repro.store.fingerprint import stable_hash
+from repro.trace.packet import Trace
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.vocab import Vocabulary
+
+
+class NpzCodec:
+    """Codec for artifacts representable as a dict of numpy arrays."""
+
+    suffix = ".npz"
+
+    def __init__(
+        self,
+        to_payload: Callable[[object], dict],
+        from_payload: Callable[[dict], object],
+    ) -> None:
+        self._to_payload = to_payload
+        self._from_payload = from_payload
+
+    def save(self, obj, path: str | Path) -> None:
+        """Serialise ``obj`` to ``path`` (which must carry ``.npz``)."""
+        np.savez_compressed(Path(path), **self._to_payload(obj))
+
+    def load(self, path: str | Path):
+        """Deserialise the artifact written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            payload = {name: data[name] for name in data.files}
+        return self._from_payload(payload)
+
+    def content_hash(self, obj) -> str:
+        """Canonical content hash of ``obj`` (payload-level, not bytes)."""
+        return stable_hash(self._to_payload(obj))
+
+
+class JsonCodec:
+    """Codec for small structured artifacts (service-map specs)."""
+
+    suffix = ".json"
+
+    def save(self, obj, path: str | Path) -> None:
+        """Write ``obj`` (a JSON-able document) to ``path``."""
+        Path(path).write_text(json.dumps(obj, sort_keys=True, indent=1))
+
+    def load(self, path: str | Path):
+        """Read the JSON document written by :meth:`save`."""
+        return json.loads(Path(path).read_text())
+
+    def content_hash(self, obj) -> str:
+        """Canonical content hash of the JSON document."""
+        return stable_hash(obj)
+
+
+# ----------------------------------------------------------------------
+# Payload converters
+# ----------------------------------------------------------------------
+
+
+def _trace_to_payload(trace: Trace) -> dict:
+    return {
+        "times": trace.times,
+        "senders": trace.senders,
+        "ports": trace.ports,
+        "protos": trace.protos,
+        "receivers": trace.receivers,
+        "mirai": trace.mirai,
+        "sender_ips": trace.sender_ips,
+    }
+
+
+def _trace_from_payload(payload: dict) -> Trace:
+    return Trace(
+        times=payload["times"],
+        senders=payload["senders"],
+        ports=payload["ports"],
+        protos=payload["protos"],
+        receivers=payload["receivers"],
+        mirai=payload["mirai"],
+        sender_ips=payload["sender_ips"],
+    )
+
+
+def _corpus_to_payload(corpus: Corpus) -> dict:
+    lengths = np.array([len(s) for s in corpus.sentences], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    tokens = (
+        np.concatenate([s.tokens for s in corpus.sentences])
+        if corpus.sentences
+        else np.empty(0, dtype=np.int64)
+    )
+    return {
+        "tokens": tokens.astype(np.int64),
+        "offsets": offsets.astype(np.int64),
+        "service_ids": np.array(
+            [s.service_id for s in corpus.sentences], dtype=np.int64
+        ),
+        "windows": np.array([s.window for s in corpus.sentences], dtype=np.int64),
+        "service_names": np.array(list(corpus.service_names), dtype=np.str_),
+    }
+
+
+def _corpus_from_payload(payload: dict) -> Corpus:
+    offsets = payload["offsets"]
+    tokens = payload["tokens"]
+    sentences = [
+        Sentence(
+            tokens=tokens[lo:hi],
+            service_id=int(service_id),
+            window=int(window),
+        )
+        for lo, hi, service_id, window in zip(
+            offsets[:-1], offsets[1:], payload["service_ids"], payload["windows"]
+        )
+    ]
+    return Corpus(
+        sentences=sentences,
+        service_names=tuple(str(name) for name in payload["service_names"]),
+    )
+
+
+def _vocab_to_payload(artifact: tuple[Vocabulary, np.ndarray]) -> dict:
+    vocab, active = artifact
+    return {
+        "tokens": vocab.tokens,
+        "counts": vocab.counts,
+        "active": np.asarray(active, dtype=np.int64),
+    }
+
+
+def _vocab_from_payload(payload: dict) -> tuple[Vocabulary, np.ndarray]:
+    vocab = Vocabulary(tokens=payload["tokens"], counts=payload["counts"])
+    return vocab, payload["active"]
+
+
+def _keyedvectors_to_payload(keyed: KeyedVectors) -> dict:
+    payload = {"tokens": keyed.tokens, "vectors": keyed.vectors}
+    if keyed.context_vectors is not None:
+        payload["context"] = keyed.context_vectors
+    return payload
+
+
+def _keyedvectors_from_payload(payload: dict) -> KeyedVectors:
+    return KeyedVectors(
+        tokens=payload["tokens"],
+        vectors=payload["vectors"],
+        context_vectors=payload.get("context"),
+    )
+
+
+def _graph_to_payload(graph: KnnGraph) -> dict:
+    return {
+        "n_nodes": np.array([graph.n_nodes], dtype=np.int64),
+        "sources": graph.sources,
+        "targets": graph.targets,
+        "weights": graph.weights,
+    }
+
+
+def _graph_from_payload(payload: dict) -> KnnGraph:
+    return KnnGraph(
+        n_nodes=int(payload["n_nodes"][0]),
+        sources=payload["sources"],
+        targets=payload["targets"],
+        weights=payload["weights"],
+    )
+
+
+#: Codec for :class:`~repro.trace.packet.Trace` artifacts.
+TRACE_CODEC = NpzCodec(_trace_to_payload, _trace_from_payload)
+
+#: Codec for :class:`~repro.corpus.document.Corpus` artifacts.
+CORPUS_CODEC = NpzCodec(_corpus_to_payload, _corpus_from_payload)
+
+#: Codec for ``(Vocabulary, active_senders)`` artifacts.
+VOCAB_CODEC = NpzCodec(_vocab_to_payload, _vocab_from_payload)
+
+#: Codec for :class:`~repro.w2v.keyedvectors.KeyedVectors` artifacts
+#: (same ``tokens``/``vectors`` keys as ``KeyedVectors.save``).
+KEYEDVECTORS_CODEC = NpzCodec(_keyedvectors_to_payload, _keyedvectors_from_payload)
+
+#: Codec for :class:`~repro.graph.knn_graph.KnnGraph` artifacts.
+KNN_GRAPH_CODEC = NpzCodec(_graph_to_payload, _graph_from_payload)
+
+#: Codec for service-map spec documents.
+SERVICE_MAP_CODEC = JsonCodec()
+
+
+def trace_content_hash(trace: Trace) -> str:
+    """Canonical content hash of a trace (keys the ingest stage)."""
+    return TRACE_CODEC.content_hash(trace)

@@ -94,6 +94,22 @@ METRICS: dict[str, MetricSpec] = {
         "negative samples drawn from the unigram^0.75 table",
         deterministic=False,
     ),
+    "train.warm_tokens": MetricSpec(
+        "gauge",
+        "vocabulary tokens seeded from a prior embedding (warm start)",
+    ),
+    "store.hits": MetricSpec(
+        "counter", "pipeline stages served from the artifact store"
+    ),
+    "store.misses": MetricSpec(
+        "counter", "stage artifacts absent from the store (recomputed)"
+    ),
+    "store.writes": MetricSpec(
+        "counter", "stage artifacts written to the store"
+    ),
+    "store.invalid": MetricSpec(
+        "counter", "cached artifacts rejected as corrupted or stale-format"
+    ),
     "knn.queries": MetricSpec("counter", "k-NN query points searched"),
     "knn.distance_computations": MetricSpec(
         "counter",

@@ -10,11 +10,30 @@ definitions studied in the paper are:
 * :class:`DomainServiceMap` — the 15 hand-curated services of Table 7.
 """
 
+import numpy as np
+
 from repro.services.auto import AutoServiceMap
 from repro.services.base import ServiceMap
 from repro.services.domain import DOMAIN_SERVICE_PORTS, DomainServiceMap
 from repro.services.ports import format_port, parse_port
 from repro.services.single import SingleServiceMap
+
+
+def service_map_from_spec(spec: dict) -> ServiceMap:
+    """Rebuild a service map from a ``ServiceMap.to_spec`` document.
+
+    Inverse of the built-in maps' ``to_spec``; raises ``ValueError``
+    for unknown kinds (e.g. specs of custom subclasses).
+    """
+    kind = spec.get("kind")
+    if kind == "single":
+        return SingleServiceMap()
+    if kind == "domain":
+        return DomainServiceMap()
+    if kind == "auto":
+        return AutoServiceMap(np.asarray(spec["top_keys"], dtype=np.int64))
+    raise ValueError(f"unknown service-map spec kind: {kind!r}")
+
 
 __all__ = [
     "AutoServiceMap",
@@ -24,4 +43,5 @@ __all__ = [
     "SingleServiceMap",
     "format_port",
     "parse_port",
+    "service_map_from_spec",
 ]

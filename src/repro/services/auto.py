@@ -39,6 +39,10 @@ class AutoServiceMap(ServiceMap):
     def names(self) -> tuple[str, ...]:
         return self._names
 
+    def to_spec(self) -> dict:
+        """Spec document carrying the resolved top (port, proto) keys."""
+        return {"kind": "auto", "top_keys": self._top_keys.tolist()}
+
     def service_ids(self, ports: np.ndarray, protos: np.ndarray) -> np.ndarray:
         keys = port_keys(ports, protos)
         positions = np.searchsorted(self._top_keys, keys)

@@ -33,3 +33,13 @@ class ServiceMap(ABC):
             np.array([port], dtype=np.int64), np.array([proto], dtype=np.int64)
         )
         return self.names[int(ids[0])]
+
+    def to_spec(self) -> dict | None:
+        """Serialisable spec document, or None when not serialisable.
+
+        The staged pipeline persists service maps through their spec
+        (see :func:`repro.services.service_map_from_spec`); custom
+        subclasses that do not override this run uncached but otherwise
+        work normally.
+        """
+        return None

@@ -83,6 +83,10 @@ class DomainServiceMap(ServiceMap):
     def names(self) -> tuple[str, ...]:
         return self._names
 
+    def to_spec(self) -> dict:
+        """Spec document (``{"kind": "domain"}``; Table 7 is code-defined)."""
+        return {"kind": "domain"}
+
     def service_ids(self, ports: np.ndarray, protos: np.ndarray) -> np.ndarray:
         ports = np.asarray(ports, dtype=np.int64)
         protos = np.asarray(protos, dtype=np.int64)

@@ -20,3 +20,7 @@ class SingleServiceMap(ServiceMap):
 
     def service_ids(self, ports: np.ndarray, protos: np.ndarray) -> np.ndarray:
         return np.zeros(len(ports), dtype=np.int32)
+
+    def to_spec(self) -> dict:
+        """Spec document (``{"kind": "single"}``)."""
+        return {"kind": "single"}

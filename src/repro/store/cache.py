@@ -1,0 +1,141 @@
+"""On-disk content-addressed artifact store.
+
+Layout under the store root::
+
+    objects/<stage>-<fingerprint><suffix>       artifact payload
+    objects/<stage>-<fingerprint>.meta.json     integrity + provenance
+
+The meta record carries two hashes: ``content_hash`` is the canonical
+payload-level hash (used to key downstream stage fingerprints, stable
+across serialisation details) and ``file_sha256`` is the digest of the
+payload bytes as written (used to detect corruption on load).  A load
+whose bytes do not match, whose meta is unreadable, or whose payload
+fails to deserialise is treated as a miss: the artifact is discarded
+and the stage recomputes — the cache can lose work, never corrupt it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro import obs
+
+#: Meta-record schema version; bump when the layout changes.
+META_FORMAT = 1
+
+
+class ArtifactStore:
+    """Fingerprint-keyed object store rooted at a directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _payload_path(self, stage: str, fingerprint: str, suffix: str) -> Path:
+        return self.objects / f"{stage}-{fingerprint}{suffix}"
+
+    def _meta_path(self, stage: str, fingerprint: str) -> Path:
+        return self.objects / f"{stage}-{fingerprint}.meta.json"
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def _read_meta(self, stage: str, fingerprint: str, suffix: str) -> dict | None:
+        """Integrity-checked meta record, or None on miss/corruption."""
+        meta_path = self._meta_path(stage, fingerprint)
+        payload_path = self._payload_path(stage, fingerprint, suffix)
+        if not meta_path.exists() and not payload_path.exists():
+            obs.add("store.misses")
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            blob = payload_path.read_bytes()
+            if meta.get("format") != META_FORMAT:
+                raise ValueError("unknown meta format")
+            if hashlib.sha256(blob).hexdigest() != meta["file_sha256"]:
+                raise ValueError("payload bytes do not match recorded digest")
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            obs.add("store.invalid")
+            obs.add("store.misses")
+            return None
+        return meta
+
+    def load(self, stage: str, fingerprint: str, codec):
+        """Load an artifact; returns ``(obj, content_hash)`` or None.
+
+        None means cache miss — either the artifact was never stored or
+        it failed the integrity check and must be recomputed.
+        """
+        meta = self._read_meta(stage, fingerprint, codec.suffix)
+        if meta is None:
+            return None
+        path = self._payload_path(stage, fingerprint, codec.suffix)
+        try:
+            obj = codec.load(path)
+        except Exception:
+            obs.add("store.invalid")
+            obs.add("store.misses")
+            return None
+        obs.add("store.hits")
+        return obj, meta["content_hash"]
+
+    def verify(self, stage: str, fingerprint: str, codec) -> str | None:
+        """Check presence + integrity without deserialising the payload.
+
+        Returns the stored content hash on success, None on miss.  Used
+        for artifacts the caller already holds in memory (the ingest
+        stage's trace), where a full load would be wasted work.
+        """
+        meta = self._read_meta(stage, fingerprint, codec.suffix)
+        if meta is None:
+            return None
+        obs.add("store.hits")
+        return meta["content_hash"]
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    def save(self, stage: str, fingerprint: str, codec, obj) -> str:
+        """Persist an artifact and its meta record; returns its content hash."""
+        path = self._payload_path(stage, fingerprint, codec.suffix)
+        codec.save(obj, path)
+        content_hash = codec.content_hash(obj)
+        meta = {
+            "format": META_FORMAT,
+            "stage": stage,
+            "fingerprint": fingerprint,
+            "content_hash": content_hash,
+            "file_sha256": hashlib.sha256(path.read_bytes()).hexdigest(),
+            "payload": path.name,
+            "created_unix": time.time(),
+        }
+        self._meta_path(stage, fingerprint).write_text(
+            json.dumps(meta, sort_keys=True, indent=1)
+        )
+        obs.add("store.writes")
+        return content_hash
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """All readable meta records, sorted by creation time."""
+        records = []
+        for meta_path in self.objects.glob("*.meta.json"):
+            try:
+                records.append(json.loads(meta_path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        records.sort(key=lambda meta: meta.get("created_unix", 0.0))
+        return records

@@ -1,0 +1,110 @@
+"""Stable content fingerprints for pipeline stages and artifacts.
+
+A fingerprint is a SHA-256 over a canonical byte encoding of a value.
+The encoding is type-tagged (so ``1`` and ``"1"`` and ``True`` hash
+differently), dict keys are sorted, and numpy arrays contribute their
+dtype, shape and raw bytes — making the hash independent of process,
+insertion order and interning, but sensitive to any content change.
+
+Stage fingerprints combine, in a fixed layout:
+
+* the stage name and its **code version** (bumped when the stage's
+  implementation changes semantics),
+* the values of the **config fields the stage depends on** (declared
+  in :data:`repro.core.config.STAGE_CONFIG_FIELDS`),
+* the **content hashes of upstream artifacts**, which gives early
+  cutoff: a stage whose inputs hash the same is a cache hit even if a
+  far-upstream knob changed and was recomputed to identical content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+import numpy as np
+
+#: Hex digest length used for artifact keys and filenames.  64 bits of
+#: collision resistance is ample for a per-project on-disk cache.
+DIGEST_CHARS = 16
+
+
+def _encode(value, h) -> None:
+    """Feed a canonical, type-tagged encoding of ``value`` into ``h``."""
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        h.update(b"B1" if value else b"B0")
+    elif isinstance(value, (int, np.integer)):
+        h.update(b"I" + str(int(value)).encode())
+    elif isinstance(value, (float, np.floating)):
+        h.update(b"F" + repr(float(value)).encode())
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        h.update(b"S" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(value, bytes):
+        h.update(b"Y" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        h.update(b"A" + str(array.dtype).encode() + b":")
+        h.update(str(array.shape).encode() + b":")
+        h.update(array.tobytes())
+    elif isinstance(value, (list, tuple)):
+        h.update(b"L" + str(len(value)).encode() + b"[")
+        for item in value:
+            _encode(item, h)
+        h.update(b"]")
+    elif isinstance(value, Mapping):
+        h.update(b"D" + str(len(value)).encode() + b"{")
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError(f"fingerprint dict keys must be str, got {key!r}")
+            _encode(key, h)
+            _encode(value[key], h)
+        h.update(b"}")
+    else:
+        raise TypeError(
+            f"cannot fingerprint value of type {type(value).__name__}: {value!r}"
+        )
+
+
+def stable_hash(value) -> str:
+    """Hex fingerprint of ``value`` (first :data:`DIGEST_CHARS` chars).
+
+    Supports None, bool, int, float, str, bytes, numpy arrays/scalars,
+    and (nested) lists, tuples and str-keyed mappings thereof; anything
+    else raises ``TypeError`` so unexpected inputs fail loudly instead
+    of hashing unstably via ``repr``.
+    """
+    h = hashlib.sha256()
+    _encode(value, h)
+    return h.hexdigest()[:DIGEST_CHARS]
+
+
+def stage_fingerprint(
+    stage: str,
+    version: int,
+    config_fields: Mapping[str, object],
+    upstream: Mapping[str, str],
+    inputs: Mapping[str, str] | None = None,
+) -> str:
+    """Cache key of one stage execution.
+
+    Args:
+        stage: stage name (``"corpus"``, ``"train"``, ...).
+        version: the stage's code version; bump on semantic changes.
+        config_fields: the config knobs this stage reads, by name.
+        upstream: content hashes of consumed upstream artifacts, keyed
+            by producing stage name.
+        inputs: content hashes of external inputs (e.g. the raw trace
+            for the ingest stage).
+    """
+    return stable_hash(
+        {
+            "stage": stage,
+            "version": version,
+            "config": dict(config_fields),
+            "upstream": dict(upstream),
+            "inputs": dict(inputs or {}),
+        }
+    )

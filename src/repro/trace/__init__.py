@@ -13,6 +13,7 @@ followed by :func:`repro.trace.generator.generate_trace`.
 from repro.trace.actors import ActorGroup, PortProfile
 from repro.trace.flows import FlowTable, aggregate_flows
 from repro.trace.generator import generate_trace
+from repro.trace.merge import merge_traces
 from repro.trace.packet import ICMP, TCP, UDP, Trace, proto_name
 from repro.trace.presets import minimal_scenario, quiet_scenario, worm_outbreak_scenario
 from repro.trace.scenario import Scenario, default_scenario
@@ -55,5 +56,6 @@ __all__ = [
     "UDP",
     "default_scenario",
     "generate_trace",
+    "merge_traces",
     "proto_name",
 ]

@@ -1,0 +1,45 @@
+"""Merging traces with distinct sender tables (incremental ingest).
+
+Traces intern sender IPs into a per-trace table; appending a new day of
+traffic therefore needs a merged table plus remap arrays translating
+each input trace's sender indices into the merged numbering.  The remap
+of the first trace also translates prior artifacts — embedding tokens
+and corpus sentences — so incremental updates never re-read old days.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.packet import Trace
+
+
+def merge_traces(a: Trace, b: Trace) -> tuple[Trace, np.ndarray, np.ndarray]:
+    """Concatenate two traces into one time-sorted trace.
+
+    Returns ``(merged, remap_a, remap_b)`` where ``remap_x[i]`` is the
+    merged sender index of sender ``i`` of trace ``x``.  The merged
+    sender table is the sorted union of both tables, so both remaps are
+    strictly increasing — sorted token arrays stay sorted after
+    remapping.
+    """
+    table = np.union1d(
+        a.sender_ips.astype(np.uint64), b.sender_ips.astype(np.uint64)
+    )
+    remap_a = np.searchsorted(table, a.sender_ips.astype(np.uint64))
+    remap_b = np.searchsorted(table, b.sender_ips.astype(np.uint64))
+
+    times = np.concatenate([a.times, b.times])
+    order = np.argsort(times, kind="stable")
+    merged = Trace(
+        times=times[order],
+        senders=np.concatenate(
+            [remap_a[a.senders], remap_b[b.senders]]
+        ).astype(np.int32)[order],
+        ports=np.concatenate([a.ports, b.ports])[order],
+        protos=np.concatenate([a.protos, b.protos])[order],
+        receivers=np.concatenate([a.receivers, b.receivers])[order],
+        mirai=np.concatenate([a.mirai, b.mirai])[order],
+        sender_ips=table.astype(a.sender_ips.dtype),
+    )
+    return merged, remap_a.astype(np.int64), remap_b.astype(np.int64)

@@ -10,6 +10,14 @@ import numpy as np
 from repro.w2v.mathutils import unit_rows
 
 
+def _npz_path(path: str | Path) -> Path:
+    """Normalise ``path`` to carry the ``.npz`` suffix exactly once."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 @dataclass
 class KeyedVectors:
     """Token -> vector mapping with cosine-similarity queries.
@@ -17,15 +25,25 @@ class KeyedVectors:
     Attributes:
         tokens: sorted distinct tokens (e.g. trace sender indices).
         vectors: float array of shape ``(len(tokens), vector_size)``.
+        context_vectors: optional context (output) matrix of the same
+            shape, kept so incremental warm starts can resume training
+            from the full model state instead of re-learning the
+            context side from zeros.  ``None`` for embeddings that only
+            serve similarity queries.
     """
 
     tokens: np.ndarray
     vectors: np.ndarray
+    context_vectors: np.ndarray | None = None
     _units: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.tokens) != len(self.vectors):
             raise ValueError("tokens and vectors must align")
+        if self.context_vectors is not None and len(self.context_vectors) != len(
+            self.tokens
+        ):
+            raise ValueError("tokens and context_vectors must align")
         if len(self.tokens) > 1 and np.any(np.diff(self.tokens) <= 0):
             raise ValueError("tokens must be sorted and unique")
 
@@ -97,17 +115,44 @@ class KeyedVectors:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Save to a ``.npz`` file."""
-        np.savez_compressed(Path(path), tokens=self.tokens, vectors=self.vectors)
+        """Save to a ``.npz`` file.
+
+        The ``.npz`` suffix is appended when missing (mirroring what
+        ``np.savez_compressed`` would silently do anyway), so
+        ``save("emb")`` and ``load("emb")`` round-trip.
+        """
+        payload = {"tokens": self.tokens, "vectors": self.vectors}
+        if self.context_vectors is not None:
+            payload["context"] = self.context_vectors
+        np.savez_compressed(_npz_path(path), **payload)
 
     @staticmethod
     def load(path: str | Path) -> "KeyedVectors":
-        """Load from a ``.npz`` file produced by :meth:`save`."""
-        with np.load(Path(path)) as data:
-            return KeyedVectors(tokens=data["tokens"], vectors=data["vectors"])
+        """Load from a ``.npz`` file produced by :meth:`save`.
+
+        Accepts the same path that was passed to :meth:`save`, with or
+        without the ``.npz`` suffix.
+        """
+        path = Path(path)
+        if not path.exists():
+            path = _npz_path(path)
+        with np.load(path) as data:
+            return KeyedVectors(
+                tokens=data["tokens"],
+                vectors=data["vectors"],
+                context_vectors=data["context"] if "context" in data else None,
+            )
 
     def subset(self, tokens: np.ndarray) -> "KeyedVectors":
         """Restrict to the given tokens (missing ones are ignored)."""
         rows = self.rows_of(np.asarray(tokens, dtype=np.int64))
         rows = np.unique(rows[rows >= 0])
-        return KeyedVectors(tokens=self.tokens[rows], vectors=self.vectors[rows])
+        return KeyedVectors(
+            tokens=self.tokens[rows],
+            vectors=self.vectors[rows],
+            context_vectors=(
+                self.context_vectors[rows]
+                if self.context_vectors is not None
+                else None
+            ),
+        )

@@ -97,15 +97,43 @@ class Word2Vec:
                 f"got {self.architecture!r}"
             )
 
-    def fit(self, sentences: list[np.ndarray]) -> KeyedVectors:
-        """Train on integer-token sentences and return the embedding."""
+    def fit(
+        self,
+        sentences: list[np.ndarray],
+        *,
+        init: KeyedVectors | None = None,
+        vocab: Vocabulary | None = None,
+    ) -> KeyedVectors:
+        """Train on integer-token sentences and return the embedding.
+
+        Args:
+            sentences: integer-token sentences.  Tokens outside the
+                vocabulary are dropped before windowing.
+            init: optional prior embedding for **warm starts**: vectors
+                of tokens present in both ``init`` and the vocabulary
+                seed the input matrix; unseen tokens get the usual
+                random initialisation.  ``init=None`` (the default)
+                leaves training bit-identical to a cold start.
+            vocab: optional pre-built vocabulary.  When given, the
+                internal ``Vocabulary.build`` call is skipped and
+                out-of-vocabulary tokens are filtered at encode time —
+                this is how the staged pipeline injects its
+                activity-filtered vocabulary artifact.
+        """
         with obs.span(
             "train.fit", architecture=self.architecture, workers=self.workers
         ) as fit_span:
-            return self._fit(sentences, fit_span)
+            return self._fit(sentences, fit_span, init=init, vocab=vocab)
 
-    def _fit(self, sentences: list[np.ndarray], fit_span) -> KeyedVectors:
-        vocab = Vocabulary.build(sentences, min_count=self.min_count)
+    def _fit(
+        self,
+        sentences: list[np.ndarray],
+        fit_span,
+        init: KeyedVectors | None = None,
+        vocab: Vocabulary | None = None,
+    ) -> KeyedVectors:
+        if vocab is None:
+            vocab = Vocabulary.build(sentences, min_count=self.min_count)
         obs.set_gauge("train.vocab_size", len(vocab))
         if len(vocab) == 0:
             return KeyedVectors(
@@ -120,6 +148,8 @@ class Word2Vec:
             (rng.random((len(vocab), self.vector_size)) - 0.5) / self.vector_size
         ).astype(np.float32)
         syn1 = np.zeros((len(vocab), self.vector_size), dtype=np.float32)
+        if init is not None:
+            self._warm_start(syn0, syn1, vocab, init)
         sampler = NegativeSampler(vocab.counts) if self.negative else None
         keep_probs = self._keep_probabilities(vocab)
 
@@ -157,7 +187,9 @@ class Word2Vec:
                 rng,
             )
             fit_span.set(items=trainer.processed_pairs, items_unit="pairs")
-            return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
+            return KeyedVectors(
+                tokens=vocab.tokens.copy(), vectors=syn0, context_vectors=syn1
+            )
 
         centers_buf: list[np.ndarray] = []
         contexts_buf: list[np.ndarray] = []
@@ -230,7 +262,9 @@ class Word2Vec:
             self._emit_progress(epoch, processed + buffered, total_pairs, t_start)
         flush()
         fit_span.set(items=processed, items_unit="pairs")
-        return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
+        return KeyedVectors(
+            tokens=vocab.tokens.copy(), vectors=syn0, context_vectors=syn1
+        )
 
     def fit_pairs(
         self, center_tokens: np.ndarray, context_tokens: np.ndarray
@@ -293,7 +327,9 @@ class Word2Vec:
                 centers, contexts, syn0, syn1, sampler, total_pairs, batch_pairs, rng
             )
             fit_span.set(items=trainer.processed_pairs, items_unit="pairs")
-            return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
+            return KeyedVectors(
+                tokens=vocab.tokens.copy(), vectors=syn0, context_vectors=syn1
+            )
 
         processed = 0
         t_start = time.perf_counter()
@@ -319,11 +355,45 @@ class Word2Vec:
                         _cap_norms(syn1, self.max_norm)
             self._emit_progress(epoch, processed, total_pairs, t_start)
         fit_span.set(items=processed, items_unit="pairs")
-        return KeyedVectors(tokens=vocab.tokens.copy(), vectors=syn0)
+        return KeyedVectors(
+            tokens=vocab.tokens.copy(), vectors=syn0, context_vectors=syn1
+        )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _warm_start(
+        self,
+        syn0: np.ndarray,
+        syn1: np.ndarray,
+        vocab: Vocabulary,
+        init: KeyedVectors,
+    ) -> None:
+        """Seed ``syn0`` (and ``syn1``) rows from a prior model (in place).
+
+        Tokens present in both the vocabulary and ``init`` copy their
+        prior input vector — and their prior context vector when
+        ``init.context_vectors`` is set, which is what makes a short
+        warm refit track a full cold retrain: resuming with a zeroed
+        context matrix would perturb every seeded vector back through
+        the early large-gradient regime.  The remaining rows keep the
+        fresh random initialisation already drawn into ``syn0`` (so the
+        RNG stream is identical with and without a warm start).
+        """
+        if init.vector_size != self.vector_size:
+            raise ValueError(
+                f"warm-start dimension mismatch: prior embedding has "
+                f"vector_size={init.vector_size}, model expects "
+                f"{self.vector_size}"
+            )
+        rows = init.rows_of(vocab.tokens)
+        seen = rows >= 0
+        if seen.any():
+            syn0[seen] = init.vectors[rows[seen]].astype(np.float32)
+            if init.context_vectors is not None:
+                syn1[seen] = init.context_vectors[rows[seen]].astype(np.float32)
+        obs.set_gauge("train.warm_tokens", int(seen.sum()))
 
     def _learning_rate(self, processed: int, total: int) -> float:
         fraction = min(processed / total, 1.0)

@@ -57,6 +57,40 @@ class Vocabulary:
         keep = counts >= min_count
         return Vocabulary(tokens=tokens[keep], counts=counts[keep])
 
+    def restricted_to(self, allowed: np.ndarray) -> "Vocabulary":
+        """Sub-vocabulary of the tokens that appear in ``allowed``.
+
+        Counts are preserved; tokens outside ``allowed`` are dropped.
+        Used by the staged pipeline to apply the paper's activity
+        filter at vocabulary level instead of re-building the corpus.
+        """
+        allowed = np.unique(np.asarray(allowed, dtype=np.int64))
+        if len(allowed) == 0 or len(self.tokens) == 0:
+            return Vocabulary(
+                tokens=np.empty(0, dtype=np.int64),
+                counts=np.empty(0, dtype=np.int64),
+            )
+        positions = np.searchsorted(allowed, self.tokens)
+        positions = np.clip(positions, 0, len(allowed) - 1)
+        keep = allowed[positions] == self.tokens
+        return Vocabulary(tokens=self.tokens[keep], counts=self.counts[keep])
+
+    @staticmethod
+    def merge(a: "Vocabulary", b: "Vocabulary") -> "Vocabulary":
+        """Union of two vocabularies with summed counts.
+
+        The warm-start path merges the vocabulary of retained corpus
+        windows with the vocabulary of freshly rebuilt windows instead
+        of re-counting the whole rolling window from scratch.
+        """
+        tokens = np.union1d(a.tokens, b.tokens)
+        counts = np.zeros(len(tokens), dtype=np.int64)
+        if len(a.tokens):
+            counts[np.searchsorted(tokens, a.tokens)] += a.counts
+        if len(b.tokens):
+            counts[np.searchsorted(tokens, b.tokens)] += b.counts
+        return Vocabulary(tokens=tokens, counts=counts)
+
     def encode(self, tokens: np.ndarray) -> np.ndarray:
         """Word ids of ``tokens``; out-of-vocabulary tokens become -1."""
         tokens = np.asarray(tokens, dtype=np.int64)

@@ -154,7 +154,7 @@ class TestTelemetryFlags:
         assert counters["train.epochs"] == 2
         assert counters["corpus.tokens"] > 0
         paths = [r["path"] for r in records if r["type"] == "span"]
-        assert "pipeline.fit/train.fit" in paths
+        assert "pipeline.fit/stage.train/train.fit" in paths
 
     def test_profile_flag_prints_tables(self, workspace, tmp_path, capsys):
         _, trace_file, _ = workspace
@@ -300,3 +300,106 @@ class TestPresets:
         )
         assert rc == 0
         assert out.exists()
+
+
+@pytest.fixture(scope="module")
+def staged_workspace(tmp_path_factory):
+    """Simulate 4 days, split off the last day, run the staged pipeline."""
+    import numpy as np
+
+    from repro.io.csvio import read_trace_csv, write_trace_csv
+    from repro.trace.packet import SECONDS_PER_DAY
+
+    root = tmp_path_factory.mktemp("staged")
+    full_file = root / "full.csv"
+    rc = main(
+        [
+            "simulate",
+            "--out",
+            str(full_file),
+            "--scale",
+            "0.02",
+            "--days",
+            "4",
+            "--seed",
+            "5",
+        ]
+    )
+    assert rc == 0
+    full = read_trace_csv(full_file)
+    cut = full.start_time + 3 * SECONDS_PER_DAY
+    head_file = root / "head.csv"
+    tail_file = root / "tail.csv"
+    write_trace_csv(full.between(full.start_time, cut), head_file)
+    write_trace_csv(full.between(cut, np.inf), tail_file)
+
+    cache_dir = root / "cache"
+    run_args = [
+        "--trace",
+        str(head_file),
+        "--cache-dir",
+        str(cache_dir),
+        "--epochs",
+        "2",
+        "--vector-size",
+        "16",
+    ]
+    rc = main(["run", *run_args])
+    assert rc == 0
+    return root, run_args, cache_dir, tail_file
+
+
+class TestRunResumeUpdate:
+    def test_run_populates_cache_and_state(self, staged_workspace):
+        _, _, cache_dir, _ = staged_workspace
+        objects = list((cache_dir / "objects").iterdir())
+        assert objects, "artifact store is empty after run"
+        state_dir = cache_dir / "state"
+        for name in (
+            "config.json",
+            "meta.json",
+            "trace.npz",
+            "corpus.npz",
+            "embedding.npz",
+        ):
+            assert (state_dir / name).exists(), name
+
+    def test_resume_is_all_cache_hits(self, staged_workspace, capsys):
+        _, run_args, _, _ = staged_workspace
+        rc = main(["resume", *run_args])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "5/5 stages served" in out
+        assert out.count(" hit ") >= 5
+
+    def test_run_exports_vectors(self, staged_workspace, tmp_path):
+        from repro.w2v.keyedvectors import KeyedVectors
+
+        _, run_args, _, _ = staged_workspace
+        out_file = tmp_path / "vec.npz"
+        rc = main(["run", *run_args, "--out", str(out_file)])
+        assert rc == 0
+        keyed = KeyedVectors.load(out_file)
+        assert len(keyed) > 0
+        assert keyed.vector_size == 16
+
+    def test_update_appends_the_new_day(self, staged_workspace, capsys):
+        from repro.core import DarkVec
+
+        _, _, cache_dir, tail_file = staged_workspace
+        before = DarkVec.load_state(cache_dir / "state")
+        rc = main(
+            ["update", "--trace", str(tail_file), "--cache-dir", str(cache_dir)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "appended" in out
+        assert "warm-started" in out
+        after = DarkVec.load_state(cache_dir / "state")
+        assert len(after.trace) > len(before.trace)
+        assert after.embedding.context_vectors is not None
+
+    def test_update_without_state_location_fails(self, tmp_path, capsys):
+        rc = main(["update", "--trace", str(tmp_path / "x.csv")])
+        assert rc == 2
+        assert "needs --state or --cache-dir" in capsys.readouterr().err

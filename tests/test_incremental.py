@@ -1,0 +1,274 @@
+"""Staged fit equivalence, warm starts, and incremental update()."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DarkVec, DarkVecConfig
+from repro.core.pipeline import NotFittedError
+from repro.corpus.builder import CorpusBuilder
+from repro.trace.merge import merge_traces
+from repro.trace.packet import SECONDS_PER_DAY
+from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.model import Word2Vec
+from repro.w2v.vocab import Vocabulary
+
+DAY = float(SECONDS_PER_DAY)
+
+
+class TestStagedFitEquivalence:
+    def test_bit_identical_to_monolithic_path(self, small_trace):
+        """The staged fit reproduces the historical fit exactly.
+
+        Reference: filter-first corpus build + cold Word2Vec, i.e. the
+        monolithic pipeline before the stage-graph refactor.
+        """
+        config = DarkVecConfig(epochs=3, seed=3)
+        active = small_trace.active_senders(config.min_packets)
+        service_map = config.resolve_service_map(small_trace)
+        corpus = CorpusBuilder(service_map, delta_t=config.delta_t).build(
+            small_trace, keep_senders=active
+        )
+        reference = Word2Vec(
+            vector_size=config.vector_size,
+            context=config.context,
+            negative=config.negative,
+            epochs=config.epochs,
+            seed=config.seed,
+            workers=config.workers,
+        ).fit([sentence.tokens for sentence in corpus])
+
+        darkvec = DarkVec(config).fit(small_trace)
+        assert np.array_equal(darkvec.embedding.tokens, reference.tokens)
+        assert np.array_equal(darkvec.embedding.vectors, reference.vectors)
+
+    def test_filtered_corpus_matches_legacy_view(self, small_trace):
+        config = DarkVecConfig(epochs=2, seed=3)
+        darkvec = DarkVec(config).fit(small_trace)
+        active = small_trace.active_senders(config.min_packets)
+        service_map = config.resolve_service_map(small_trace)
+        legacy = CorpusBuilder(service_map, delta_t=config.delta_t).build(
+            small_trace, keep_senders=active
+        )
+        assert len(darkvec.corpus) == len(legacy)
+        for got, want in zip(darkvec.corpus, legacy):
+            assert np.array_equal(got.tokens, want.tokens)
+
+
+class TestWarmStart:
+    def test_seeds_prior_vectors(self):
+        sentences = [np.array([0, 1, 2, 0, 1, 2, 1, 0])] * 4
+        prior = KeyedVectors(
+            tokens=np.array([0, 2]),
+            vectors=np.full((2, 8), 0.5, dtype=np.float32),
+        )
+        model = Word2Vec(
+            vector_size=8, context=2, epochs=1, seed=5, alpha=1e-10,
+            min_alpha=1e-12, negative=0,
+        )
+        warm = model.fit(sentences, init=prior)
+        rows = warm.rows_of(np.array([0, 2]))
+        # with a negligible learning rate the seeded vectors survive
+        np.testing.assert_allclose(
+            warm.vectors[rows], prior.vectors, atol=1e-4
+        )
+        fresh_row = int(warm.rows_of(np.array([1]))[0])
+        assert not np.allclose(warm.vectors[fresh_row], 0.5, atol=1e-2)
+
+    def test_rng_stream_unchanged_by_warm_start(self):
+        sentences = [np.array([0, 1, 2, 3, 0, 1, 2, 3])] * 4
+        prior = KeyedVectors(
+            tokens=np.array([7]),  # disjoint: seeds nothing
+            vectors=np.zeros((1, 8), dtype=np.float32),
+        )
+        kw = dict(vector_size=8, context=2, epochs=2, seed=5)
+        cold = Word2Vec(**kw).fit(sentences)
+        warm = Word2Vec(**kw).fit(sentences, init=prior)
+        assert np.array_equal(cold.vectors, warm.vectors)
+
+    def test_dimension_mismatch_raises(self):
+        prior = KeyedVectors(
+            tokens=np.array([0]), vectors=np.zeros((1, 4), dtype=np.float32)
+        )
+        model = Word2Vec(vector_size=8, context=2, epochs=1)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            model.fit([np.array([0, 1, 0, 1])], init=prior)
+
+    def test_context_matrix_round_trips(self, tmp_path):
+        sentences = [np.array([0, 1, 2, 0, 1, 2])] * 3
+        keyed = Word2Vec(vector_size=4, context=2, epochs=1, seed=2).fit(
+            sentences
+        )
+        assert keyed.context_vectors is not None
+        assert keyed.context_vectors.shape == keyed.vectors.shape
+        keyed.save(tmp_path / "kv")
+        loaded = KeyedVectors.load(tmp_path / "kv")
+        assert np.array_equal(loaded.context_vectors, keyed.context_vectors)
+
+
+class TestKeyedVectorsSuffix:
+    def test_save_load_round_trip_without_suffix(self, tmp_path):
+        keyed = KeyedVectors(
+            tokens=np.array([1, 5]), vectors=np.eye(2, dtype=np.float32)
+        )
+        keyed.save(tmp_path / "emb")  # np.savez appends .npz
+        loaded = KeyedVectors.load(tmp_path / "emb")
+        assert np.array_equal(loaded.tokens, keyed.tokens)
+        assert np.array_equal(loaded.vectors, keyed.vectors)
+
+    def test_save_load_round_trip_with_suffix(self, tmp_path):
+        keyed = KeyedVectors(
+            tokens=np.array([1, 5]), vectors=np.eye(2, dtype=np.float32)
+        )
+        keyed.save(tmp_path / "emb.npz")
+        assert (tmp_path / "emb.npz").exists()
+        assert not (tmp_path / "emb.npz.npz").exists()
+        loaded = KeyedVectors.load(tmp_path / "emb.npz")
+        assert np.array_equal(loaded.vectors, keyed.vectors)
+
+
+class TestMergeTraces:
+    def test_union_table_and_monotone_remaps(self, tiny_trace):
+        half = tiny_trace.between(0.0, 5.0)
+        rest = tiny_trace.between(5.0, np.inf)
+        merged, remap_a, remap_b = merge_traces(half, rest)
+        assert len(merged) == len(tiny_trace)
+        assert np.array_equal(merged.times, tiny_trace.times)
+        assert np.all(np.diff(remap_a) > 0)
+        assert np.all(np.diff(remap_b) >= 0)
+        # per-packet sender IPs are preserved
+        assert np.array_equal(
+            merged.sender_ips[merged.senders],
+            tiny_trace.sender_ips[tiny_trace.senders],
+        )
+
+    def test_self_merge_is_identity_remap(self, tiny_trace):
+        merged, remap_a, remap_b = merge_traces(tiny_trace, tiny_trace)
+        assert merged.n_senders == tiny_trace.n_senders
+        assert np.array_equal(remap_a, np.arange(tiny_trace.n_senders))
+        assert np.array_equal(remap_a, remap_b)
+        assert len(merged) == 2 * len(tiny_trace)
+
+
+class TestVocabularyOps:
+    def test_restricted_to_preserves_counts(self):
+        vocab = Vocabulary(
+            tokens=np.array([1, 3, 5, 7]), counts=np.array([10, 2, 4, 8])
+        )
+        sub = vocab.restricted_to(np.array([3, 7, 99]))
+        assert np.array_equal(sub.tokens, [3, 7])
+        assert np.array_equal(sub.counts, [2, 8])
+
+    def test_merge_sums_counts(self):
+        a = Vocabulary(tokens=np.array([1, 2]), counts=np.array([3, 4]))
+        b = Vocabulary(tokens=np.array([2, 5]), counts=np.array([1, 6]))
+        merged = Vocabulary.merge(a, b)
+        assert np.array_equal(merged.tokens, [1, 2, 5])
+        assert np.array_equal(merged.counts, [3, 5, 6])
+
+
+class TestUpdate:
+    @pytest.fixture(scope="class")
+    def split_trace(self, small_trace):
+        t0 = small_trace.start_time
+        cut = t0 + 5 * DAY
+        return (
+            small_trace.between(t0, cut),
+            small_trace.between(cut, np.inf),
+        )
+
+    def test_requires_fit(self, tiny_trace):
+        with pytest.raises(NotFittedError):
+            DarkVec().update(tiny_trace)
+
+    def test_rejects_empty_trace(self, small_trace):
+        config = DarkVecConfig(epochs=2, seed=3)
+        darkvec = DarkVec(config).fit(small_trace)
+        empty = small_trace.between(-2.0, -1.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            darkvec.update(empty)
+
+    def test_appends_and_reports(self, split_trace):
+        head, tail = split_trace
+        config = DarkVecConfig(epochs=2, seed=3)
+        darkvec = DarkVec(config).fit(head)
+        darkvec.update(tail)
+        report = darkvec.last_update
+        assert report.new_packets == len(tail)
+        assert report.evicted_packets == 0
+        assert report.sentences_rebuilt > 0
+        assert report.sentences_retained > 0
+        assert report.warm_tokens > 0
+        assert len(darkvec.trace) == len(head) + len(tail)
+        # all new-day senders are now embedded (if active)
+        active = darkvec.trace.active_senders(config.min_packets)
+        assert np.array_equal(darkvec.embedding.tokens, np.sort(active))
+
+    def test_rolling_window_eviction(self, split_trace):
+        head, tail = split_trace
+        config = DarkVecConfig(epochs=2, seed=3, window_days=2.0)
+        darkvec = DarkVec(config).fit(head)
+        darkvec.update(tail)
+        report = darkvec.last_update
+        assert report.evicted_packets > 0
+        assert report.sentences_evicted > 0
+        span_days = (
+            darkvec.trace.end_time - darkvec.trace.start_time
+        ) / DAY
+        # eviction is at dT-window granularity: at most one window over
+        assert span_days <= 2.0 + config.delta_t / DAY + 1e-6
+
+    def test_update_matches_cold_retrain_closely(self, small_bundle, split_trace):
+        head, tail = split_trace
+        config = DarkVecConfig(epochs=6, seed=3)
+        warm = DarkVec(config).fit(head)
+        warm.update(tail)
+        cold = DarkVec(config).fit(warm.trace)
+        report_warm = warm.evaluate(small_bundle.truth, eval_days=1.0)
+        report_cold = cold.evaluate(small_bundle.truth, eval_days=1.0)
+        assert abs(report_warm.accuracy - report_cold.accuracy) <= 0.05
+
+    def test_state_round_trip_then_update(self, split_trace, tmp_path):
+        head, tail = split_trace
+        config = DarkVecConfig(epochs=2, seed=3)
+        darkvec = DarkVec(config).fit(head)
+        darkvec.save_state(tmp_path / "state")
+        restored = DarkVec.load_state(tmp_path / "state")
+        assert np.array_equal(
+            restored.embedding.vectors, darkvec.embedding.vectors
+        )
+        restored.update(tail)
+        darkvec.update(tail)
+        assert np.array_equal(
+            restored.embedding.vectors, darkvec.embedding.vectors
+        )
+
+
+class TestEmptyEvaluationWindow:
+    def test_evaluation_rows_raises_clearly(self, small_bundle, small_trace):
+        config = DarkVecConfig(epochs=2, seed=3)
+        # train on the first day only; senders of the last day that
+        # never appear in day one are not embedded
+        head = small_trace.between(
+            small_trace.start_time, small_trace.start_time + 0.5 * DAY
+        )
+        darkvec = DarkVec(config).fit(head)
+        # the fitted trace is day one, so its "last day" overlaps; force
+        # an empty window with an impossible eval_days slice instead
+        darkvec.trace = small_trace.between(-2.0, -1.0)
+        with pytest.raises(ValueError, match="empty evaluation window"):
+            darkvec.evaluation_rows(1.0)
+
+    def test_evaluate_propagates_the_error(self, small_bundle, small_trace):
+        config = DarkVecConfig(epochs=2, seed=3)
+        darkvec = DarkVec(config).fit(small_trace)
+        darkvec.trace = small_trace.between(-2.0, -1.0)
+        with pytest.raises(ValueError, match="empty evaluation window"):
+            darkvec.evaluate(small_bundle.truth, eval_days=1.0)
+
+    def test_eval_days_none_still_works(self, small_trace):
+        config = DarkVecConfig(epochs=2, seed=3)
+        darkvec = DarkVec(config).fit(small_trace)
+        rows = darkvec.evaluation_rows(None)
+        assert len(rows) == len(darkvec.embedding)
