@@ -1,0 +1,238 @@
+"""Drift-monitor benchmark: a 3-day incremental run with a day-3 shift.
+
+Simulates the registry + health-gate loop end to end.  A model is
+fitted on a 3-day window, then three daily updates arrive through
+:meth:`DarkVec.update` with the health gate armed:
+
+* **day 1 / day 2** — unchanged synthetic traffic; every drift and
+  data-quality monitor must stay ``ok`` and the updates promote,
+* **day 3** — the day's traffic plus an injected scanner wave (a fresh
+  /16 hammering 23/TCP at roughly 13x the normal daily packet volume),
+  which must flip the data-quality monitors (volume z-score, port-mix
+  shift) and the embedding-drift monitor to ``warn``/``fail`` so the
+  gate refuses promotion while the previously saved state stays
+  loadable.
+
+The run registry accumulates one ``fit`` plus three ``update`` records;
+the benchmark asserts the per-day verdicts and writes them, together
+with the raw monitor values, to ``BENCH_drift.json``.  The whole run is
+seeded, so the committed numbers are reproducible bit-for-bit.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_drift_monitor.py
+
+Options: ``--scale/--days/--seed`` size the scenario (``--days`` is the
+fit window; three extra days are simulated and arrive as updates),
+``--scanners/--packets-per-scanner`` size the injected wave, ``--out``
+the JSON path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DarkVec, DarkVecConfig
+from repro.store.state import load_state, save_state
+from repro.trace.generator import generate_trace
+from repro.trace.packet import SECONDS_PER_DAY, TCP, Trace
+from repro.trace.scenario import default_scenario
+
+#: Destination port of the injected scanner wave: 23/TCP lands in the
+#: telnet service of the domain map, alongside the scenario's botnet,
+#: so retained senders' training contexts — not just the ingest
+#: profile — are perturbed and the embedding-drift monitor reacts.
+SCAN_PORT = 23
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.03)
+    parser.add_argument("--days", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--model-seed", type=int, default=3)
+    parser.add_argument("--scanners", type=int, default=2000)
+    parser.add_argument("--packets-per-scanner", type=int, default=80)
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_drift.json"))
+    return parser
+
+
+def inject_scanner_wave(
+    day: Trace, n_senders: int, packets_per: int, seed: int = 99
+) -> Trace:
+    """Merge a synthetic scanner wave into one day of traffic.
+
+    ``n_senders`` previously unseen IPs from a fresh /16 spray
+    ``packets_per`` packets each at ``SCAN_PORT``/TCP, uniformly over
+    the day and across the whole darknet — the "new scanner class
+    appears overnight" event the monitors exist to catch.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_senders * packets_per
+    times = rng.uniform(day.start_time, day.end_time, n)
+    ips = (0xC0A80000 + rng.integers(0, n_senders, n)).astype(np.uint64)
+    return Trace.from_events(
+        times=np.concatenate([day.times, times]),
+        sender_ips_per_packet=np.concatenate(
+            [day.sender_ips[day.senders], ips]
+        ),
+        ports=np.concatenate([day.ports, np.full(n, SCAN_PORT)]),
+        protos=np.concatenate([day.protos, np.full(n, TCP)]),
+        receivers=np.concatenate([day.receivers, rng.integers(0, 65536, n)]),
+        mirai=np.concatenate([day.mirai, np.zeros(n, dtype=bool)]),
+    )
+
+
+def _health_row(darkvec: DarkVec) -> dict:
+    report = darkvec.last_health
+    return {
+        "verdict": report.verdict,
+        "promoted": report.promoted,
+        "monitors": {
+            m.name: {"value": m.value, "verdict": m.verdict}
+            for m in report.monitors
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the 3-day gated loop and write the JSON report."""
+    args = _build_parser().parse_args(argv)
+
+    t0 = time.perf_counter()
+    scenario = default_scenario(
+        scale=args.scale, days=args.days + 3.0, seed=args.seed
+    )
+    bundle = generate_trace(scenario)
+    simulate_seconds = time.perf_counter() - t0
+    full = bundle.trace
+    start = full.start_time
+
+    def day_slice(n: int) -> Trace:
+        lo = start + (args.days + n - 1) * SECONDS_PER_DAY
+        return full.between(lo, lo + SECONDS_PER_DAY)
+
+    base = full.between(start, start + args.days * SECONDS_PER_DAY)
+    shifted = inject_scanner_wave(
+        day_slice(3), args.scanners, args.packets_per_scanner
+    )
+    print(
+        f"simulated {len(full)} packets; base window {len(base)}, "
+        f"shifted day {len(shifted)} ({len(shifted) - len(day_slice(3))} "
+        "injected)"
+    )
+
+    cache_root = args.cache_dir or Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    config = DarkVecConfig(
+        service="domain",
+        epochs=args.epochs,
+        seed=args.model_seed,
+        window_days=args.days,
+        update_epochs=4,
+        cache_dir=cache_root,
+        health={"gate_updates": True},
+    )
+    darkvec = DarkVec(config)
+
+    t0 = time.perf_counter()
+    darkvec.fit(base)
+    fit_seconds = time.perf_counter() - t0
+    print(f"fit on {args.days:.0f}-day window: {fit_seconds:.1f}s")
+
+    days: list[dict] = []
+    state_dir = cache_root / "state"
+    for label, day in (
+        ("stable-1", day_slice(1)),
+        ("stable-2", day_slice(2)),
+        ("shifted-3", shifted),
+    ):
+        if label == "shifted-3":
+            # Yesterday's promoted model is what the gate must protect.
+            save_state(darkvec, state_dir)
+            pre_update = darkvec.embedding.vectors.copy()
+        t0 = time.perf_counter()
+        darkvec.update(day, truth=bundle.truth)
+        row = _health_row(darkvec)
+        row.update(label=label, update_seconds=round(time.perf_counter() - t0, 3))
+        days.append(row)
+        print(
+            f"{label}: verdict {row['verdict']}, "
+            f"promoted {row['promoted']} ({row['update_seconds']}s)"
+        )
+
+    stable, shifted_day = days[:2], days[2]
+    drift_names = ("drift", "churn", "stability")
+    quality_names = ("volume.packets", "volume.senders", "port_mix")
+    for row in stable:
+        assert row["verdict"] == "ok", f"{row['label']} must be ok: {row}"
+        assert row["promoted"], f"{row['label']} must promote"
+    assert not shifted_day["promoted"], "gate must refuse the shifted day"
+    assert shifted_day["verdict"] == "fail", "shifted day must fail"
+    flipped = [
+        name
+        for name, m in shifted_day["monitors"].items()
+        if m["verdict"] != "ok"
+    ]
+    assert any(n in flipped for n in drift_names), f"no drift flip: {flipped}"
+    assert any(
+        n in flipped for n in quality_names
+    ), f"no data-quality flip: {flipped}"
+    print(f"shifted-day monitors flipped: {', '.join(flipped)}")
+
+    # -- rollback: live state and saved state both match pre-update -----
+    assert np.array_equal(darkvec.embedding.vectors, pre_update)
+    restored = load_state(state_dir)
+    assert np.array_equal(restored.embedding.vectors, pre_update)
+    print("gate refused promotion; previous state intact and loadable")
+
+    records = darkvec.registry.runs()
+    assert len(records) >= 3, f"expected >=3 registry records, got {len(records)}"
+    kinds = [r["kind"] for r in records]
+    print(f"registry: {len(records)} records ({', '.join(kinds)})")
+
+    payload = {
+        "benchmark": "drift-monitor",
+        "preset": {
+            "scale": args.scale,
+            "fit_days": args.days,
+            "scenario_seed": args.seed,
+            "model_seed": args.model_seed,
+            "epochs": args.epochs,
+            "update_epochs": config.update_epochs,
+            "scanners": args.scanners,
+            "packets_per_scanner": args.packets_per_scanner,
+            "scan_port": SCAN_PORT,
+            "service": "domain",
+            "policy": config.health.to_dict(),
+        },
+        "trace": {
+            "n_packets": int(full.n_packets),
+            "base_packets": int(base.n_packets),
+            "shifted_day_packets": int(shifted.n_packets),
+            "injected_packets": args.scanners * args.packets_per_scanner,
+            "simulate_seconds": round(simulate_seconds, 3),
+        },
+        "results": {
+            "fit_seconds": round(fit_seconds, 3),
+            "registry_records": len(records),
+            "registry_kinds": kinds,
+            "shifted_monitors_flipped": flipped,
+            "previous_state_loadable": True,
+            "days": days,
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ Subcommands mirror the DarkVec workflow:
     repro evaluate  --trace trace.csv --vectors vectors.npz --labels labels.csv
     repro cluster   --trace trace.csv --vectors vectors.npz [--k-prime K]
     repro profile   [--preset small|medium] [--metrics-out trace.ndjson]
+    repro runs      list|show <id>|compare <a> <b>  --cache-dir cache
+    repro health    --cache-dir cache
 
 ``run`` executes the staged pipeline against a content-addressed
 artifact store and prints the per-stage hit/miss table; ``resume`` is
@@ -24,10 +26,18 @@ from scratch.
 ``simulate`` also writes ``<out>.labels.csv`` with the ground truth so
 the evaluate step can be run on the simulated data.
 
-``train``, ``evaluate`` and ``cluster`` accept ``--metrics-out PATH``
-(export the telemetry trace as NDJSON) and ``--profile`` (also print a
-per-stage time/memory/throughput table).  ``profile`` runs the whole
-pipeline on a synthetic scenario with both enabled.
+``train``, ``evaluate``, ``cluster``, ``run``, ``resume`` and
+``update`` accept ``--metrics-out PATH`` (export the telemetry trace
+as NDJSON) and ``--profile`` (also print a per-stage
+time/memory/throughput table).  ``profile`` runs the whole pipeline on
+a synthetic scenario with both enabled.
+
+Commands running against an artifact cache append an immutable record
+to the run registry (``<cache-dir>/registry/runs.ndjson``); ``repro
+runs`` lists, shows and compares those records, and ``repro health``
+renders the latest drift/quality verdicts with sparkline history.
+``repro update --health-gate`` refuses to persist an update whose
+monitors fail, keeping the previous fitted state live.
 """
 
 from __future__ import annotations
@@ -195,6 +205,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="warm-refit epochs (default: the state's update_epochs)",
     )
+    update.add_argument(
+        "--health-gate",
+        action="store_true",
+        help="refuse to persist the update when a health monitor fails "
+        "(the previous state stays live; exit code 1)",
+    )
+    update.add_argument(
+        "--labels",
+        type=Path,
+        default=None,
+        help="ground-truth labels CSV enabling the LOO-accuracy probe "
+        "monitor",
+    )
     add_telemetry_flags(update)
 
     evaluate = sub.add_parser("evaluate", help="leave-one-out 7-NN report")
@@ -245,6 +268,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the telemetry trace (spans + metrics) as NDJSON",
     )
     profile.set_defaults(profile=True)
+
+    def add_registry_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=None,
+            help="artifact-store directory (registry at <cache-dir>/registry)",
+        )
+        cmd.add_argument(
+            "--registry",
+            type=Path,
+            default=None,
+            help="registry directory (overrides --cache-dir)",
+        )
+
+    runs = sub.add_parser("runs", help="inspect the run registry")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="one line per recorded run")
+    add_registry_args(runs_list)
+    runs_show = runs_sub.add_parser("show", help="full detail of one run")
+    runs_show.add_argument("run_id")
+    add_registry_args(runs_show)
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="per-stage timing and metric deltas between two runs",
+    )
+    runs_compare.add_argument("run_a", nargs="?", default=None)
+    runs_compare.add_argument("run_b", nargs="?", default=None)
+    runs_compare.add_argument(
+        "--last",
+        action="store_true",
+        help="compare the two most recent runs",
+    )
+    runs_compare.add_argument(
+        "--max-time-regression",
+        type=float,
+        default=None,
+        help="exit 1 when wall time regressed by more than this fraction "
+        "(e.g. 0.5 = 50%%)",
+    )
+    runs_compare.add_argument(
+        "--max-accuracy-drop",
+        type=float,
+        default=None,
+        help="exit 1 when LOO accuracy dropped by more than this",
+    )
+    add_registry_args(runs_compare)
+
+    health = sub.add_parser(
+        "health", help="latest health verdicts + monitor sparklines"
+    )
+    add_registry_args(health)
+    health.add_argument(
+        "--width", type=int, default=48, help="sparkline width in cells"
+    )
 
     return parser
 
@@ -386,6 +464,13 @@ def _cmd_run(args) -> int:
     state_dir = args.state or args.cache_dir / "state"
     darkvec.save_state(state_dir)
     print(f"saved fitted state to {state_dir}")
+    if darkvec.registry is not None:
+        record = darkvec.registry.last()
+        if record is not None:
+            print(
+                f"registry: recorded {record['run_id']} "
+                f"({record['kind']}, code {record['code_version']})"
+            )
     if args.out is not None:
         _export_ip_keyed(darkvec, args.out)
         print(f"exported {len(darkvec.embedding)} vectors to {args.out}")
@@ -403,7 +488,14 @@ def _cmd_update(args) -> int:
         return 2
     darkvec = DarkVec.load_state(state_dir)
     new_trace = read_trace_csv(args.trace)
-    darkvec.update(new_trace, window_days=args.window_days, epochs=args.epochs)
+    truth = _read_labels(args.labels) if args.labels is not None else None
+    darkvec.update(
+        new_trace,
+        window_days=args.window_days,
+        epochs=args.epochs,
+        health_gate=True if args.health_gate else None,
+        truth=truth,
+    )
     report = darkvec.last_update
     print(
         f"appended {report.new_packets} packets, evicted "
@@ -417,6 +509,15 @@ def _cmd_update(args) -> int:
         f"warm-started {report.warm_tokens} senders, "
         f"{report.new_tokens} new; refit took {report.seconds:.2f}s"
     )
+    health = darkvec.last_health
+    if health is not None:
+        print(_monitor_table(health.monitors, title=f"Health: {health.verdict}"))
+        if not health.promoted:
+            print(
+                "health gate refused promotion; previous state left "
+                f"unchanged at {state_dir}"
+            )
+            return 1
     darkvec.save_state(state_dir)
     print(f"saved updated state to {state_dir}")
     return 0
@@ -516,6 +617,287 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _registry_from(args):
+    """Resolve the run registry from ``--registry`` / ``--cache-dir``."""
+    from repro.obs.registry import RunRegistry
+
+    if args.registry is not None:
+        return RunRegistry(args.registry)
+    if args.cache_dir is not None:
+        return RunRegistry(Path(args.cache_dir) / "registry")
+    print("need --registry or --cache-dir", file=sys.stderr)
+    return None
+
+
+def _monitor_table(monitors, title: str | None = None) -> str:
+    """Render monitor results (dicts or MonitorResult) as a table."""
+    rows = []
+    for monitor in monitors:
+        doc = monitor if isinstance(monitor, dict) else monitor.to_dict()
+        value = doc["value"]
+        arrow = "<=" if doc["direction"] == "low" else ">="
+        rows.append(
+            [
+                doc["name"],
+                "-" if value is None else f"{value:.4f}",
+                doc["verdict"],
+                f"{arrow}{doc['warn']:g}/{doc['fail']:g}",
+                doc["detail"],
+            ]
+        )
+    return format_table(
+        ["Monitor", "Value", "Verdict", "Warn/Fail", "Detail"], rows, title=title
+    )
+
+
+def _run_verdict(record: dict) -> str:
+    health = record.get("health") or {}
+    return health.get("verdict", "-")
+
+
+def _cmd_runs(args) -> int:
+    """`repro runs list|show|compare` over the run registry."""
+    import time as time_mod
+
+    registry = _registry_from(args)
+    if registry is None:
+        return 2
+    records = registry.runs()
+
+    if args.runs_command == "list":
+        rows = []
+        for record in records:
+            stages = record.get("stages") or []
+            hits = sum(1 for s in stages if s.get("status") == "hit")
+            accuracy = (record.get("extra") or {}).get("loo_accuracy")
+            rows.append(
+                [
+                    record["run_id"],
+                    record["kind"],
+                    time_mod.strftime(
+                        "%Y-%m-%d %H:%M:%S",
+                        time_mod.localtime(record["unix_time"]),
+                    ),
+                    f"{record['wall_seconds']:.2f}",
+                    f"{hits}/{len(stages)}" if stages else "-",
+                    _run_verdict(record),
+                    "-" if accuracy is None else f"{accuracy:.4f}",
+                ]
+            )
+        print(
+            format_table(
+                ["Run", "Kind", "When", "Wall (s)", "Hits", "Health", "LOO acc"],
+                rows,
+            )
+        )
+        print(f"{len(records)} runs in {registry.path}")
+        return 0
+
+    if args.runs_command == "show":
+        try:
+            record = registry.get(args.run_id)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(
+            f"{record['run_id']} ({record['kind']}) — "
+            f"code {record['code_version']}, "
+            f"config {record['config_fingerprint']}, "
+            f"wall {record['wall_seconds']:.2f}s"
+        )
+        stages = record.get("stages") or []
+        if stages:
+            rows = [
+                [
+                    s["stage"],
+                    s["status"],
+                    f"{s['seconds']:.2f}",
+                    s["fingerprint"],
+                ]
+                for s in stages
+            ]
+            print(
+                format_table(
+                    ["Stage", "Status", "Seconds", "Fingerprint"],
+                    rows,
+                    title="Stages",
+                )
+            )
+        health = record.get("health")
+        if health:
+            print(
+                _monitor_table(
+                    health["monitors"], title=f"Health: {health['verdict']}"
+                )
+            )
+        extra = record.get("extra") or {}
+        for key in sorted(extra):
+            print(f"{key}: {extra[key]}")
+        return 0
+
+    # compare
+    if args.last:
+        if len(records) < 2:
+            print("need at least two runs to compare", file=sys.stderr)
+            return 2
+        base, cand = records[-2], records[-1]
+    else:
+        if not args.run_a or not args.run_b:
+            print(
+                "compare needs two run ids (or --last)", file=sys.stderr
+            )
+            return 2
+        try:
+            base = registry.get(args.run_a)
+            cand = registry.get(args.run_b)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
+    print(
+        f"baseline {base['run_id']} ({base['kind']}, code "
+        f"{base['code_version']}) vs candidate {cand['run_id']} "
+        f"({cand['kind']}, code {cand['code_version']})"
+    )
+    wall_a, wall_b = base["wall_seconds"], cand["wall_seconds"]
+    regression = (wall_b - wall_a) / wall_a if wall_a > 0 else 0.0
+    rows = [["wall", f"{wall_a:.2f}", f"{wall_b:.2f}", f"{regression:+.1%}"]]
+    stages_a = {s["stage"]: s for s in base.get("stages") or []}
+    stages_b = {s["stage"]: s for s in cand.get("stages") or []}
+    for stage in [*stages_a, *(s for s in stages_b if s not in stages_a)]:
+        sec_a = stages_a.get(stage, {}).get("seconds")
+        sec_b = stages_b.get(stage, {}).get("seconds")
+        delta = (
+            "-"
+            if sec_a is None or sec_b is None
+            else f"{sec_b - sec_a:+.2f}s"
+        )
+        rows.append(
+            [
+                f"  {stage}",
+                "-" if sec_a is None else f"{sec_a:.2f}",
+                "-" if sec_b is None else f"{sec_b:.2f}",
+                delta,
+            ]
+        )
+    print(
+        format_table(
+            ["Stage", "Base (s)", "Cand (s)", "Delta"], rows, title="Timing"
+        )
+    )
+
+    metric_rows = []
+    for scope in ("counters", "gauges"):
+        values_a = (base.get("metrics") or {}).get(scope, {})
+        values_b = (cand.get("metrics") or {}).get(scope, {})
+        for name in sorted(set(values_a) | set(values_b)):
+            a, b = values_a.get(name), values_b.get(name)
+            delta = "-" if a is None or b is None else f"{b - a:+g}"
+            metric_rows.append(
+                [
+                    name,
+                    "-" if a is None else f"{a:g}",
+                    "-" if b is None else f"{b:g}",
+                    delta,
+                ]
+            )
+    extra_a, extra_b = base.get("extra") or {}, cand.get("extra") or {}
+    for name in sorted(set(extra_a) | set(extra_b)):
+        a, b = extra_a.get(name), extra_b.get(name)
+        numeric = isinstance(a, (int, float)) and isinstance(b, (int, float))
+        metric_rows.append(
+            [
+                name,
+                "-" if a is None else f"{a:g}" if numeric else str(a),
+                "-" if b is None else f"{b:g}" if numeric else str(b),
+                f"{b - a:+g}" if numeric else "-",
+            ]
+        )
+    if metric_rows:
+        print(
+            format_table(
+                ["Metric", "Base", "Cand", "Delta"],
+                metric_rows,
+                title="Metrics",
+            )
+        )
+
+    code = 0
+    if args.max_time_regression is not None and regression > args.max_time_regression:
+        print(
+            f"FAIL: wall time regressed {regression:+.1%} "
+            f"(limit {args.max_time_regression:.1%})",
+            file=sys.stderr,
+        )
+        code = 1
+    acc_a, acc_b = extra_a.get("loo_accuracy"), extra_b.get("loo_accuracy")
+    if (
+        args.max_accuracy_drop is not None
+        and acc_a is not None
+        and acc_b is not None
+        and acc_a - acc_b > args.max_accuracy_drop
+    ):
+        print(
+            f"FAIL: LOO accuracy dropped {acc_a - acc_b:.4f} "
+            f"(limit {args.max_accuracy_drop})",
+            file=sys.stderr,
+        )
+        code = 1
+    return code
+
+
+def _cmd_health(args) -> int:
+    """`repro health`: latest verdicts plus per-monitor sparklines."""
+    from repro.utils.ascii_plot import sparkline
+
+    registry = _registry_from(args)
+    if registry is None:
+        return 2
+    records = registry.runs()
+    latest = next(
+        (r for r in reversed(records) if r.get("health")), None
+    )
+    if latest is None:
+        print(f"no health records in {registry.path}")
+        return 0
+    health = latest["health"]
+    print(
+        f"latest: {latest['run_id']} ({latest['kind']}) — "
+        f"verdict {health['verdict']}, "
+        f"{'promoted' if health.get('promoted', True) else 'NOT promoted'}"
+    )
+    print(_monitor_table(health["monitors"]))
+    names = []
+    for record in records:
+        for monitor in (record.get("health") or {}).get("monitors", []):
+            if monitor["name"] not in names:
+                names.append(monitor["name"])
+    rows = []
+    for name in names:
+        series = registry.monitor_series(name)
+        if not series:
+            continue
+        rows.append(
+            [
+                name,
+                sparkline(series, width=args.width),
+                f"{series[-1]:.4f}",
+            ]
+        )
+    walls = [r["wall_seconds"] for r in records]
+    if walls:
+        rows.append(
+            ["wall_seconds", sparkline(walls, width=args.width), f"{walls[-1]:.2f}"]
+        )
+    if rows:
+        print(
+            format_table(
+                ["Series", "History", "Latest"], rows, title="Monitor history"
+            )
+        )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "stats": _cmd_stats,
@@ -526,6 +908,8 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "cluster": _cmd_cluster,
     "profile": _cmd_profile,
+    "runs": _cmd_runs,
+    "health": _cmd_health,
 }
 
 

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.health import HealthPolicy
 from repro.services.auto import AutoServiceMap
 from repro.services.base import ServiceMap
 from repro.services.domain import DomainServiceMap
@@ -65,6 +66,10 @@ class DarkVecConfig:
             warm model within noise of a full cold retrain.
         cache_dir: artifact-store directory.  ``None`` (the default)
             disables caching and keeps ``fit`` fully in memory.
+        health: drift/quality monitor thresholds and the default
+            gating mode for :meth:`~repro.core.pipeline.DarkVec.update`
+            (see :class:`~repro.obs.health.HealthPolicy`).  Accepts a
+            plain dict (e.g. from a deserialised state file).
     """
 
     service: str | ServiceMap = "domain"
@@ -82,8 +87,11 @@ class DarkVecConfig:
     update_epochs: int = 3
     update_alpha: float = 0.01
     cache_dir: str | Path | None = None
+    health: HealthPolicy = field(default_factory=HealthPolicy)
 
     def __post_init__(self) -> None:
+        if isinstance(self.health, dict):
+            self.health = HealthPolicy(**self.health)
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 means all cores)")
         if isinstance(self.service, str) and self.service not in _SERVICE_CHOICES:

@@ -37,7 +37,9 @@ from repro.io.artifacts import KNN_GRAPH_CODEC
 from repro.knn.loo import leave_one_out_predictions
 from repro.knn.report import ClassificationReport, classification_report
 from repro.labels.groundtruth import GroundTruth
+from repro.obs.health import HealthReport, MonitorResult, classify
 from repro.obs.progress import ProgressEvent
+from repro.obs.registry import RunRegistry, record_run
 from repro.store.cache import ArtifactStore
 from repro.store.fingerprint import stage_fingerprint
 from repro.trace.merge import merge_traces
@@ -114,11 +116,15 @@ class DarkVec:
         if store is None and self.config.cache_dir is not None:
             store = ArtifactStore(self.config.cache_dir)
         self.store = store
+        self.registry: RunRegistry | None = (
+            RunRegistry(store.root / "registry") if store is not None else None
+        )
         self.trace: Trace | None = None
         self.corpus: Corpus | None = None
         self.embedding: KeyedVectors | None = None
         self.stage_statuses: list[StageStatus] = []
         self.last_update: UpdateReport | None = None
+        self.last_health: HealthReport | None = None
         self._raw_corpus: Corpus | None = None
         self._active: np.ndarray | None = None
         self._t_origin: float = 0.0
@@ -148,12 +154,25 @@ class DarkVec:
                 :class:`~repro.w2v.model.Word2Vec` (receives a
                 :class:`~repro.obs.progress.ProgressEvent`).
         """
+        t0 = perf_counter()
         with obs.span("pipeline.fit"):
             pipeline = StagedPipeline(
                 self.config, store=self.store, progress=progress
             )
             artifacts = pipeline.run(trace, until="train")
             self._adopt(artifacts)
+            if self.registry is not None:
+                profile, monitors = self._monitor_ingest(trace, kind="fit")
+                self.last_health = HealthReport(monitors=monitors)
+                record_run(
+                    self.registry,
+                    "fit",
+                    self.config,
+                    wall_seconds=perf_counter() - t0,
+                    stages=self.stage_statuses,
+                    profile=profile,
+                    health=self.last_health.to_dict(),
+                )
         return self
 
     def _adopt(self, artifacts) -> None:
@@ -180,6 +199,8 @@ class DarkVec:
         window_days: float | None = None,
         epochs: int | None = None,
         progress: Callable[[ProgressEvent], None] | None = None,
+        health_gate: bool | None = None,
+        truth: GroundTruth | None = None,
     ) -> "DarkVec":
         """Append a day of traffic and refit warm — O(delta), not O(full).
 
@@ -199,6 +220,13 @@ class DarkVec:
 
         A report of the work done lands in :attr:`last_update`.
 
+        With a registry attached (store configured) or ``health_gate``
+        on, the drift/quality monitors run against the candidate model
+        and their verdicts land in :attr:`last_health`; under the gate,
+        a ``fail`` verdict **refuses promotion** — the previous fitted
+        state stays live (and is what :meth:`save_state` persists) and
+        ``last_health.promoted`` is False.
+
         Args:
             new_trace: the appended traffic (its sender table may be
                 completely disjoint from the fitted trace's).
@@ -206,6 +234,11 @@ class DarkVec:
                 ``config.window_days``.
             epochs: warm-refit epochs; defaults to ``config.update_epochs``.
             progress: optional per-epoch training callback.
+            health_gate: gate promotion on the health verdict; defaults
+                to ``config.health.gate_updates``.
+            truth: optional ground truth enabling the LOO-accuracy
+                probe monitor (drop vs the registry's last recorded
+                accuracy).
         """
         trace, embedding = self._require_fit()
         if not len(new_trace):
@@ -280,6 +313,14 @@ class DarkVec:
                 init=prior,
             )
 
+            prior_state = (
+                self.trace,
+                self._raw_corpus,
+                self._active,
+                self.corpus,
+                self.embedding,
+                self._embedding_hash,
+            )
             self.trace = kept_trace
             self._raw_corpus = new_raw
             self._active = active
@@ -298,7 +339,219 @@ class DarkVec:
                 warm_tokens=warm_tokens,
                 new_tokens=len(vocab) - warm_tokens,
             )
+
+            gate = (
+                self.config.health.gate_updates
+                if health_gate is None
+                else health_gate
+            )
+            if gate or self.registry is not None:
+                profile, monitors, loo_accuracy = self._monitor_update(
+                    prior, refit, new_trace, truth
+                )
+                health = HealthReport(monitors=monitors)
+                if gate and health.verdict == "fail":
+                    # Refuse promotion: the candidate is discarded and
+                    # the previously fitted state stays live.
+                    (
+                        self.trace,
+                        self._raw_corpus,
+                        self._active,
+                        self.corpus,
+                        self.embedding,
+                        self._embedding_hash,
+                    ) = prior_state
+                    health.promoted = False
+                    obs.add("health.gate_failures")
+                self.last_health = health
+                if self.registry is not None:
+                    report = self.last_update
+                    record_run(
+                        self.registry,
+                        "update",
+                        self.config,
+                        wall_seconds=perf_counter() - t0,
+                        profile=profile,
+                        health=health.to_dict(),
+                        extra={
+                            "loo_accuracy": loo_accuracy,
+                            "new_packets": report.new_packets,
+                            "evicted_packets": report.evicted_packets,
+                            "warm_tokens": report.warm_tokens,
+                            "new_tokens": report.new_tokens,
+                        },
+                    )
         return self
+
+    # ------------------------------------------------------------------
+    # Drift / data-quality monitoring
+    # ------------------------------------------------------------------
+
+    def _monitor_ingest(
+        self, trace: Trace, kind: str
+    ) -> tuple[dict, list[MonitorResult]]:
+        """Data-quality monitors of one ingested trace.
+
+        Volume z-scores compare against the registry history of the
+        same run ``kind`` (fit volumes against fits, daily updates
+        against daily updates); the port mix compares against the most
+        recent run that recorded a profile.  Returns the profile (for
+        the run record) and the monitor verdicts.
+        """
+        from repro.obs.quality import data_profile, port_mix_shift, volume_zscore
+
+        policy = self.config.health
+        profile = data_profile(trace, self.config.delta_t)
+        packet_z = sender_z = shift = None
+        if self.registry is not None:
+            packet_z = volume_zscore(
+                profile["packets"],
+                self.registry.history("packets", kind=kind),
+                policy.min_history,
+            )
+            sender_z = volume_zscore(
+                profile["senders"],
+                self.registry.history("senders", kind=kind),
+                policy.min_history,
+            )
+            previous = next(
+                (
+                    record["profile"]
+                    for record in reversed(self.registry.runs())
+                    if record.get("profile")
+                ),
+                None,
+            )
+            if previous is not None:
+                shift = port_mix_shift(
+                    profile["port_mix"], previous.get("port_mix", {})
+                )
+        empty = profile["empty_window_rate"]
+        if packet_z is not None:
+            obs.set_gauge("quality.packet_zscore", packet_z)
+        if sender_z is not None:
+            obs.set_gauge("quality.sender_zscore", sender_z)
+        if shift is not None:
+            obs.set_gauge("quality.port_mix_shift", shift)
+        obs.set_gauge("quality.empty_window_rate", empty)
+        monitors = [
+            classify(
+                "volume.packets",
+                None if packet_z is None else abs(packet_z),
+                policy.volume_z_warn,
+                policy.volume_z_fail,
+                detail=f"{profile['packets']} packets",
+            ),
+            classify(
+                "volume.senders",
+                None if sender_z is None else abs(sender_z),
+                policy.volume_z_warn,
+                policy.volume_z_fail,
+                detail=f"{profile['senders']} senders",
+            ),
+            classify(
+                "port_mix",
+                shift,
+                policy.port_shift_warn,
+                policy.port_shift_fail,
+            ),
+            classify(
+                "empty_windows",
+                empty,
+                policy.empty_window_warn,
+                policy.empty_window_fail,
+            ),
+        ]
+        return profile, monitors
+
+    def _monitor_update(
+        self,
+        prior: KeyedVectors,
+        refit: KeyedVectors,
+        new_trace: Trace,
+        truth: GroundTruth | None,
+    ) -> tuple[dict, list[MonitorResult], float | None]:
+        """Drift + quality monitors of one warm update's candidate model.
+
+        Runs with the candidate state already installed (the LOO probe
+        evaluates it); the caller rolls the state back if the verdict
+        fails under the gate.  Returns the new-day profile, the monitor
+        verdicts, and the probe accuracy (None without ``truth``).
+        """
+        from repro.obs.drift import (
+            cluster_stability,
+            embedding_drift,
+            neighborhood_churn,
+        )
+
+        policy = self.config.health
+        drift = embedding_drift(prior, refit)
+        if drift.mean is not None:
+            obs.set_gauge("drift.cosine_displacement", drift.mean)
+        monitors = [
+            classify(
+                "drift",
+                drift.mean,
+                policy.drift_warn,
+                policy.drift_fail,
+                detail=(
+                    f"{drift.n_shared} retained senders"
+                    + ("" if drift.p95 is None else f", p95={drift.p95:.3f}")
+                ),
+            )
+        ]
+        churn = neighborhood_churn(prior, refit, k=policy.churn_k)
+        if churn is not None:
+            obs.set_gauge("drift.neighbor_churn", churn)
+        monitors.append(
+            classify(
+                "churn",
+                churn,
+                policy.churn_warn,
+                policy.churn_fail,
+                detail=f"k={policy.churn_k}",
+            )
+        )
+        stability = cluster_stability(
+            prior, refit, k_prime=self.config.k_prime, seed=self.config.seed
+        )
+        ari, ami = stability if stability is not None else (None, None)
+        if ari is not None:
+            obs.set_gauge("drift.cluster_ari", ari)
+            obs.set_gauge("drift.cluster_ami", ami)
+        monitors.append(
+            classify(
+                "stability",
+                ari,
+                policy.stability_warn,
+                policy.stability_fail,
+                direction="low",
+                detail="" if ami is None else f"ami={ami:.3f}",
+            )
+        )
+        profile, quality = self._monitor_ingest(new_trace, kind="update")
+        monitors.extend(quality)
+        loo = None
+        if truth is not None:
+            try:
+                loo = float(self._loo_probe(truth).accuracy)
+            except ValueError:
+                loo = None  # empty evaluation window: probe not applicable
+            baseline = None
+            if self.registry is not None:
+                history = self.registry.history("loo_accuracy")
+                baseline = history[-1] if history else None
+            drop = None if loo is None or baseline is None else baseline - loo
+            monitors.append(
+                classify(
+                    "loo",
+                    drop,
+                    policy.loo_drop_warn,
+                    policy.loo_drop_fail,
+                    detail="" if loo is None else f"accuracy={loo:.4f}",
+                )
+            )
+        return profile, monitors, loo
 
     # ------------------------------------------------------------------
     # State persistence
@@ -365,21 +618,50 @@ class DarkVec:
     ) -> ClassificationReport:
         """Leave-one-out k-NN evaluation (the Table 3/4 protocol).
 
-        Raises ``ValueError`` when the evaluation window is empty (see
-        :meth:`evaluation_rows`).
+        Emits the ``eval.accuracy`` gauge and, with a registry
+        attached, appends an ``evaluate`` run record whose
+        ``loo_accuracy`` becomes the baseline for later health-gated
+        updates.  Raises ``ValueError`` when the evaluation window is
+        empty (see :meth:`evaluation_rows`).
         """
+        self._require_fit()
+        t0 = perf_counter()
+        with obs.span("pipeline.evaluate", k=k):
+            report = self._loo_probe(truth, k=k, eval_days=eval_days)
+            obs.set_gauge("eval.accuracy", float(report.accuracy))
+            if self.registry is not None:
+                record_run(
+                    self.registry,
+                    "evaluate",
+                    self.config,
+                    wall_seconds=perf_counter() - t0,
+                    extra={
+                        "loo_accuracy": float(report.accuracy),
+                        "macro_f1": float(report.macro_f()),
+                        "k": k,
+                    },
+                )
+            return report
+
+    def _loo_probe(
+        self,
+        truth: GroundTruth,
+        k: int = 7,
+        eval_days: float | None = 1.0,
+    ) -> ClassificationReport:
+        """The LOO computation shared by :meth:`evaluate` and the
+        health monitors (which must not append registry records)."""
         trace, embedding = self._require_fit()
         rows = self.evaluation_rows(eval_days)
-        with obs.span("pipeline.evaluate", k=k):
-            labels = truth.labels_for(trace)[embedding.tokens]
-            predictions = leave_one_out_predictions(
-                embedding.vectors,
-                labels,
-                rows,
-                k=k,
-                workers=self.config.workers,
-            )
-            return classification_report(labels[rows], predictions)
+        labels = truth.labels_for(trace)[embedding.tokens]
+        predictions = leave_one_out_predictions(
+            embedding.vectors,
+            labels,
+            rows,
+            k=k,
+            workers=self.config.workers,
+        )
+        return classification_report(labels[rows], predictions)
 
     # ------------------------------------------------------------------
     # Unsupervised analysis

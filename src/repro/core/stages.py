@@ -208,6 +208,9 @@ class StagedPipeline:
         trace_hash = trace_content_hash(trace)
         t0 = perf_counter()
         with obs.span("stage.ingest") as sp:
+            if obs.current().enabled and len(trace):
+                counts = trace.packet_counts()
+                obs.observe_many("ingest.sender_packets", counts[counts > 0])
             if self.store is None:
                 ingest_status = "uncached"
                 ingest_fp = "-"

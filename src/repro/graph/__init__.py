@@ -8,10 +8,17 @@ from repro.graph.classic import (
 from repro.graph.knn_graph import KnnGraph, build_knn_graph
 from repro.graph.louvain import louvain_communities
 from repro.graph.modularity import modularity
+from repro.graph.partition import (
+    adjusted_mutual_info,
+    adjusted_rand_index,
+    rand_index,
+)
 from repro.graph.silhouette import cosine_silhouette, cluster_silhouettes
 
 __all__ = [
     "KnnGraph",
+    "adjusted_mutual_info",
+    "adjusted_rand_index",
     "build_knn_graph",
     "cluster_silhouettes",
     "cosine_agglomerative",
@@ -20,4 +27,5 @@ __all__ = [
     "cosine_silhouette",
     "louvain_communities",
     "modularity",
+    "rand_index",
 ]

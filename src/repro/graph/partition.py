@@ -1,0 +1,165 @@
+"""Comparing two clusterings of the same nodes (Rand / mutual information).
+
+The drift monitors (:mod:`repro.obs.drift`) need to quantify how much a
+Louvain partition moved between two consecutive models of the same
+retained senders.  The standard instruments are the (adjusted) Rand
+index — pair-counting agreement — and adjusted mutual information —
+information-theoretic agreement, corrected for chance so that two
+random partitions score ~0 regardless of cluster counts.
+
+Everything is implemented from scratch on the contingency table; the
+only non-numpy dependency is ``math.lgamma`` for the exact expected
+mutual information of the hypergeometric null model.
+"""
+
+from __future__ import annotations
+
+from math import lgamma
+
+import numpy as np
+
+
+def contingency_table(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    """Cluster co-occurrence counts between two partitions.
+
+    Entry ``(i, j)`` counts the nodes assigned to cluster ``i`` of the
+    first partition and cluster ``j`` of the second.  Labels may be any
+    integers; they are compacted internally.
+    """
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape or labels_a.ndim != 1:
+        raise ValueError("partitions must be 1-D and aligned")
+    _, a = np.unique(labels_a, return_inverse=True)
+    _, b = np.unique(labels_b, return_inverse=True)
+    n_a = int(a.max()) + 1 if len(a) else 0
+    n_b = int(b.max()) + 1 if len(b) else 0
+    table = np.zeros((n_a, n_b), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Plain Rand index: share of node pairs the partitions agree on."""
+    table = contingency_table(labels_a, labels_b)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_squares = float((table.astype(np.float64) ** 2).sum())
+    sum_a = float((table.sum(axis=1).astype(np.float64) ** 2).sum())
+    sum_b = float((table.sum(axis=0).astype(np.float64) ** 2).sum())
+    n = float(n)
+    agreements = n * (n - 1.0) + 2.0 * sum_squares - sum_a - sum_b
+    return agreements / (n * (n - 1.0))
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Rand index corrected for chance (Hubert & Arabie, 1985).
+
+    1.0 for identical partitions, ~0 for independent ones; can go
+    slightly negative for partitions that disagree more than chance.
+    """
+    table = contingency_table(labels_a, labels_b)
+    n = int(table.sum())
+    if n < 2:
+        return 1.0
+
+    def _pairs(counts: np.ndarray) -> float:
+        counts = counts.astype(np.float64)
+        return float((counts * (counts - 1.0)).sum() / 2.0)
+
+    index = _pairs(table.ravel())
+    pairs_a = _pairs(table.sum(axis=1))
+    pairs_b = _pairs(table.sum(axis=0))
+    total = n * (n - 1.0) / 2.0
+    expected = pairs_a * pairs_b / total
+    maximum = (pairs_a + pairs_b) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (index - expected) / (maximum - expected)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of a cluster-size vector."""
+    counts = counts[counts > 0].astype(np.float64)
+    n = counts.sum()
+    if n == 0:
+        return 0.0
+    p = counts / n
+    return float(-(p * np.log(p)).sum())
+
+
+def mutual_information(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Mutual information (nats) between two partitions."""
+    table = contingency_table(labels_a, labels_b).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    mi = 0.0
+    row_sums = table.sum(axis=1)
+    col_sums = table.sum(axis=0)
+    rows, cols = np.nonzero(table)
+    for i, j in zip(rows, cols):
+        nij = table[i, j]
+        mi += (nij / n) * np.log(n * nij / (row_sums[i] * col_sums[j]))
+    return float(mi)
+
+
+def _expected_mutual_information(table: np.ndarray) -> float:
+    """E[MI] under the permutation (hypergeometric) null model.
+
+    Vinh, Epps & Bailey (2010), eq. (24): for every (row, column)
+    marginal pair the attainable co-occurrence counts follow a
+    hypergeometric distribution; the expectation sums each count's MI
+    contribution weighted by its exact probability (via ``lgamma``).
+    """
+    a = table.sum(axis=1).astype(np.int64)
+    b = table.sum(axis=0).astype(np.int64)
+    n = int(table.sum())
+    if n == 0:
+        return 0.0
+    log_fact = np.array([lgamma(k + 1) for k in range(n + 1)])
+    emi = 0.0
+    for ai in a:
+        if ai == 0:
+            continue
+        for bj in b:
+            if bj == 0:
+                continue
+            lo = max(1, ai + bj - n)
+            hi = min(ai, bj)
+            for nij in range(lo, hi + 1):
+                log_p = (
+                    log_fact[ai]
+                    + log_fact[bj]
+                    + log_fact[n - ai]
+                    + log_fact[n - bj]
+                    - log_fact[n]
+                    - log_fact[nij]
+                    - log_fact[ai - nij]
+                    - log_fact[bj - nij]
+                    - log_fact[n - ai - bj + nij]
+                )
+                emi += (nij / n) * np.log(n * nij / (ai * bj)) * np.exp(log_p)
+    return float(emi)
+
+
+def adjusted_mutual_info(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Mutual information adjusted for chance (AMI, mean normalisation).
+
+    ``(MI - E[MI]) / (mean(H_a, H_b) - E[MI])``: 1.0 for identical
+    partitions, ~0 for independent ones.  Exact E[MI] is O(|A| x |B| x
+    n) in the worst case — fine for the monitor-sized partitions this
+    module serves (hundreds to a few thousand nodes).
+    """
+    table = contingency_table(labels_a, labels_b)
+    h_a = _entropy(table.sum(axis=1))
+    h_b = _entropy(table.sum(axis=0))
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0  # both partitions are a single cluster
+    mi = mutual_information(labels_a, labels_b)
+    emi = _expected_mutual_information(table)
+    denominator = (h_a + h_b) / 2.0 - emi
+    if abs(denominator) < 1e-12:
+        return 1.0 if abs(mi - emi) < 1e-12 else 0.0
+    return float((mi - emi) / denominator)

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import IO
+from typing import IO, Iterator
 
 import numpy as np
 
@@ -26,16 +28,41 @@ def _open(path: Path, mode: str) -> IO[str]:
     return path.open(mode, encoding="utf-8")
 
 
+@contextmanager
+def _atomic_open(path: Path) -> Iterator[IO[str]]:
+    """Open a temp file for writing; publish it at ``path`` on success.
+
+    The payload is written to ``<name>.tmp<pid>`` in the destination
+    directory and moved into place with :func:`os.replace` only after
+    the handle closes cleanly, so a crash mid-write can never leave a
+    truncated file under the published name — the previous version (if
+    any) stays intact.  Compression still follows the *final* suffix.
+    """
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        if path.suffix == ".gz":
+            handle = gzip.open(tmp, "wt", encoding="utf-8")
+        else:
+            handle = tmp.open("w", encoding="utf-8")
+        with handle:
+            yield handle
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def write_ndjson(records, path: str | Path) -> None:
     """Write an iterable of JSON-serialisable dicts, one per line.
 
     The generic sibling of :func:`write_trace_ndjson`, used by the
-    telemetry exporter (:mod:`repro.obs.export`) and any other
-    record-stream producer.  Gzip-compresses when the path ends in
-    ``.gz``; non-JSON values fall back to their ``str()`` form.
+    telemetry exporter (:mod:`repro.obs.export`), the run registry and
+    any other record-stream producer.  Gzip-compresses when the path
+    ends in ``.gz``; non-JSON values fall back to their ``str()`` form.
+    The write is crash-safe: records land in a temp file that replaces
+    ``path`` atomically once complete.
     """
     path = Path(path)
-    with _open(path, "w") as handle:
+    with _atomic_open(path) as handle:
         for record in records:
             handle.write(
                 json.dumps(record, separators=(",", ":"), default=str) + "\n"
@@ -65,10 +92,14 @@ def read_ndjson(path: str | Path) -> list[dict]:
 
 
 def write_trace_ndjson(trace: Trace, path: str | Path) -> None:
-    """Write a trace as NDJSON (gzip when the path ends in ``.gz``)."""
+    """Write a trace as NDJSON (gzip when the path ends in ``.gz``).
+
+    Crash-safe like :func:`write_ndjson`: the file appears under its
+    final name only once fully written.
+    """
     path = Path(path)
     ips = trace.sender_ips
-    with _open(path, "w") as handle:
+    with _atomic_open(path) as handle:
         for i in range(len(trace)):
             record = {
                 "ts": round(float(trace.times[i]), 6),

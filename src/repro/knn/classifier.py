@@ -70,6 +70,7 @@ def knn_search(
         else:
             with WorkerPool(workers) as pool:
                 pool.map(search_chunk, chunks)
+        obs.observe_many("knn.neighbor_distance", 1.0 - sims.ravel())
     return neighbors, sims
 
 

@@ -27,6 +27,12 @@ session is active.  Enable recording with::
     print(obs.format_stage_table(telemetry))
 """
 
+from repro.obs.drift import (
+    DriftReport,
+    cluster_stability,
+    embedding_drift,
+    neighborhood_churn,
+)
 from repro.obs.export import (
     counters_from_records,
     format_counters_table,
@@ -34,8 +40,28 @@ from repro.obs.export import (
     telemetry_records,
     write_metrics_ndjson,
 )
+from repro.obs.health import (
+    HealthPolicy,
+    HealthReport,
+    MonitorResult,
+    classify,
+)
 from repro.obs.metrics import METRICS, Histogram, MetricSpec, MetricsRegistry
 from repro.obs.progress import ProgressEvent, epoch_event
+from repro.obs.quality import (
+    data_profile,
+    empty_window_rate,
+    port_mix,
+    port_mix_shift,
+    volume_zscore,
+)
+from repro.obs.registry import (
+    RunRecord,
+    RunRegistry,
+    code_version,
+    config_fingerprint,
+    record_run,
+)
 from repro.obs.recorder import (
     NullRecorder,
     SpanHandle,
@@ -53,26 +79,44 @@ from repro.obs.spans import Span
 
 __all__ = [
     "METRICS",
+    "DriftReport",
+    "HealthPolicy",
+    "HealthReport",
     "Histogram",
     "MetricSpec",
     "MetricsRegistry",
+    "MonitorResult",
     "NullRecorder",
     "ProgressEvent",
+    "RunRecord",
+    "RunRegistry",
     "Span",
     "SpanHandle",
     "Telemetry",
     "add",
+    "classify",
+    "cluster_stability",
+    "code_version",
+    "config_fingerprint",
     "counters_from_records",
     "current",
+    "data_profile",
+    "embedding_drift",
+    "empty_window_rate",
     "epoch_event",
     "format_counters_table",
     "format_stage_table",
+    "neighborhood_churn",
     "observe",
     "observe_many",
+    "port_mix",
+    "port_mix_shift",
+    "record_run",
     "session",
     "set_gauge",
     "span",
     "telemetry_records",
+    "volume_zscore",
     "wrap_task",
     "write_metrics_ndjson",
 ]

@@ -1,0 +1,220 @@
+"""Declarative health policy: monitor values -> ok / warn / fail.
+
+The drift and data-quality monitors (:mod:`repro.obs.drift`,
+:mod:`repro.obs.quality`) produce raw numbers; this module turns them
+into operator-facing verdicts.  A :class:`HealthPolicy` holds the
+warn/fail thresholds (configurable through ``DarkVecConfig.health``),
+:func:`classify` maps one value onto the verdict ladder, and a
+:class:`HealthReport` aggregates the per-monitor results for one run —
+including whether a health-gated ``DarkVec.update`` promoted the new
+model or rolled back to the previous fitted state.
+
+Verdict semantics: ``ok`` means within normal variation, ``warn``
+means look at the run, ``fail`` means the model or the input data has
+structurally changed; under ``gate_updates`` a single ``fail`` blocks
+promotion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+#: Verdict ladder, in increasing severity.
+VERDICTS = ("ok", "warn", "fail")
+
+
+@dataclass
+class HealthPolicy:
+    """Thresholds that turn monitor outputs into verdicts.
+
+    ``*_warn`` / ``*_fail`` pairs bound each monitor; most monitors
+    alarm when the value is *high* (displacement, churn, z-scores,
+    port shift, empty windows, accuracy drop), while cluster stability
+    alarms when agreement falls *low*.  Defaults were calibrated on
+    ``benchmarks/bench_drift_monitor.py``: day-over-day updates on
+    unchanged synthetic traffic stay ``ok`` with margin, while the
+    injected day-3 scanner-mix shift lands in ``warn``/``fail``.
+
+    Attributes:
+        gate_updates: default gating mode for ``DarkVec.update`` —
+            when True, an update whose monitors fail is not promoted.
+        drift_warn / drift_fail: mean aligned cosine displacement of
+            retained senders between consecutive models.
+        churn_warn / churn_fail: mean k-NN neighbourhood churn
+            (``1 - Jaccard``) of retained senders.
+        churn_k: neighbourhood size used by the churn monitor.
+        stability_warn / stability_fail: adjusted Rand index between
+            consecutive Louvain partitions (lower is worse).
+        volume_z_warn / volume_z_fail: absolute z-score of packet or
+            sender volume against registry history.
+        port_shift_warn / port_shift_fail: total-variation distance of
+            the ingest port mix vs the previous run.
+        empty_window_warn / empty_window_fail: share of dT time
+            windows without any traffic at ingest.
+        loo_drop_warn / loo_drop_fail: drop in leave-one-out accuracy
+            vs the previous evaluated run.
+        min_history: registry runs required before volume z-scores are
+            trusted (with fewer, the monitor reports ``ok``).
+    """
+
+    gate_updates: bool = False
+    drift_warn: float = 0.1
+    drift_fail: float = 0.2
+    churn_warn: float = 0.9
+    churn_fail: float = 0.97
+    churn_k: int = 5
+    stability_warn: float = 0.15
+    stability_fail: float = 0.05
+    volume_z_warn: float = 3.0
+    volume_z_fail: float = 6.0
+    port_shift_warn: float = 0.15
+    port_shift_fail: float = 0.35
+    empty_window_warn: float = 0.5
+    empty_window_fail: float = 0.9
+    loo_drop_warn: float = 0.05
+    loo_drop_fail: float = 0.15
+    min_history: int = 2
+
+    def __post_init__(self) -> None:
+        for warn_name, fail_name, direction in (
+            ("drift_warn", "drift_fail", "high"),
+            ("churn_warn", "churn_fail", "high"),
+            ("stability_warn", "stability_fail", "low"),
+            ("volume_z_warn", "volume_z_fail", "high"),
+            ("port_shift_warn", "port_shift_fail", "high"),
+            ("empty_window_warn", "empty_window_fail", "high"),
+            ("loo_drop_warn", "loo_drop_fail", "high"),
+        ):
+            warn, fail = getattr(self, warn_name), getattr(self, fail_name)
+            ordered = warn <= fail if direction == "high" else warn >= fail
+            if not ordered:
+                raise ValueError(
+                    f"{warn_name}={warn} and {fail_name}={fail} are out of "
+                    f"order for a {direction}-is-bad monitor"
+                )
+        if self.churn_k < 1:
+            raise ValueError("churn_k must be positive")
+        if self.min_history < 1:
+            raise ValueError("min_history must be positive")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for config serialisation and run records."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class MonitorResult:
+    """One monitor's value and verdict under a policy.
+
+    Attributes:
+        name: monitor identifier (``"drift"``, ``"volume"``, ...).
+        value: the raw monitored number, or None when the monitor had
+            no baseline to compare against.
+        verdict: ``"ok"``, ``"warn"`` or ``"fail"``.
+        warn / fail: the thresholds the value was judged against.
+        direction: ``"high"`` when large values alarm, ``"low"`` when
+            small values do.
+        detail: free-form context (e.g. why a monitor was skipped).
+    """
+
+    name: str
+    value: float | None
+    verdict: str
+    warn: float
+    fail: float
+    direction: str = "high"
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for run records and CLI tables."""
+        return {
+            "name": self.name,
+            "value": self.value,
+            "verdict": self.verdict,
+            "warn": self.warn,
+            "fail": self.fail,
+            "direction": self.direction,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class HealthReport:
+    """All monitor results of one run, plus the promotion outcome.
+
+    Attributes:
+        monitors: per-monitor results, in evaluation order.
+        promoted: False when a health-gated update refused to promote
+            the candidate model (the previous state stayed live).
+    """
+
+    monitors: list[MonitorResult] = field(default_factory=list)
+    promoted: bool = True
+
+    @property
+    def verdict(self) -> str:
+        """Worst verdict across all monitors (``ok`` when empty)."""
+        worst = 0
+        for monitor in self.monitors:
+            worst = max(worst, VERDICTS.index(monitor.verdict))
+        return VERDICTS[worst]
+
+    def failures(self) -> list[MonitorResult]:
+        """Monitors that reported ``fail``."""
+        return [m for m in self.monitors if m.verdict == "fail"]
+
+    def warnings(self) -> list[MonitorResult]:
+        """Monitors that reported ``warn``."""
+        return [m for m in self.monitors if m.verdict == "warn"]
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for run records."""
+        return {
+            "verdict": self.verdict,
+            "promoted": self.promoted,
+            "monitors": [m.to_dict() for m in self.monitors],
+        }
+
+
+def classify(
+    name: str,
+    value: float | None,
+    warn: float,
+    fail: float,
+    direction: str = "high",
+    detail: str = "",
+) -> MonitorResult:
+    """Judge one monitor value against its warn/fail thresholds.
+
+    ``direction="high"`` alarms on values at/above the thresholds;
+    ``direction="low"`` alarms on values at/below them.  A ``None``
+    value (monitor had nothing to compare against) is ``ok`` — absence
+    of history is not evidence of a problem — with the reason recorded
+    in ``detail``.
+    """
+    if direction not in ("high", "low"):
+        raise ValueError(f"direction must be 'high' or 'low', got {direction!r}")
+    if value is None:
+        return MonitorResult(
+            name=name,
+            value=None,
+            verdict="ok",
+            warn=warn,
+            fail=fail,
+            direction=direction,
+            detail=detail or "no baseline",
+        )
+    value = float(value)
+    if direction == "high":
+        verdict = "fail" if value >= fail else "warn" if value >= warn else "ok"
+    else:
+        verdict = "fail" if value <= fail else "warn" if value <= warn else "ok"
+    return MonitorResult(
+        name=name,
+        value=value,
+        verdict=verdict,
+        warn=warn,
+        fail=fail,
+        direction=direction,
+        detail=detail,
+    )

@@ -110,7 +110,20 @@ METRICS: dict[str, MetricSpec] = {
     "store.invalid": MetricSpec(
         "counter", "cached artifacts rejected as corrupted or stale-format"
     ),
+    "ingest.sender_packets": MetricSpec(
+        "histogram",
+        "distribution of packets per observed sender at ingest",
+        unit="packets",
+        buckets=(1, 2, 5, 10, 20, 50, 100, 250, 1000, 10000),
+    ),
     "knn.queries": MetricSpec("counter", "k-NN query points searched"),
+    "knn.neighbor_distance": MetricSpec(
+        "histogram",
+        "distribution of cosine distances to returned k-NN neighbors",
+        unit="distance",
+        buckets=(0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5),
+        deterministic=False,
+    ),
     "knn.distance_computations": MetricSpec(
         "counter",
         "candidate cosine similarities computed (queries x corpus size)",
@@ -127,6 +140,55 @@ METRICS: dict[str, MetricSpec] = {
     "louvain.moves": MetricSpec(
         "counter",
         "accepted node moves across all Louvain passes",
+        deterministic=False,
+    ),
+    "eval.accuracy": MetricSpec(
+        "gauge",
+        "leave-one-out classification accuracy of the last evaluation",
+        deterministic=False,
+    ),
+    "drift.cosine_displacement": MetricSpec(
+        "gauge",
+        "mean aligned cosine displacement of retained senders vs the "
+        "previous model",
+        deterministic=False,
+    ),
+    "drift.neighbor_churn": MetricSpec(
+        "gauge",
+        "mean 1 - Jaccard overlap of per-sender k-NN sets vs the "
+        "previous model",
+        deterministic=False,
+    ),
+    "drift.cluster_ari": MetricSpec(
+        "gauge",
+        "adjusted Rand index between consecutive Louvain partitions",
+        deterministic=False,
+    ),
+    "drift.cluster_ami": MetricSpec(
+        "gauge",
+        "adjusted mutual information between consecutive Louvain "
+        "partitions",
+        deterministic=False,
+    ),
+    "quality.packet_zscore": MetricSpec(
+        "gauge",
+        "z-score of the ingested packet volume vs registry history",
+    ),
+    "quality.sender_zscore": MetricSpec(
+        "gauge",
+        "z-score of the ingested sender count vs registry history",
+    ),
+    "quality.port_mix_shift": MetricSpec(
+        "gauge",
+        "total-variation distance of the port mix vs the previous run",
+    ),
+    "quality.empty_window_rate": MetricSpec(
+        "gauge",
+        "share of dT time windows with no traffic at ingest",
+    ),
+    "health.gate_failures": MetricSpec(
+        "counter",
+        "warm updates refused promotion by the health gate",
         deterministic=False,
     ),
 }

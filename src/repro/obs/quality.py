@@ -1,0 +1,133 @@
+"""Data-quality monitors on ingest: volume, port mix, empty windows.
+
+An embedding can only be as healthy as the traffic it is trained on,
+so the first monitoring layer looks at the raw trace before any model
+runs: packet and sender volumes are compared against the registry's
+history as z-scores, the destination port mix is compared against the
+previous run's as a total-variation distance (the signature of a new
+scanner class arriving — cf. the structural breaks catalogued by
+Kallitsis et al.), and the share of empty dT windows catches telescope
+outages and clock gaps.
+
+All functions here are pure and RNG-free; they run in the monitored
+path only when a registry is attached, keeping the default in-memory
+pipeline untouched.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.trace.packet import SECONDS_PER_DAY, Trace, proto_name
+
+#: Port-mix entries kept per profile; the long tail folds into "other".
+TOP_PORTS = 16
+
+#: Relative std-dev floor for z-scores: history that happens to be
+#: near-constant must not turn ordinary jitter into huge z values.
+MIN_REL_STD = 0.05
+
+
+def data_profile(trace: Trace, delta_t: float) -> dict:
+    """Summarise one ingested trace for quality monitoring.
+
+    Returns a JSON-ready dict with the packet count, observed sender
+    count, trace span in days, share of empty dT time windows, and the
+    top-``TOP_PORTS`` destination port mix as ``"port/proto"`` ->
+    packet share (remainder under ``"other"``).  The profile is stored
+    in the run record, so later runs can diff against it without
+    re-reading the original trace.
+    """
+    if delta_t <= 0:
+        raise ValueError("delta_t must be positive")
+    profile = {
+        "packets": int(len(trace)),
+        "senders": int(len(trace.observed_senders())) if len(trace) else 0,
+        "span_days": float(trace.duration_days),
+        "empty_window_rate": empty_window_rate(trace, delta_t),
+        "port_mix": port_mix(trace),
+    }
+    return profile
+
+
+def port_mix(trace: Trace) -> dict[str, float]:
+    """Packet share per destination ``"port/proto"`` (top ports only).
+
+    Shares sum to 1.0 over the kept entries plus ``"other"``; an empty
+    trace yields an empty dict.
+    """
+    counts = trace.port_packet_counts()
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    mix = {
+        f"{port}/{proto_name(proto)}": count / total
+        for (port, proto), count in ranked[:TOP_PORTS]
+    }
+    tail = sum(count for _, count in ranked[TOP_PORTS:])
+    if tail:
+        mix["other"] = tail / total
+    return mix
+
+
+def port_mix_shift(
+    current: dict[str, float], previous: dict[str, float]
+) -> float:
+    """Total-variation distance between two port mixes (in [0, 1]).
+
+    ``0`` means identical mixes, ``1`` means disjoint support — e.g. a
+    brand-new scanner class dominating ports nobody targeted before.
+    """
+    keys = set(current) | set(previous)
+    return 0.5 * sum(
+        abs(current.get(key, 0.0) - previous.get(key, 0.0)) for key in keys
+    )
+
+
+def empty_window_rate(trace: Trace, delta_t: float) -> float:
+    """Share of dT time windows of the trace span with no packets.
+
+    A healthy telescope feed has traffic in essentially every window;
+    a high rate signals capture outages or mis-stitched inputs.  An
+    empty trace counts as fully empty (rate 1.0).
+    """
+    if delta_t <= 0:
+        raise ValueError("delta_t must be positive")
+    if not len(trace):
+        return 1.0
+    bins = ((trace.times - trace.start_time) // delta_t).astype(np.int64)
+    # The grid spans bin 0 .. the bin of the last packet, inclusive —
+    # ceil(span / dt) alone would undercount when the last packet sits
+    # exactly on a window boundary.
+    n_windows = int(bins[-1]) + 1
+    occupied = int(len(np.unique(bins)))
+    return 1.0 - occupied / n_windows
+
+
+def volume_zscore(
+    value: float, history: list[float], min_history: int = 2
+) -> float | None:
+    """Z-score of ``value`` against a history of past volumes.
+
+    Returns None with fewer than ``min_history`` historical points —
+    there is no meaningful baseline yet.  The standard deviation is
+    floored at ``MIN_REL_STD`` of the historical mean so a flat
+    history cannot explode ordinary day-to-day jitter into alarms.
+    """
+    if len(history) < min_history:
+        return None
+    n = len(history)
+    mean = sum(history) / n
+    variance = sum((x - mean) ** 2 for x in history) / n
+    std = max(math.sqrt(variance), MIN_REL_STD * abs(mean), 1e-12)
+    return (float(value) - mean) / std
+
+
+def profile_days(trace: Trace) -> float:
+    """Trace span in days (0.0 for an empty trace)."""
+    if not len(trace):
+        return 0.0
+    return (trace.end_time - trace.start_time) / SECONDS_PER_DAY

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 
 from repro.core.config import DarkVecConfig
@@ -30,6 +31,21 @@ from repro.services.base import ServiceMap
 
 #: Bump when the state layout changes incompatibly.
 STATE_FORMAT = 1
+
+
+def _write_json(path: Path, document: dict) -> None:
+    """Write JSON crash-safely (temp file + ``os.replace``).
+
+    ``repro update`` overwrites yesterday's state in place; an
+    interrupted write must never leave a truncated ``config.json`` /
+    ``meta.json`` that would make the state unloadable.
+    """
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(document, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def save_state(darkvec, path: str | Path) -> None:
@@ -57,19 +73,14 @@ def save_state(darkvec, path: str | Path) -> None:
     if config["cache_dir"] is not None:
         config["cache_dir"] = str(config["cache_dir"])
 
-    (path / "config.json").write_text(
-        json.dumps(config, sort_keys=True, indent=1)
-    )
-    (path / "meta.json").write_text(
-        json.dumps(
-            {
-                "format": STATE_FORMAT,
-                "t_origin": darkvec._t_origin,
-                "service_spec": service_spec,
-            },
-            sort_keys=True,
-            indent=1,
-        )
+    _write_json(path / "config.json", config)
+    _write_json(
+        path / "meta.json",
+        {
+            "format": STATE_FORMAT,
+            "t_origin": darkvec._t_origin,
+            "service_spec": service_spec,
+        },
     )
     TRACE_CODEC.save(trace, path / "trace.npz")
     CORPUS_CODEC.save(darkvec._raw_corpus, path / "corpus.npz")

@@ -65,3 +65,39 @@ def apply_alignment(source: KeyedVectors, rotation: np.ndarray) -> KeyedVectors:
         tokens=source.tokens.copy(),
         vectors=source.vectors @ rotation,
     )
+
+
+def aligned_displacement(
+    source: KeyedVectors,
+    target: KeyedVectors,
+    anchors: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Per-token cosine displacement after orthogonal alignment.
+
+    The drift-monitor primitive: for every token present in both
+    embeddings, how far did its direction move between ``source`` and
+    ``target``, once the arbitrary rotation between the two training
+    runs has been removed?  Falls back to the unaligned displacement
+    when the shared set is too small to fit a Procrustes rotation.
+
+    Returns:
+        ``(tokens, displacement, aligned)`` — the shared tokens, their
+        cosine distances ``1 - cos(R @ source, target)`` (in [0, 2]),
+        and whether a rotation was actually fitted.
+    """
+    tokens = shared_tokens(source, target) if anchors is None else anchors
+    tokens = np.asarray(tokens, dtype=np.int64)
+    source_rows = source.rows_of(tokens)
+    target_rows = target.rows_of(tokens)
+    valid = (source_rows >= 0) & (target_rows >= 0)
+    tokens = tokens[valid]
+    if len(tokens) == 0:
+        return tokens, np.empty(0), False
+    a = unit_rows(source.vectors[source_rows[valid]])
+    b = unit_rows(target.vectors[target_rows[valid]])
+    aligned = len(tokens) >= source.vector_size
+    if aligned:
+        rotation, _ = orthogonal_procrustes(a, b)
+        a = a @ rotation
+    displacement = 1.0 - np.einsum("ij,ij->i", a, b)
+    return tokens, displacement, aligned

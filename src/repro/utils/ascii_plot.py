@@ -45,6 +45,47 @@ def line_chart(
     return "\n".join(lines)
 
 
+def sparkline(
+    values: Sequence[float],
+    width: int | None = None,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render a series as a one-line bar sparkline (``▁▂▃▄▅▆▇█``).
+
+    Used by ``repro health`` to show drift-monitor history inline.
+    ``width`` caps the number of cells (the series is mean-pooled down
+    to fit); ``lo``/``hi`` pin the scale (default: the series range).
+    Non-finite values render as spaces.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if width is not None and width > 0 and arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [
+                arr[a:b][np.isfinite(arr[a:b])].mean()
+                if np.isfinite(arr[a:b]).any()
+                else np.nan
+                for a, b in zip(edges[:-1], edges[1:])
+            ]
+        )
+    finite = arr[np.isfinite(arr)]
+    lo = float(finite.min()) if lo is None and finite.size else (lo or 0.0)
+    hi = float(finite.max()) if hi is None and finite.size else (hi or 1.0)
+    span = hi - lo or 1.0
+    ticks = "▁▂▃▄▅▆▇█"
+    cells = []
+    for value in arr:
+        if not np.isfinite(value):
+            cells.append(" ")
+            continue
+        level = int((value - lo) / span * (len(ticks) - 1) + 0.5)
+        cells.append(ticks[min(max(level, 0), len(ticks) - 1)])
+    return "".join(cells)
+
+
 def raster(
     matrix: np.ndarray,
     title: str | None = None,

@@ -403,3 +403,182 @@ class TestRunResumeUpdate:
         rc = main(["update", "--trace", str(tmp_path / "x.csv")])
         assert rc == 2
         assert "needs --state or --cache-dir" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def registry_workspace(tmp_path_factory):
+    """Staged run + gated update with a registry to query."""
+    from repro.io.csvio import read_trace_csv, write_trace_csv
+    from repro.trace.packet import SECONDS_PER_DAY
+
+    root = tmp_path_factory.mktemp("registry")
+    full_file = root / "full.csv"
+    rc = main(
+        [
+            "simulate",
+            "--out",
+            str(full_file),
+            "--scale",
+            "0.02",
+            "--days",
+            "4",
+            "--seed",
+            "5",
+        ]
+    )
+    assert rc == 0
+    full = read_trace_csv(full_file)
+    cut = full.start_time + 3 * SECONDS_PER_DAY
+    head_file = root / "head.csv"
+    tail_file = root / "tail.csv"
+    write_trace_csv(full.between(full.start_time, cut), head_file)
+    write_trace_csv(full.between(cut, np.inf), tail_file)
+
+    cache_dir = root / "cache"
+    rc = main(
+        [
+            "run",
+            "--trace",
+            str(head_file),
+            "--cache-dir",
+            str(cache_dir),
+            "--epochs",
+            "2",
+            "--vector-size",
+            "16",
+        ]
+    )
+    assert rc == 0
+    metrics_file = root / "update-metrics.ndjson"
+    rc = main(
+        [
+            "update",
+            "--trace",
+            str(tail_file),
+            "--cache-dir",
+            str(cache_dir),
+            "--labels",
+            str(root / "full.csv.labels.csv"),
+            "--metrics-out",
+            str(metrics_file),
+        ]
+    )
+    assert rc == 0
+    return root, cache_dir, tail_file, metrics_file
+
+
+class TestRunRegistryCli:
+    def test_registry_file_written(self, registry_workspace):
+        _, cache_dir, _, _ = registry_workspace
+        registry_file = cache_dir / "registry" / "runs.ndjson"
+        assert registry_file.exists()
+        lines = registry_file.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert not list((cache_dir / "registry").glob("*.tmp*"))
+
+    def test_update_metrics_out_written(self, registry_workspace):
+        _, _, _, metrics_file = registry_workspace
+        assert metrics_file.exists()
+        assert "span" in metrics_file.read_text()
+
+    def test_runs_list(self, registry_workspace, capsys):
+        _, cache_dir, _, _ = registry_workspace
+        rc = main(["runs", "list", "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run-0001" in out
+        assert "run-0002" in out
+        assert "fit" in out
+        assert "update" in out
+
+    def test_runs_show(self, registry_workspace, capsys):
+        _, cache_dir, _, _ = registry_workspace
+        rc = main(["runs", "show", "run-0002", "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run-0002" in out
+        assert "Health" in out
+        assert "drift" in out
+
+    def test_runs_show_unknown_id_fails(self, registry_workspace, capsys):
+        _, cache_dir, _, _ = registry_workspace
+        rc = main(["runs", "show", "run-9999", "--cache-dir", str(cache_dir)])
+        assert rc == 2
+        assert "unknown run" in capsys.readouterr().err
+
+    def test_runs_compare_last(self, registry_workspace, capsys):
+        _, cache_dir, _, _ = registry_workspace
+        rc = main(["runs", "compare", "--last", "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run-0001" in out
+        assert "run-0002" in out
+        assert "wall" in out
+
+    def test_runs_compare_explicit_ids(self, registry_workspace, capsys):
+        _, cache_dir, _, _ = registry_workspace
+        rc = main(
+            [
+                "runs",
+                "compare",
+                "run-0001",
+                "run-0002",
+                "--cache-dir",
+                str(cache_dir),
+            ]
+        )
+        assert rc == 0
+        assert "Timing" in capsys.readouterr().out
+
+    def test_health_renders_monitors(self, registry_workspace, capsys):
+        _, cache_dir, _, _ = registry_workspace
+        rc = main(["health", "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "drift" in out
+
+    def test_runs_without_registry_fails(self, tmp_path, capsys):
+        rc = main(["runs", "list", "--cache-dir", str(tmp_path / "nope")])
+        assert rc in (0, 2)  # empty registry is not an error, missing dir is
+
+    def test_gated_update_refuses_and_keeps_state(
+        self, registry_workspace, capsys
+    ):
+        from repro.core import DarkVec, DarkVecConfig
+        from repro.io.csvio import read_trace_csv
+        from repro.store.state import save_state
+
+        root, _, tail_file, _ = registry_workspace
+        # A fresh cache whose saved state carries a hair-trigger policy.
+        strict_cache = root / "strict-cache"
+        head = read_trace_csv(root / "head.csv")
+        config = DarkVecConfig(
+            service="domain",
+            epochs=2,
+            seed=3,
+            vector_size=16,
+            window_days=3.0,
+            cache_dir=strict_cache,
+            health={"drift_warn": 1e-9, "drift_fail": 1e-8},
+        )
+        darkvec = DarkVec(config).fit(head)
+        save_state(darkvec, strict_cache / "state")
+        before = (strict_cache / "state" / "embedding.npz").read_bytes()
+
+        rc = main(
+            [
+                "update",
+                "--trace",
+                str(tail_file),
+                "--cache-dir",
+                str(strict_cache),
+                "--health-gate",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "fail" in out
+        assert "not promoted" in out or "refus" in out
+        # The on-disk state is untouched.
+        assert (strict_cache / "state" / "embedding.npz").read_bytes() == before

@@ -397,3 +397,77 @@ class TestMetricDeclarations:
         assert METRICS["trace.packets"].deterministic
         assert METRICS["corpus.tokens"].deterministic
         assert METRICS["knn.distance_computations"].deterministic
+
+
+class TestUpdateMetricsDeterminism:
+    """Deterministic metrics must agree between workers=1 and workers=2
+    through a full fit + warm update, exercising snapshot/merge across
+    worker task scopes."""
+
+    @pytest.fixture(scope="class")
+    def snapshots(self, small_bundle, tmp_path_factory):
+        from repro.core import DarkVec, DarkVecConfig
+
+        trace = small_bundle.trace
+        cut = trace.start_time + 3 * 86400.0
+        head = trace.between(trace.start_time, cut)
+        tail = trace.between(cut, cut + 86400.0)
+        snapshots = {}
+        for workers in (1, 2):
+            config = DarkVecConfig(
+                service="domain",
+                epochs=2,
+                seed=3,
+                workers=workers,
+                window_days=3.0,
+                cache_dir=tmp_path_factory.mktemp(f"workers{workers}"),
+            )
+            telemetry = Telemetry()
+            with obs.session(telemetry):
+                darkvec = DarkVec(config).fit(head)
+                darkvec.update(tail)
+            snapshots[workers] = telemetry.snapshot()
+        return snapshots
+
+    def test_deterministic_counters_agree(self, snapshots):
+        names = set(snapshots[1]["counters"]) | set(snapshots[2]["counters"])
+        for name in names:
+            if not METRICS[name].deterministic:
+                continue
+            assert snapshots[1]["counters"].get(name) == snapshots[2][
+                "counters"
+            ].get(name), name
+
+    def test_deterministic_gauges_agree(self, snapshots):
+        names = set(snapshots[1]["gauges"]) | set(snapshots[2]["gauges"])
+        for name in names:
+            if not METRICS[name].deterministic:
+                continue
+            assert snapshots[1]["gauges"].get(name) == pytest.approx(
+                snapshots[2]["gauges"].get(name)
+            ), name
+
+    def test_deterministic_histograms_agree(self, snapshots):
+        names = set(snapshots[1]["histograms"]) | set(snapshots[2]["histograms"])
+        for name in names:
+            if not METRICS[name].deterministic:
+                continue
+            assert (
+                snapshots[1]["histograms"][name]
+                == snapshots[2]["histograms"][name]
+            ), name
+
+    def test_monitor_gauges_present(self, snapshots):
+        # The update path with a registry attached emits quality gauges.
+        for workers in (1, 2):
+            gauges = snapshots[workers]["gauges"]
+            assert "quality.empty_window_rate" in gauges
+            assert "drift.cosine_displacement" in gauges
+
+    def test_ingest_histogram_records_all_senders(self, snapshots, small_bundle):
+        trace = small_bundle.trace
+        cut = trace.start_time + 3 * 86400.0
+        head = trace.between(trace.start_time, cut)
+        hist = snapshots[1]["histograms"]["ingest.sender_packets"]
+        # fit ingests the 3-day head; update adds the day-4 slice.
+        assert hist["total"] >= len(head.observed_senders())

@@ -69,3 +69,44 @@ class TestHeatmap:
     def test_all_zero_matrix_ok(self):
         text = heatmap(np.zeros((2, 2)), ["r1", "r2"], ["c1", "c2"])
         assert "r1" in text
+
+
+class TestSparkline:
+    def test_monotone_series_uses_full_ramp(self):
+        from repro.utils.ascii_plot import sparkline
+
+        text = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert text == "▁▂▃▄▅▆▇█"
+
+    def test_empty_series_is_empty(self):
+        from repro.utils.ascii_plot import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_constant_series_ok(self):
+        from repro.utils.ascii_plot import sparkline
+
+        text = sparkline([3.0, 3.0, 3.0])
+        assert len(text) == 3
+        assert len(set(text)) == 1
+
+    def test_width_pools_series(self):
+        from repro.utils.ascii_plot import sparkline
+
+        text = sparkline(list(range(100)), width=10)
+        assert len(text) == 10
+        assert text[0] == "▁"
+        assert text[-1] == "█"
+
+    def test_non_finite_renders_as_space(self):
+        from repro.utils.ascii_plot import sparkline
+
+        text = sparkline([0.0, float("nan"), 1.0])
+        assert text[1] == " "
+
+    def test_pinned_scale(self):
+        from repro.utils.ascii_plot import sparkline
+
+        # 0.5 on a [0, 1] scale sits mid-ramp even alone.
+        text = sparkline([0.5], lo=0.0, hi=1.0)
+        assert text in ("▄", "▅")
