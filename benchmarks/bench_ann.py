@@ -1,0 +1,269 @@
+"""ANN benchmark: IVF speedup and recall versus the exact backend.
+
+Two experiments, one JSON:
+
+1. **Fidelity** — fit DarkVec on a simulated scenario, then run the
+   leave-one-out evaluation through both backends.  Reports the exact
+   and IVF accuracies and their delta (the acceptance bar for the IVF
+   backend is ``|delta| <= 0.01``).
+2. **Scaling sweep** — tile + jitter the trained embedding up to
+   larger corpus sizes (the geometry stays darknet-like: the same
+   cluster structure, more members per cluster) and, at each size,
+   time the exact search once and the IVF search at several ``nprobe``
+   values, measuring recall@k of every setting against the exact
+   result.  IVF build time is reported separately: in the pipeline the
+   index is a cached artifact, so search time is what recurring
+   consumers pay.
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/bench_ann.py
+
+``--smoke`` shrinks everything for CI and asserts recall >= 0.9 at the
+default operating point (auto nlist, nprobe = 8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann import AnnSpec, ExactIndex, IVFIndex
+from repro.core import DarkVec, DarkVecConfig
+from repro.knn.loo import leave_one_out_predictions
+from repro.trace.generator import generate_trace
+from repro.trace.scenario import default_scenario
+from repro.w2v.mathutils import unit_rows
+
+K = 7
+NPROBES = (1, 2, 4, 8, 16)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--days", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--model-seed", type=int, default=1)
+    parser.add_argument(
+        "--sizes",
+        type=str,
+        default="8192,32768,131072",
+        help="comma list of corpus sizes for the scaling sweep",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=2048,
+        help="timed queries per size (sampled without replacement)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: tiny sweep, asserts recall >= 0.9 at nprobe=8",
+    )
+    parser.add_argument("--out", type=Path, default=Path("BENCH_ann.json"))
+    return parser
+
+
+def tiled_units(base: np.ndarray, n: int, seed: int) -> np.ndarray:
+    """Grow ``base`` to ``n`` rows by tiling with small angular jitter.
+
+    Replicas stay close to their source point (jitter sigma well under
+    typical cluster radii), so the grown corpus keeps the embedding's
+    cluster geometry while making every neighbourhood denser — the
+    regime IVF is built for.
+    """
+    rng = np.random.default_rng(seed)
+    reps = int(np.ceil(n / len(base)))
+    grown = np.tile(base, (reps, 1))[:n]
+    grown = grown + 0.03 * rng.standard_normal(grown.shape)
+    return unit_rows(grown)
+
+
+def fidelity_experiment(args) -> dict:
+    """LOO accuracy through the exact and IVF backends."""
+    scenario = default_scenario(
+        scale=args.scale, days=args.days, seed=args.seed
+    )
+    bundle = generate_trace(scenario)
+    config = DarkVecConfig(
+        service="domain", epochs=args.epochs, seed=args.model_seed
+    )
+    darkvec = DarkVec(config).fit(bundle.trace)
+    embedding = darkvec.embedding
+    labels = bundle.truth.labels_for(bundle.trace)[embedding.tokens]
+    rows = np.arange(len(embedding))
+
+    t0 = time.perf_counter()
+    exact_pred = leave_one_out_predictions(
+        embedding.vectors, labels, rows, k=K
+    )
+    exact_seconds = time.perf_counter() - t0
+
+    ivf_spec = AnnSpec(backend="ivf", nprobe=8, seed=args.model_seed)
+    t0 = time.perf_counter()
+    ivf_pred = leave_one_out_predictions(
+        embedding.vectors, labels, rows, k=K, spec=ivf_spec
+    )
+    ivf_seconds = time.perf_counter() - t0
+
+    known = labels != "Unknown"
+    exact_acc = float(np.mean(exact_pred[known] == labels[known]))
+    ivf_acc = float(np.mean(ivf_pred[known] == labels[known]))
+    return {
+        "n_senders": int(len(embedding)),
+        "k": K,
+        "exact_accuracy": round(exact_acc, 4),
+        "ivf_accuracy": round(ivf_acc, 4),
+        "accuracy_delta": round(ivf_acc - exact_acc, 4),
+        "prediction_agreement": round(float(np.mean(exact_pred == ivf_pred)), 4),
+        "exact_loo_seconds": round(exact_seconds, 3),
+        "ivf_loo_seconds": round(ivf_seconds, 3),
+        "embedding": embedding,
+    }
+
+
+def sweep_size(units: np.ndarray, n_queries: int, seed: int) -> dict:
+    """Time exact vs IVF at every nprobe for one corpus size."""
+    n = len(units)
+    rng = np.random.default_rng(seed)
+    queries = np.sort(rng.choice(n, min(n_queries, n), replace=False))
+
+    exact = ExactIndex(units)
+    t0 = time.perf_counter()
+    exact_nb, _ = exact.search(queries, K)
+    exact_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    # recall_sample=0: recall is measured below against exact_nb, so
+    # the timed path carries no audit overhead.
+    base_spec = AnnSpec(backend="ivf", nprobe=8, recall_sample=0, seed=seed)
+    index = IVFIndex.build(units, base_spec)
+    build_seconds = time.perf_counter() - t0
+
+    settings = []
+    for nprobe in NPROBES:
+        if nprobe > index.nlist:
+            continue
+        probed = IVFIndex(
+            units,
+            AnnSpec(backend="ivf", nprobe=nprobe, recall_sample=0, seed=seed),
+            index.centroids,
+            index.assign,
+            units32=index.units32,
+        )
+        t0 = time.perf_counter()
+        nb, _ = probed.search(queries, K)
+        seconds = time.perf_counter() - t0
+        recall = float(
+            np.mean(
+                [
+                    len(np.intersect1d(nb[i], exact_nb[i])) / K
+                    for i in range(len(queries))
+                ]
+            )
+        )
+        settings.append(
+            {
+                "nprobe": nprobe,
+                "search_seconds": round(seconds, 4),
+                "speedup_vs_exact": round(exact_seconds / max(seconds, 1e-9), 2),
+                "recall_at_k": round(recall, 4),
+            }
+        )
+    return {
+        "n": n,
+        "queries": int(len(queries)),
+        "nlist": int(index.nlist),
+        "exact_search_seconds": round(exact_seconds, 4),
+        "ivf_build_seconds": round(build_seconds, 4),
+        "settings": settings,
+    }
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.smoke:
+        args.scale = 0.05
+        args.days = 4.0
+        args.epochs = 3
+        args.sizes = "4096,16384"
+        args.queries = 512
+
+    print("== fidelity: exact vs IVF leave-one-out ==")
+    fidelity = fidelity_experiment(args)
+    embedding = fidelity.pop("embedding")
+    print(
+        f"  exact {fidelity['exact_accuracy']:.4f}  "
+        f"ivf {fidelity['ivf_accuracy']:.4f}  "
+        f"delta {fidelity['accuracy_delta']:+.4f}"
+    )
+
+    base_units = unit_rows(embedding.vectors)
+    sweep = []
+    for n in [int(s) for s in args.sizes.split(",")]:
+        result = sweep_size(
+            tiled_units(base_units, n, args.seed), args.queries, args.seed
+        )
+        sweep.append(result)
+        print(f"== N={result['n']} (nlist={result['nlist']}) ==")
+        print(f"  exact search {result['exact_search_seconds']:.3f}s")
+        for s in result["settings"]:
+            print(
+                f"  nprobe={s['nprobe']:>2}  {s['search_seconds']:.3f}s  "
+                f"{s['speedup_vs_exact']:>6.1f}x  recall "
+                f"{s['recall_at_k']:.3f}"
+            )
+
+    best = max(
+        (
+            s
+            for r in sweep
+            for s in r["settings"]
+            if s["recall_at_k"] >= 0.95
+        ),
+        key=lambda s: s["speedup_vs_exact"],
+        default=None,
+    )
+    document = {
+        "benchmark": "ann",
+        "preset": {
+            "scale": args.scale,
+            "days": args.days,
+            "scenario_seed": args.seed,
+            "model_seed": args.model_seed,
+            "epochs": args.epochs,
+            "k": K,
+        },
+        "environment": {"cpu_count": os.cpu_count()},
+        "fidelity": fidelity,
+        "sweep": sweep,
+        "best_speedup_at_recall_0.95": best,
+    }
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        worst = min(
+            s["recall_at_k"]
+            for r in sweep
+            for s in r["settings"]
+            if s["nprobe"] == 8
+        )
+        assert worst >= 0.9, f"smoke recall regression: {worst:.3f} < 0.9"
+        assert abs(fidelity["accuracy_delta"]) <= 0.02, (
+            f"smoke LOO delta too large: {fidelity['accuracy_delta']}"
+        )
+        print(f"smoke OK: recall@nprobe=8 >= {worst:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

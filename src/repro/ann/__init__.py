@@ -1,0 +1,14 @@
+"""Approximate and exact nearest-neighbour indexes (see :mod:`.base`)."""
+
+from repro.ann.base import AnnSpec, NeighborIndex, build_index
+from repro.ann.exact import ExactIndex, score_chunk_rows
+from repro.ann.ivf import IVFIndex
+
+__all__ = [
+    "AnnSpec",
+    "NeighborIndex",
+    "ExactIndex",
+    "IVFIndex",
+    "build_index",
+    "score_chunk_rows",
+]

@@ -1,0 +1,40 @@
+"""Process-wide record of the most recent ANN recall audit.
+
+The IVF backend measures its own recall on a seeded query sample at
+every search (:meth:`repro.ann.ivf.IVFIndex.search`).  Besides the
+``ann.recall_at_k`` gauge, the measurement lands here so callers that
+did not construct the index — most importantly the health monitors in
+:meth:`repro.core.pipeline.DarkVec.update`, whose churn and LOO probes
+build their own ephemeral indexes — can still judge the backend's
+accuracy.  Semantics mirror a gauge: last write wins, ``None`` until
+an audited search has run (the exact backend never records).
+"""
+
+from __future__ import annotations
+
+_last_recall: float | None = None
+_audited_queries: int = 0
+
+
+def record_recall(value: float, sampled_queries: int) -> None:
+    """Record one audit result (called by auditing backends)."""
+    global _last_recall, _audited_queries
+    _last_recall = float(value)
+    _audited_queries += int(sampled_queries)
+
+
+def last_recall() -> float | None:
+    """Most recent measured recall@k, or None if nothing was audited."""
+    return _last_recall
+
+
+def audited_queries() -> int:
+    """Total queries exact-rescored by audits since the last reset."""
+    return _audited_queries
+
+
+def reset() -> None:
+    """Forget past audits (start of a monitored phase)."""
+    global _last_recall, _audited_queries
+    _last_recall = None
+    _audited_queries = 0

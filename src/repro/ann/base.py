@@ -1,0 +1,130 @@
+"""Pluggable nearest-neighbour indexes behind one interface.
+
+Every DarkVec result — the k = 7 LOO classifier, the k' = 3 Louvain
+graph, drift churn, new-sender extension — reduces to cosine k-NN over
+the row-normalised embedding.  :class:`NeighborIndex` is the single
+contract those consumers search through; :func:`build_index` picks the
+backend from an :class:`AnnSpec`:
+
+* ``"exact"`` — :class:`repro.ann.exact.ExactIndex`, the brute-force
+  chunked matmul search (bit-identical to the historical
+  ``knn_search``).
+* ``"ivf"`` — :class:`repro.ann.ivf.IVFIndex`, an inverted-file index
+  with a spherical k-means coarse quantizer and multi-probe search.
+
+All backends return ``(neighbors, similarities)`` of shape (Q, k) with
+neighbours sorted by decreasing float64 cosine similarity, so callers
+never need to know which backend served them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Backends :func:`build_index` knows how to construct.
+BACKENDS = ("exact", "ivf")
+
+
+@dataclass(frozen=True)
+class AnnSpec:
+    """Backend selection and tuning knobs for a neighbour index.
+
+    Attributes:
+        backend: ``"exact"`` (brute force, the default) or ``"ivf"``.
+        nlist: IVF coarse-quantizer centroids; ``0`` (default) picks
+            ``round(sqrt(N))`` at build time, which balances the coarse
+            scan (Q x nlist) against the list scans (Q x nprobe x N/nlist).
+        nprobe: inverted lists probed per query.  Higher values trade
+            speed for recall; ``nprobe >= nlist`` degenerates to exact
+            scoring through the list layout.
+        recall_sample: queries per search that are re-run exactly to
+            measure ``ann.recall_at_k``.  ``0`` disables the audit.
+            The audit observes — it never changes returned results —
+            so it is deliberately absent from stage fingerprints.
+        seed: seed for the k-means sample, centroid init, and the
+            recall-audit query sample.
+    """
+
+    backend: str = "exact"
+    nlist: int = 0
+    nprobe: int = 8
+    recall_sample: int = 32
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"ann backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.nlist < 0:
+            raise ValueError("nlist must be >= 0 (0 means sqrt(N) auto)")
+        if self.nprobe < 1:
+            raise ValueError("nprobe must be positive")
+        if self.recall_sample < 0:
+            raise ValueError("recall_sample must be >= 0")
+
+
+class NeighborIndex(ABC):
+    """A searchable snapshot of one row-normalised vector set.
+
+    Attributes:
+        units: the indexed row-normalised float64 matrix, shape (N, V).
+            Consumers (e.g. :class:`repro.knn.classifier.CosineKnn`)
+            read it back instead of re-normalising.
+    """
+
+    units: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    @abstractmethod
+    def search(
+        self,
+        query_rows: np.ndarray,
+        k: int,
+        exclude_self: bool = True,
+        workers: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` nearest indexed rows (by cosine) per query row.
+
+        Args:
+            query_rows: indices into :attr:`units` of the query points.
+            k: neighbours per query.
+            exclude_self: drop the query row from its own list.
+            workers: query chunks dispatched to a thread pool (0 = all
+                cores).  Chunks write disjoint output slices, so the
+                result is bitwise identical for every ``workers`` value.
+
+        Returns:
+            ``(neighbors, similarities)`` of shape (Q, k); neighbours
+            sorted by decreasing float64 similarity.
+        """
+
+
+def check_query(
+    n: int, query_rows: np.ndarray, k: int, exclude_self: bool
+) -> np.ndarray:
+    """Shared argument validation for every backend's ``search``."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    limit = k + 1 if exclude_self else k
+    if n < limit:
+        raise ValueError(f"need at least {limit} points for k={k}")
+    return np.asarray(query_rows, dtype=np.int64)
+
+
+def build_index(
+    units: np.ndarray, spec: AnnSpec | None = None, workers: int = 1
+) -> NeighborIndex:
+    """Construct the index ``spec`` asks for over row-normalised ``units``."""
+    from repro.ann.exact import ExactIndex
+    from repro.ann.ivf import IVFIndex
+
+    spec = spec or AnnSpec()
+    if spec.backend == "exact":
+        return ExactIndex(units)
+    return IVFIndex.build(units, spec, workers=workers)

@@ -1,0 +1,108 @@
+"""Brute-force cosine k-NN: the exact backend and shared top-k core.
+
+This is the historical ``knn_search`` algorithm moved behind the
+:class:`~repro.ann.base.NeighborIndex` interface.  The only change from
+the fixed ``_CHUNK_ROWS = 1024`` era is memory-budgeted chunk sizing:
+the per-chunk score buffer is ``chunk x N`` float64, which blows RSS at
+large N, so the chunk shrinks once N crosses the budget.  Each query
+row is scored independently, so chunk boundaries (like ``workers``)
+cannot change any result — outputs stay bitwise identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.ann.base import NeighborIndex, check_query
+from repro.parallel.pool import WorkerPool
+
+#: Per-chunk score-buffer budget (bytes).  64 MiB keeps the historical
+#: 1024-row chunks for every N <= 8192 while bounding RSS at large N.
+_CHUNK_BUDGET_BYTES = 64 << 20
+_MIN_CHUNK_ROWS = 16
+_MAX_CHUNK_ROWS = 1024
+
+
+def score_chunk_rows(n: int, itemsize: int = 8) -> int:
+    """Query rows per chunk so the score buffer stays within budget."""
+    if n <= 0:
+        return _MAX_CHUNK_ROWS
+    by_budget = _CHUNK_BUDGET_BYTES // (n * itemsize)
+    return int(min(_MAX_CHUNK_ROWS, max(_MIN_CHUNK_ROWS, by_budget)))
+
+
+def exact_topk(
+    units: np.ndarray,
+    query_rows: np.ndarray,
+    k: int,
+    exclude_self: bool = True,
+    workers: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uninstrumented exact top-k; the core of :class:`ExactIndex`.
+
+    Also serves the IVF backend as recall-audit oracle and as fallback
+    for queries whose probed lists held fewer than ``k`` candidates,
+    where it must not double-count ``knn.*`` metrics.
+    """
+    n = len(units)
+    query_rows = check_query(n, query_rows, k, exclude_self)
+    neighbors = np.empty((len(query_rows), k), dtype=np.int64)
+    sims = np.empty((len(query_rows), k))
+
+    def search_chunk(bounds: tuple[int, int]) -> None:
+        lo, hi = bounds
+        chunk = query_rows[lo:hi]
+        scores = units[chunk] @ units.T  # (chunk, N)
+        if exclude_self:
+            scores[np.arange(len(chunk)), chunk] = -np.inf
+        top = np.argpartition(scores, -k, axis=1)[:, -k:]
+        top_scores = np.take_along_axis(scores, top, axis=1)
+        order = np.argsort(top_scores, axis=1)[:, ::-1]
+        neighbors[lo:hi] = np.take_along_axis(top, order, axis=1)
+        sims[lo:hi] = np.take_along_axis(top_scores, order, axis=1)
+
+    step = score_chunk_rows(n)
+    chunks = [
+        (lo, min(lo + step, len(query_rows)))
+        for lo in range(0, len(query_rows), step)
+    ]
+    if workers == 1 or len(chunks) <= 1:
+        for bounds in chunks:
+            search_chunk(bounds)
+    else:
+        with WorkerPool(workers) as pool:
+            pool.map(search_chunk, chunks)
+    return neighbors, sims
+
+
+class ExactIndex(NeighborIndex):
+    """Exhaustive cosine search — every query scores every row.
+
+    Building is free (the index is the matrix), searching is
+    O(Q x N x V).  This backend defines correctness: its results are
+    bit-identical to the pre-ANN ``knn_search`` for every ``workers``
+    value and every N.
+    """
+
+    def __init__(self, units: np.ndarray) -> None:
+        self.units = np.asarray(units, dtype=np.float64)
+
+    def search(
+        self,
+        query_rows: np.ndarray,
+        k: int,
+        exclude_self: bool = True,
+        workers: int = 1,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        query_rows = check_query(len(self.units), query_rows, k, exclude_self)
+        n = len(self.units)
+        with obs.span("knn.search", k=k, queries=len(query_rows)) as sp:
+            obs.add("knn.queries", len(query_rows))
+            obs.add("knn.distance_computations", len(query_rows) * n)
+            sp.set(items=len(query_rows) * n, items_unit="dists")
+            neighbors, sims = exact_topk(
+                self.units, query_rows, k, exclude_self, workers=workers
+            )
+            obs.observe_many("knn.neighbor_distance", 1.0 - sims.ravel())
+        return neighbors, sims

@@ -88,6 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
             "(time, peak memory, throughput)",
         )
 
+    def add_ann_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--ann-backend",
+            choices=("exact", "ivf"),
+            default="exact",
+            help="neighbour-search backend: exact (bit-identical brute "
+            "force) or ivf (inverted-file approximate search)",
+        )
+        cmd.add_argument(
+            "--ann-nlist",
+            type=int,
+            default=0,
+            help="IVF coarse centroids (0 = sqrt(N) at build time)",
+        )
+        cmd.add_argument(
+            "--ann-nprobe",
+            type=int,
+            default=8,
+            help="IVF lists probed per query (the speed/recall knob)",
+        )
+
     simulate = sub.add_parser("simulate", help="generate a synthetic trace")
     simulate.add_argument("--out", required=True, type=Path)
     simulate.add_argument("--scale", type=float, default=0.05)
@@ -160,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="also export the embedding as IP-keyed vectors",
         )
+        add_ann_flags(cmd)
         add_telemetry_flags(cmd)
 
     run = sub.add_parser(
@@ -231,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="k-NN search parallelism (results are identical)",
     )
+    add_ann_flags(evaluate)
     add_telemetry_flags(evaluate)
 
     cluster = sub.add_parser("cluster", help="Louvain cluster discovery")
@@ -245,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="k-NN search parallelism (results are identical)",
     )
+    add_ann_flags(cluster)
     add_telemetry_flags(cluster)
 
     profile = sub.add_parser(
@@ -447,6 +471,9 @@ def _cmd_run(args) -> int:
         context=args.context,
         seed=args.seed,
         workers=args.workers,
+        ann_backend=args.ann_backend,
+        ann_nlist=args.ann_nlist,
+        ann_nprobe=args.ann_nprobe,
         cache_dir=args.cache_dir,
     )
     progress = _print_progress if args.profile else None
@@ -536,6 +563,17 @@ def _load_embedding_for(trace, path: Path) -> KeyedVectors:
     )
 
 
+def _ann_spec_of(args):
+    """Build the AnnSpec an evaluate/cluster invocation asked for."""
+    from repro.ann.base import AnnSpec
+
+    return AnnSpec(
+        backend=args.ann_backend,
+        nlist=args.ann_nlist,
+        nprobe=args.ann_nprobe,
+    )
+
+
 def _cmd_evaluate(args) -> int:
     trace = read_trace_csv(args.trace)
     truth = _read_labels(args.labels)
@@ -545,7 +583,12 @@ def _cmd_evaluate(args) -> int:
     rows = embedding.rows_of(eval_senders)
     rows = rows[rows >= 0]
     predictions = leave_one_out_predictions(
-        embedding.vectors, labels, rows, k=args.k, workers=args.workers
+        embedding.vectors,
+        labels,
+        rows,
+        k=args.k,
+        workers=args.workers,
+        spec=_ann_spec_of(args),
     )
     report = classification_report(labels[rows], predictions)
     print(report.to_text(title=f"{args.k}-NN leave-one-out report"))
@@ -560,7 +603,10 @@ def _cmd_cluster(args) -> int:
     from repro.graph.modularity import modularity
 
     graph = build_knn_graph(
-        embedding.vectors, k_prime=args.k_prime, workers=args.workers
+        embedding.vectors,
+        k_prime=args.k_prime,
+        workers=args.workers,
+        spec=_ann_spec_of(args),
     )
     adjacency = graph.symmetric_adjacency()
     communities = louvain_communities(adjacency, seed=0)

@@ -25,7 +25,8 @@ STAGE_CONFIG_FIELDS: dict[str, tuple[str, ...]] = {
     "corpus": ("delta_t",),
     "vocab": ("min_packets",),
     "train": ("vector_size", "context", "negative", "epochs", "seed", "workers"),
-    "knn-index": ("k_prime",),
+    "knn-index": ("k_prime", "ann_backend", "ann_nlist", "ann_nprobe"),
+    "ann-index": ("ann_backend", "ann_nlist", "ann_nprobe", "seed"),
 }
 
 
@@ -52,6 +53,19 @@ class DarkVecConfig:
         k_prime: neighbours per vertex of the k'-NN clustering graph
             (the default for :meth:`~repro.core.pipeline.DarkVec.cluster`
             and the knn-index stage; paper: 3).
+        ann_backend: neighbour-search backend for every k-NN consumer
+            (LOO evaluation, clustering graph, churn, extension):
+            ``"exact"`` (default, bit-identical brute force) or
+            ``"ivf"`` (inverted-file approximate search, see
+            :mod:`repro.ann.ivf`).
+        ann_nlist: IVF coarse-quantizer centroids; 0 picks
+            ``sqrt(N)`` automatically at build time.
+        ann_nprobe: inverted lists probed per IVF query (the
+            speed/recall knob).
+        ann_recall_sample: queries per search that are exactly
+            re-scored to measure ``ann.recall_at_k``; 0 disables the
+            audit.  Observation only — it never changes results, so it
+            does not enter stage fingerprints.
         window_days: rolling training window for incremental updates —
             :meth:`~repro.core.pipeline.DarkVec.update` evicts packets
             (at dT-window granularity) older than this many days before
@@ -83,6 +97,10 @@ class DarkVecConfig:
     seed: int = 1
     workers: int = 1
     k_prime: int = 3
+    ann_backend: str = "exact"
+    ann_nlist: int = 0
+    ann_nprobe: int = 8
+    ann_recall_sample: int = 32
     window_days: float = 30.0
     update_epochs: int = 3
     update_alpha: float = 0.01
@@ -105,12 +123,27 @@ class DarkVecConfig:
             raise ValueError("auto_top_n must be positive")
         if self.k_prime < 1:
             raise ValueError("k_prime must be positive")
+        # AnnSpec re-validates backend/nlist/nprobe/recall_sample, so a
+        # bad ANN knob fails at construction, not at first search.
+        self.ann_spec()
         if self.window_days <= 0:
             raise ValueError("window_days must be positive")
         if self.update_epochs < 1:
             raise ValueError("update_epochs must be positive")
         if self.update_alpha <= 0:
             raise ValueError("update_alpha must be positive")
+
+    def ann_spec(self):
+        """The :class:`~repro.ann.base.AnnSpec` these knobs describe."""
+        from repro.ann.base import AnnSpec
+
+        return AnnSpec(
+            backend=self.ann_backend,
+            nlist=self.ann_nlist,
+            nprobe=self.ann_nprobe,
+            recall_sample=self.ann_recall_sample,
+            seed=self.seed,
+        )
 
     def resolve_service_map(self, trace: Trace) -> ServiceMap:
         """Materialise the service map (auto services need the trace)."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ann.base import AnnSpec, NeighborIndex
 from repro.knn.classifier import CosineKnn
 from repro.labels.groundtruth import UNKNOWN
 
@@ -32,6 +33,9 @@ def extend_ground_truth(
     vectors: np.ndarray,
     labels: np.ndarray,
     k: int = 7,
+    workers: int = 1,
+    spec: AnnSpec | None = None,
+    index: NeighborIndex | None = None,
 ) -> ExtensionResult:
     """Propose new class members among the Unknown senders.
 
@@ -39,13 +43,18 @@ def extend_ground_truth(
         vectors: embedding matrix.
         labels: label per row (``Unknown`` for unlabeled senders).
         k: neighbourhood size.
+        workers: parallelism of the neighbour searches.
+        spec: search-backend selection (None = exact).
+        index: reuse an already-built index over the same vectors.
 
     Returns:
         Per class, the Unknown row indices accepted, sorted by
         increasing mean neighbour distance (most confident first).
     """
     labels = np.asarray(labels, dtype=object)
-    classifier = CosineKnn(vectors, labels, k=k)
+    classifier = CosineKnn(
+        vectors, labels, k=k, workers=workers, spec=spec, index=index
+    )
     unknown_rows = np.flatnonzero(labels == UNKNOWN)
     known_rows = np.flatnonzero(labels != UNKNOWN)
     accepted: dict[str, np.ndarray] = {}

@@ -26,6 +26,8 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.ann import audit as ann_audit
+from repro.ann.base import NeighborIndex, build_index
 from repro.core.config import DarkVecConfig
 from repro.core.stages import STAGE_VERSIONS, StagedPipeline, StageStatus
 from repro.corpus.builder import CorpusBuilder
@@ -33,7 +35,7 @@ from repro.corpus.document import Corpus, Sentence
 from repro.graph.knn_graph import KnnGraph, build_knn_graph
 from repro.graph.louvain import louvain_communities
 from repro.graph.modularity import modularity
-from repro.io.artifacts import KNN_GRAPH_CODEC
+from repro.io.artifacts import IVF_INDEX_CODEC, KNN_GRAPH_CODEC
 from repro.knn.loo import leave_one_out_predictions
 from repro.knn.report import ClassificationReport, classification_report
 from repro.labels.groundtruth import GroundTruth
@@ -45,6 +47,7 @@ from repro.store.fingerprint import stage_fingerprint
 from repro.trace.merge import merge_traces
 from repro.trace.packet import SECONDS_PER_DAY, Trace
 from repro.w2v.keyedvectors import KeyedVectors
+from repro.w2v.mathutils import unit_rows
 from repro.w2v.model import Word2Vec
 from repro.w2v.vocab import Vocabulary
 
@@ -130,6 +133,7 @@ class DarkVec:
         self._t_origin: float = 0.0
         self._service_map = None
         self._embedding_hash: str | None = None
+        self._index: NeighborIndex | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -185,6 +189,7 @@ class DarkVec:
         self._t_origin = artifacts.t_origin
         self._service_map = artifacts.service_map
         self.stage_statuses = list(artifacts.statuses)
+        self._index = None  # stale for the new embedding; rebuilt lazily
         from repro.io.artifacts import KEYEDVECTORS_CODEC
 
         self._embedding_hash = KEYEDVECTORS_CODEC.content_hash(artifacts.embedding)
@@ -320,7 +325,9 @@ class DarkVec:
                 self.corpus,
                 self.embedding,
                 self._embedding_hash,
+                self._index,
             )
+            prior_index = self._index
             self.trace = kept_trace
             self._raw_corpus = new_raw
             self._active = active
@@ -329,6 +336,7 @@ class DarkVec:
             from repro.io.artifacts import KEYEDVECTORS_CODEC
 
             self._embedding_hash = KEYEDVECTORS_CODEC.content_hash(refit)
+            self._evolve_index(prior_index, prior, refit)
             self.last_update = UpdateReport(
                 seconds=perf_counter() - t0,
                 new_packets=len(new_trace),
@@ -360,6 +368,7 @@ class DarkVec:
                         self.corpus,
                         self.embedding,
                         self._embedding_hash,
+                        self._index,
                     ) = prior_state
                     health.promoted = False
                     obs.add("health.gate_failures")
@@ -382,6 +391,80 @@ class DarkVec:
                         },
                     )
         return self
+
+    # ------------------------------------------------------------------
+    # Neighbour index
+    # ------------------------------------------------------------------
+
+    def _ann_fingerprint(self) -> str:
+        return stage_fingerprint(
+            "ann-index",
+            STAGE_VERSIONS["ann-index"],
+            self.config.stage_fields("ann-index"),
+            {"train": self._embedding_hash},
+        )
+
+    def _ann_index(self) -> NeighborIndex:
+        """The neighbour index over the fitted embedding.
+
+        Built lazily on first use and invalidated whenever the
+        embedding changes.  IVF indexes are first-class pipeline
+        artifacts: with a store configured they are persisted under the
+        ``ann-index`` fingerprint (train hash + ANN config fields) and
+        loaded back instead of retrained.
+        """
+        _, embedding = self._require_fit()
+        if self._index is not None:
+            return self._index
+        spec = self.config.ann_spec()
+        units = unit_rows(embedding.vectors)
+        cacheable = (
+            spec.backend == "ivf"
+            and self.store is not None
+            and self._embedding_hash is not None
+        )
+        if cacheable:
+            fingerprint = self._ann_fingerprint()
+            cached = self.store.load("ann-index", fingerprint, IVF_INDEX_CODEC)
+            if cached is not None:
+                self._index = cached[0]
+                return self._index
+        self._index = build_index(units, spec=spec, workers=self.config.workers)
+        if cacheable:
+            self.store.save("ann-index", fingerprint, IVF_INDEX_CODEC, self._index)
+        return self._index
+
+    def _evolve_index(
+        self,
+        prior_index: NeighborIndex | None,
+        prior: KeyedVectors,
+        refit: KeyedVectors,
+    ) -> None:
+        """Carry the ANN index across a warm update instead of rebuilding.
+
+        Called with the candidate embedding already installed.  Rows
+        retained from the prior model keep their inverted list, fresh
+        senders join their nearest list, evicted senders drop out; the
+        quantizer retrains only past the imbalance threshold (see
+        :meth:`repro.ann.ivf.IVFIndex.updated`).  Without a live IVF
+        index there is nothing to evolve — the next consumer rebuilds
+        lazily via :meth:`_ann_index`.
+        """
+        from repro.ann.ivf import IVFIndex
+
+        self._index = None
+        if not isinstance(prior_index, IVFIndex):
+            return
+        if self.config.ann_backend != "ivf":
+            return
+        prior_rows = prior.rows_of(refit.tokens)
+        self._index = prior_index.updated(
+            unit_rows(refit.vectors), prior_rows, workers=self.config.workers
+        )
+        if self.store is not None and self._embedding_hash is not None:
+            self.store.save(
+                "ann-index", self._ann_fingerprint(), IVF_INDEX_CODEC, self._index
+            )
 
     # ------------------------------------------------------------------
     # Drift / data-quality monitoring
@@ -485,6 +568,9 @@ class DarkVec:
         )
 
         policy = self.config.health
+        # Recall audits recorded from here on belong to this update's
+        # candidate; the ann_recall monitor below reads them back.
+        ann_audit.reset()
         drift = embedding_drift(prior, refit)
         if drift.mean is not None:
             obs.set_gauge("drift.cosine_displacement", drift.mean)
@@ -500,7 +586,13 @@ class DarkVec:
                 ),
             )
         ]
-        churn = neighborhood_churn(prior, refit, k=policy.churn_k)
+        churn = neighborhood_churn(
+            prior,
+            refit,
+            k=policy.churn_k,
+            workers=self.config.workers,
+            spec=self.config.ann_spec(),
+        )
         if churn is not None:
             obs.set_gauge("drift.neighbor_churn", churn)
         monitors.append(
@@ -551,6 +643,19 @@ class DarkVec:
                     detail="" if loo is None else f"accuracy={loo:.4f}",
                 )
             )
+        # Approximate-search accuracy of the candidate: the recall@k
+        # measured by the audited ANN searches of the monitors above
+        # (exact backend: no audit ran, ok with no baseline).
+        monitors.append(
+            classify(
+                "ann_recall",
+                ann_audit.last_recall(),
+                policy.recall_warn,
+                policy.recall_fail,
+                direction="low",
+                detail=f"backend={self.config.ann_backend}",
+            )
+        )
         return profile, monitors, loo
 
     # ------------------------------------------------------------------
@@ -660,6 +765,7 @@ class DarkVec:
             rows,
             k=k,
             workers=self.config.workers,
+            index=self._ann_index(),
         )
         return classification_report(labels[rows], predictions)
 
@@ -681,12 +787,18 @@ class DarkVec:
             if cached is not None:
                 return cached[0]
             graph = build_knn_graph(
-                embedding.vectors, k_prime=k_prime, workers=self.config.workers
+                embedding.vectors,
+                k_prime=k_prime,
+                workers=self.config.workers,
+                index=self._ann_index(),
             )
             self.store.save("knn-index", fingerprint, KNN_GRAPH_CODEC, graph)
             return graph
         return build_knn_graph(
-            embedding.vectors, k_prime=k_prime, workers=self.config.workers
+            embedding.vectors,
+            k_prime=k_prime,
+            workers=self.config.workers,
+            index=self._ann_index(),
         )
 
     def cluster(self, k_prime: int | None = None, seed: int = 0) -> ClusterResult:

@@ -66,6 +66,10 @@ STAGE_VERSIONS = {
     "vocab": 1,
     "train": 1,
     "knn-index": 1,
+    # Not part of STAGE_ORDER: the ANN index is a lazily-built sibling
+    # artifact of knn-index, keyed off the train hash (see
+    # DarkVec._ann_index).
+    "ann-index": 1,
 }
 
 
@@ -355,7 +359,10 @@ class StagedPipeline:
         # -- knn-index -----------------------------------------------------
         def compute_graph():
             return build_knn_graph(
-                embedding.vectors, k_prime=config.k_prime, workers=config.workers
+                embedding.vectors,
+                k_prime=config.k_prime,
+                workers=config.workers,
+                spec=config.ann_spec(),
             )
 
         graph, _ = self._run_stage(

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.knn.classifier import knn_search
+from repro.ann.base import AnnSpec, NeighborIndex, build_index
 from repro.w2v.mathutils import unit_rows
 
 
@@ -105,26 +105,35 @@ class KnnGraph:
 
 
 def build_knn_graph(
-    vectors: np.ndarray, k_prime: int = 3, workers: int = 1
+    vectors: np.ndarray,
+    k_prime: int = 3,
+    workers: int = 1,
+    spec: AnnSpec | None = None,
+    index: NeighborIndex | None = None,
 ) -> KnnGraph:
     """Connect every embedded point to its ``k_prime`` nearest points.
 
     Cosine similarities can be negative; negative-weight edges would
     break modularity, so weights are clipped at zero (the edge remains,
     with zero influence).  ``workers`` parallelises the neighbour
-    search; the graph is identical for every value.
+    search; the graph is identical for every value.  ``spec`` selects
+    the search backend; ``index`` reuses an already-built index over
+    the same vectors (``vectors`` may then be None).
     """
     if k_prime < 1:
         raise ValueError("k_prime must be positive")
-    units = unit_rows(np.asarray(vectors))
-    n = len(units)
+    if index is None:
+        index = build_index(
+            unit_rows(np.asarray(vectors)), spec=spec, workers=workers
+        )
+    n = len(index.units)
     all_rows = np.arange(n)
     with obs.span("graph.knn_graph", k_prime=k_prime, nodes=n) as sp:
         obs.set_gauge("graph.nodes", n)
         obs.add("graph.edges", n * k_prime)
         sp.set(items=n * k_prime, items_unit="edges")
-        neighbors, sims = knn_search(
-            units, all_rows, k_prime, exclude_self=True, workers=workers
+        neighbors, sims = index.search(
+            all_rows, k_prime, exclude_self=True, workers=workers
         )
     sources = np.repeat(all_rows, k_prime)
     targets = neighbors.reshape(-1)

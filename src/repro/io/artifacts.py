@@ -168,6 +168,39 @@ def _keyedvectors_from_payload(payload: dict) -> KeyedVectors:
     )
 
 
+def _ivf_to_payload(index) -> dict:
+    spec = index.spec
+    return {
+        "units": index.units,
+        "centroids": index.centroids,
+        "assign": index.assign,
+        "params": np.array(
+            [spec.nlist, spec.nprobe, spec.recall_sample, spec.seed],
+            dtype=np.int64,
+        ),
+    }
+
+
+def _ivf_from_payload(payload: dict):
+    from repro.ann.base import AnnSpec
+    from repro.ann.ivf import IVFIndex
+
+    nlist, nprobe, recall_sample, seed = (int(v) for v in payload["params"])
+    spec = AnnSpec(
+        backend="ivf",
+        nlist=nlist,
+        nprobe=nprobe,
+        recall_sample=recall_sample,
+        seed=seed,
+    )
+    return IVFIndex(
+        units=payload["units"],
+        spec=spec,
+        centroids=payload["centroids"],
+        assign=payload["assign"],
+    )
+
+
 def _graph_to_payload(graph: KnnGraph) -> dict:
     return {
         "n_nodes": np.array([graph.n_nodes], dtype=np.int64),
@@ -201,6 +234,10 @@ KEYEDVECTORS_CODEC = NpzCodec(_keyedvectors_to_payload, _keyedvectors_from_paylo
 
 #: Codec for :class:`~repro.graph.knn_graph.KnnGraph` artifacts.
 KNN_GRAPH_CODEC = NpzCodec(_graph_to_payload, _graph_from_payload)
+
+#: Codec for :class:`~repro.ann.ivf.IVFIndex` artifacts (the trained
+#: quantizer + list assignments; inverted lists rebuild on load).
+IVF_INDEX_CODEC = NpzCodec(_ivf_to_payload, _ivf_from_payload)
 
 #: Codec for service-map spec documents.
 SERVICE_MAP_CODEC = JsonCodec()

@@ -1,14 +1,20 @@
-"""Cosine k-nearest-neighbour search and majority-vote classification."""
+"""Cosine k-nearest-neighbour search and majority-vote classification.
+
+The search itself lives in :mod:`repro.ann`: :func:`knn_search` builds
+the backend an :class:`~repro.ann.base.AnnSpec` asks for (brute force
+by default, IVF when configured) and queries it.  Callers that search
+the same vectors repeatedly should build one index via
+:func:`repro.ann.build_index` — or one :class:`CosineKnn`, which also
+caches the last search so prediction and distance extraction share a
+single k-NN pass.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import obs
-from repro.parallel.pool import WorkerPool
+from repro.ann.base import AnnSpec, NeighborIndex, build_index
 from repro.w2v.mathutils import unit_rows
-
-_CHUNK_ROWS = 1024
 
 
 def knn_search(
@@ -17,6 +23,7 @@ def knn_search(
     k: int,
     exclude_self: bool = True,
     workers: int = 1,
+    spec: AnnSpec | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The ``k`` nearest rows (by cosine) for each query row.
 
@@ -28,50 +35,14 @@ def knn_search(
         workers: query chunks dispatched to a thread pool (0 = all
             cores).  Chunks write disjoint output slices, so the result
             is bitwise identical for every ``workers`` value.
+        spec: backend selection; None means exact brute force.
 
     Returns:
         ``(neighbors, similarities)`` of shape (Q, k); neighbours are
         sorted by decreasing similarity.
     """
-    if k < 1:
-        raise ValueError("k must be positive")
-    n = len(units)
-    query_rows = np.asarray(query_rows, dtype=np.int64)
-    limit = k + 1 if exclude_self else k
-    if n < limit:
-        raise ValueError(f"need at least {limit} points for k={k}")
-
-    neighbors = np.empty((len(query_rows), k), dtype=np.int64)
-    sims = np.empty((len(query_rows), k))
-
-    def search_chunk(bounds: tuple[int, int]) -> None:
-        lo, hi = bounds
-        chunk = query_rows[lo:hi]
-        scores = units[chunk] @ units.T  # (chunk, N)
-        if exclude_self:
-            scores[np.arange(len(chunk)), chunk] = -np.inf
-        top = np.argpartition(scores, -k, axis=1)[:, -k:]
-        top_scores = np.take_along_axis(scores, top, axis=1)
-        order = np.argsort(top_scores, axis=1)[:, ::-1]
-        neighbors[lo:hi] = np.take_along_axis(top, order, axis=1)
-        sims[lo:hi] = np.take_along_axis(top_scores, order, axis=1)
-
-    chunks = [
-        (lo, min(lo + _CHUNK_ROWS, len(query_rows)))
-        for lo in range(0, len(query_rows), _CHUNK_ROWS)
-    ]
-    with obs.span("knn.search", k=k, queries=len(query_rows)) as sp:
-        obs.add("knn.queries", len(query_rows))
-        obs.add("knn.distance_computations", len(query_rows) * n)
-        sp.set(items=len(query_rows) * n, items_unit="dists")
-        if workers == 1 or len(chunks) <= 1:
-            for bounds in chunks:
-                search_chunk(bounds)
-        else:
-            with WorkerPool(workers) as pool:
-                pool.map(search_chunk, chunks)
-        obs.observe_many("knn.neighbor_distance", 1.0 - sims.ravel())
-    return neighbors, sims
+    index = build_index(units, spec=spec, workers=workers)
+    return index.search(query_rows, k, exclude_self=exclude_self, workers=workers)
 
 
 class CosineKnn:
@@ -82,6 +53,11 @@ class CosineKnn:
     ties by the summed similarity of the tied labels — a deterministic
     refinement of the paper's majority vote.  ``workers`` parallelises
     the neighbour search without changing any result.
+
+    :meth:`predict_rows` and :meth:`neighbor_distances` both consume
+    the ``(neighbors, similarities)`` of one :meth:`search`, which
+    memoises its last result — evaluating predictions and distances
+    for the same query set costs a single k-NN pass.
     """
 
     def __init__(
@@ -90,40 +66,57 @@ class CosineKnn:
         labels: np.ndarray,
         k: int = 7,
         workers: int = 1,
+        spec: AnnSpec | None = None,
+        index: NeighborIndex | None = None,
     ) -> None:
-        if len(vectors) != len(labels):
-            raise ValueError("vectors and labels must align")
         if k < 1:
             raise ValueError("k must be positive")
-        self.units = unit_rows(np.asarray(vectors))
+        if index is not None:
+            if len(index.units) != len(labels):
+                raise ValueError("index and labels must align")
+            self.index = index
+        else:
+            if len(vectors) != len(labels):
+                raise ValueError("vectors and labels must align")
+            self.index = build_index(
+                unit_rows(np.asarray(vectors)), spec=spec, workers=workers
+            )
+        self.units = self.index.units
         self.labels = np.asarray(labels, dtype=object)
         self.k = k
         self.workers = workers
+        self._cached: tuple[tuple, tuple[np.ndarray, np.ndarray]] | None = None
+
+    def search(
+        self, query_rows: np.ndarray, exclude_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, similarities)`` for the given row indices.
+
+        The most recent result is cached, so consecutive calls with
+        the same queries (predict + distances) search once.
+        """
+        query_rows = np.asarray(query_rows, dtype=np.int64)
+        key = (query_rows.tobytes(), bool(exclude_self), self.k)
+        if self._cached is not None and self._cached[0] == key:
+            return self._cached[1]
+        result = self.index.search(
+            query_rows, self.k, exclude_self=exclude_self, workers=self.workers
+        )
+        self._cached = (key, result)
+        return result
 
     def predict_rows(
         self, query_rows: np.ndarray, exclude_self: bool = False
     ) -> np.ndarray:
         """Predicted labels for the given row indices."""
-        neighbors, sims = knn_search(
-            self.units,
-            query_rows,
-            self.k,
-            exclude_self=exclude_self,
-            workers=self.workers,
-        )
+        neighbors, sims = self.search(query_rows, exclude_self=exclude_self)
         return majority_vote(self.labels, neighbors, sims)
 
     def neighbor_distances(
         self, query_rows: np.ndarray, exclude_self: bool = False
     ) -> np.ndarray:
         """Mean cosine *distance* (1 - similarity) to the k neighbours."""
-        _, sims = knn_search(
-            self.units,
-            query_rows,
-            self.k,
-            exclude_self=exclude_self,
-            workers=self.workers,
-        )
+        _, sims = self.search(query_rows, exclude_self=exclude_self)
         return 1.0 - sims.mean(axis=1)
 
 

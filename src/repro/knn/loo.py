@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ann.base import AnnSpec, NeighborIndex
 from repro.knn.classifier import CosineKnn
 
 
@@ -18,12 +19,18 @@ def leave_one_out_predictions(
     eval_rows: np.ndarray,
     k: int = 7,
     workers: int = 1,
+    spec: AnnSpec | None = None,
+    index: NeighborIndex | None = None,
 ) -> np.ndarray:
     """LOO predictions for ``eval_rows``.
 
     Each evaluated row is excluded from its own neighbourhood; all other
     rows (whatever their label, Unknown included) may vote.  ``workers``
-    parallelises the neighbour search without changing the predictions.
+    parallelises the neighbour search without changing the predictions;
+    ``spec`` selects the search backend, and ``index`` reuses an
+    already-built index over the same vectors.
     """
-    classifier = CosineKnn(vectors, labels, k=k, workers=workers)
+    classifier = CosineKnn(
+        vectors, labels, k=k, workers=workers, spec=spec, index=index
+    )
     return classifier.predict_rows(np.asarray(eval_rows), exclude_self=True)

@@ -91,15 +91,21 @@ def embedding_drift(
 
 
 def neighborhood_churn(
-    previous: KeyedVectors, current: KeyedVectors, k: int = 5
+    previous: KeyedVectors,
+    current: KeyedVectors,
+    k: int = 5,
+    workers: int = 1,
+    spec=None,
 ) -> float | None:
     """Mean k-NN set churn (``1 - Jaccard``) over retained senders.
 
     Both neighbour searches run on the shared-token subsets, so the
     node universe is identical on the two sides and the measure is
     invariant to rotation and to senders entering or leaving the
-    model.  Returns None when fewer than ``k + 1`` tokens are shared
-    (no neighbourhood to compare).
+    model.  ``workers`` parallelises the two searches and ``spec`` (an
+    :class:`~repro.ann.base.AnnSpec`) selects their backend.  Returns
+    None when fewer than ``k + 1`` tokens are shared (no neighbourhood
+    to compare).
     """
     from repro.knn.classifier import knn_search
     from repro.transfer.align import shared_tokens
@@ -115,7 +121,9 @@ def neighborhood_churn(
     neighbor_sets = []
     for model in (previous, current):
         units = unit_rows(model.vectors[model.rows_of(tokens)])
-        neighbors, _ = knn_search(units, rows, k, exclude_self=True)
+        neighbors, _ = knn_search(
+            units, rows, k, exclude_self=True, workers=workers, spec=spec
+        )
         neighbor_sets.append(neighbors)
     for i in rows:
         a = set(neighbor_sets[0][i].tolist())

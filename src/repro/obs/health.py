@@ -53,6 +53,10 @@ class HealthPolicy:
             windows without any traffic at ingest.
         loo_drop_warn / loo_drop_fail: drop in leave-one-out accuracy
             vs the previous evaluated run.
+        recall_warn / recall_fail: measured ANN ``recall@k`` of the
+            approximate index (lower is worse); only monitored when an
+            audited ANN search ran, so the exact backend reports
+            ``ok`` with no baseline.
         min_history: registry runs required before volume z-scores are
             trusted (with fewer, the monitor reports ``ok``).
     """
@@ -73,6 +77,8 @@ class HealthPolicy:
     empty_window_fail: float = 0.9
     loo_drop_warn: float = 0.05
     loo_drop_fail: float = 0.15
+    recall_warn: float = 0.95
+    recall_fail: float = 0.9
     min_history: int = 2
 
     def __post_init__(self) -> None:
@@ -84,6 +90,7 @@ class HealthPolicy:
             ("port_shift_warn", "port_shift_fail", "high"),
             ("empty_window_warn", "empty_window_fail", "high"),
             ("loo_drop_warn", "loo_drop_fail", "high"),
+            ("recall_warn", "recall_fail", "low"),
         ):
             warn, fail = getattr(self, warn_name), getattr(self, fail_name)
             ordered = warn <= fail if direction == "high" else warn >= fail

@@ -126,7 +126,28 @@ METRICS: dict[str, MetricSpec] = {
     ),
     "knn.distance_computations": MetricSpec(
         "counter",
-        "candidate cosine similarities computed (queries x corpus size)",
+        "candidate cosine similarities computed (exact: queries x corpus "
+        "size; IVF: coarse scan + probed candidates + fallbacks)",
+    ),
+    "ann.probes": MetricSpec(
+        "counter", "inverted lists probed across IVF searches"
+    ),
+    "ann.candidates_scored": MetricSpec(
+        "counter",
+        "candidate similarities scored inside probed IVF lists",
+        deterministic=False,
+    ),
+    "ann.recall_at_k": MetricSpec(
+        "gauge",
+        "recall@k of the last IVF search vs an exact rescore of a "
+        "seeded query sample",
+        deterministic=False,
+    ),
+    "ann.retrains": MetricSpec(
+        "counter",
+        "IVF coarse quantizers retrained because incremental updates "
+        "crossed the list-imbalance threshold",
+        deterministic=False,
     ),
     "graph.nodes": MetricSpec("gauge", "vertices of the last k'-NN graph"),
     "graph.edges": MetricSpec(

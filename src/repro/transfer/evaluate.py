@@ -76,21 +76,26 @@ def neighborhood_overlap(
     embedding_a: KeyedVectors,
     embedding_b: KeyedVectors,
     k: int = 7,
+    workers: int = 1,
+    spec=None,
 ) -> float:
     """Mean Jaccard overlap of k-NN sets over the shared senders.
 
     Rotation-invariant (neighbourhoods only depend on cosine geometry
     within each space), so no alignment is needed.  1.0 means both
     embeddings organise the shared senders identically; values near
-    ``k / n`` mean no common structure.
+    ``k / n`` mean no common structure.  ``workers`` parallelises the
+    two searches and ``spec`` (an :class:`~repro.ann.base.AnnSpec`)
+    selects their backend.
     """
     common = shared_tokens(embedding_a, embedding_b)
     if len(common) < k + 2:
         raise ValueError("not enough shared senders for the overlap metric")
     units_a = unit_rows(embedding_a.vectors[embedding_a.rows_of(common)])
     units_b = unit_rows(embedding_b.vectors[embedding_b.rows_of(common)])
-    neighbors_a, _ = knn_search(units_a, np.arange(len(common)), k)
-    neighbors_b, _ = knn_search(units_b, np.arange(len(common)), k)
+    rows = np.arange(len(common))
+    neighbors_a, _ = knn_search(units_a, rows, k, workers=workers, spec=spec)
+    neighbors_b, _ = knn_search(units_b, rows, k, workers=workers, spec=spec)
     overlaps = []
     for row_a, row_b in zip(neighbors_a, neighbors_b):
         set_a, set_b = set(row_a.tolist()), set(row_b.tolist())

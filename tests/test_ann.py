@@ -1,0 +1,458 @@
+"""Tests for the ANN subsystem (repro.ann): exact and IVF backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.ann import AnnSpec, ExactIndex, IVFIndex, build_index, score_chunk_rows
+from repro.ann import audit
+from repro.ann import exact as exact_mod
+from repro.ann.ivf import RETRAIN_IMBALANCE
+from repro.core import DarkVec, DarkVecConfig
+from repro.io.artifacts import IVF_INDEX_CODEC
+from repro.knn.classifier import CosineKnn, knn_search
+from repro.obs.recorder import Telemetry
+from repro.store.cache import ArtifactStore
+from repro.w2v.mathutils import unit_rows
+
+
+def clustered_units(
+    n: int = 600, dim: int = 16, n_clusters: int = 12, seed: int = 0
+) -> np.ndarray:
+    """Row-normalised vectors with clear cluster structure."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_clusters, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    assign = rng.integers(0, n_clusters, size=n)
+    points = centers[assign] + 0.15 * rng.normal(size=(n, dim))
+    return unit_rows(points)
+
+
+def random_units(n: int = 400, dim: int = 32, seed: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return unit_rows(rng.normal(size=(n, dim)))
+
+
+def legacy_knn_search(units, query_rows, k, exclude_self=True):
+    """The pre-ANN knn_search: fixed 1024-row chunks, brute force."""
+    n = len(units)
+    query_rows = np.asarray(query_rows, dtype=np.int64)
+    neighbors = np.empty((len(query_rows), k), dtype=np.int64)
+    sims = np.empty((len(query_rows), k))
+    for lo in range(0, len(query_rows), 1024):
+        chunk = query_rows[lo : lo + 1024]
+        scores = units[chunk] @ units.T
+        if exclude_self:
+            scores[np.arange(len(chunk)), chunk] = -np.inf
+        top = np.argpartition(scores, -k, axis=1)[:, -k:]
+        top_scores = np.take_along_axis(scores, top, axis=1)
+        order = np.argsort(top_scores, axis=1)[:, ::-1]
+        neighbors[lo : lo + 1024] = np.take_along_axis(top, order, axis=1)
+        sims[lo : lo + 1024] = np.take_along_axis(top_scores, order, axis=1)
+    return neighbors, sims
+
+
+class TestAnnSpec:
+    def test_defaults(self):
+        spec = AnnSpec()
+        assert spec.backend == "exact"
+        assert spec.nlist == 0
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            AnnSpec(backend="hnsw")
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="nlist"):
+            AnnSpec(nlist=-1)
+        with pytest.raises(ValueError, match="nprobe"):
+            AnnSpec(nprobe=0)
+        with pytest.raises(ValueError, match="recall_sample"):
+            AnnSpec(recall_sample=-1)
+
+    def test_config_validates_ann_knobs(self):
+        with pytest.raises(ValueError, match="backend"):
+            DarkVecConfig(ann_backend="annoy")
+        with pytest.raises(ValueError, match="nprobe"):
+            DarkVecConfig(ann_nprobe=0)
+
+    def test_config_spec_carries_seed(self):
+        spec = DarkVecConfig(seed=42, ann_backend="ivf").ann_spec()
+        assert spec.seed == 42
+        assert spec.backend == "ivf"
+
+
+class TestChunkBudget:
+    def test_small_corpora_keep_historical_chunks(self):
+        # Fixed 1024-row chunks for every N the repo historically saw.
+        for n in (1, 100, 1024, 8192):
+            assert score_chunk_rows(n) == 1024
+
+    def test_large_corpora_shrink(self):
+        assert score_chunk_rows(1 << 17) == 64
+        assert score_chunk_rows(1 << 16) == 128
+
+    def test_floor(self):
+        assert score_chunk_rows(1 << 20) == 16
+        assert score_chunk_rows(1 << 30) == 16
+
+
+class TestExactIndex:
+    def test_bit_identical_to_legacy_search(self):
+        units = random_units(n=1500)
+        rows = np.arange(1500)
+        legacy_nb, legacy_s = legacy_knn_search(units, rows, 7)
+        nb, s = ExactIndex(units).search(rows, 7)
+        np.testing.assert_array_equal(nb, legacy_nb)
+        np.testing.assert_array_equal(s, legacy_s)
+
+    def test_bit_identical_across_chunk_sizes(self, monkeypatch):
+        units = random_units(n=300)
+        rows = np.arange(300)
+        baseline = ExactIndex(units).search(rows, 5)
+        monkeypatch.setattr(exact_mod, "_MAX_CHUNK_ROWS", 16)
+        chunked = ExactIndex(units).search(rows, 5)
+        # Chunk shape changes BLAS blocking, so sims may differ by one
+        # ULP; the neighbour sets must not.
+        np.testing.assert_array_equal(baseline[0], chunked[0])
+        np.testing.assert_allclose(baseline[1], chunked[1], atol=1e-12)
+
+    def test_workers_do_not_change_results(self, monkeypatch):
+        monkeypatch.setattr(exact_mod, "_MAX_CHUNK_ROWS", 32)
+        units = random_units(n=200)
+        rows = np.arange(200)
+        one = ExactIndex(units).search(rows, 4, workers=1)
+        three = ExactIndex(units).search(rows, 4, workers=3)
+        np.testing.assert_array_equal(one[0], three[0])
+        np.testing.assert_array_equal(one[1], three[1])
+
+    def test_knn_search_routes_through_exact_by_default(self):
+        units = random_units(n=60)
+        rows = np.arange(60)
+        via_api = knn_search(units, rows, 3)
+        direct = ExactIndex(units).search(rows, 3)
+        np.testing.assert_array_equal(via_api[0], direct[0])
+
+    def test_validation(self):
+        units = random_units(n=5)
+        with pytest.raises(ValueError, match="k must be positive"):
+            ExactIndex(units).search(np.arange(5), 0)
+        with pytest.raises(ValueError, match="need at least"):
+            ExactIndex(units).search(np.arange(5), 5, exclude_self=True)
+
+
+class TestIVFIndex:
+    @pytest.fixture(scope="class")
+    def units(self):
+        return clustered_units()
+
+    def test_recall_on_clustered_data(self, units):
+        spec = AnnSpec(backend="ivf", nlist=16, nprobe=4, seed=1)
+        index = IVFIndex.build(units, spec)
+        rows = np.arange(len(units))
+        nb, _ = index.search(rows, 7)
+        exact_nb, _ = ExactIndex(units).search(rows, 7)
+        overlap = np.mean(
+            [
+                len(np.intersect1d(nb[i], exact_nb[i])) / 7
+                for i in range(len(rows))
+            ]
+        )
+        assert overlap >= 0.95
+
+    def test_exhaustive_probe_matches_exact(self, units):
+        # nprobe >= nlist scores every list: same sets as brute force.
+        spec = AnnSpec(backend="ivf", nlist=8, nprobe=8, seed=1)
+        nb, s = IVFIndex.build(units, spec).search(np.arange(len(units)), 5)
+        exact_nb, exact_s = ExactIndex(units).search(np.arange(len(units)), 5)
+        np.testing.assert_array_equal(np.sort(nb, 1), np.sort(exact_nb, 1))
+        np.testing.assert_allclose(np.sort(s, 1), np.sort(exact_s, 1), atol=1e-9)
+
+    def test_workers_do_not_change_results(self, units):
+        spec = AnnSpec(backend="ivf", nlist=16, nprobe=4, seed=1)
+        index = IVFIndex.build(units, spec)
+        rows = np.arange(len(units))
+        one = index.search(rows, 6, workers=1)
+        three = index.search(rows, 6, workers=3)
+        np.testing.assert_array_equal(one[0], three[0])
+        np.testing.assert_array_equal(one[1], three[1])
+
+    def test_deterministic_rebuild(self, units):
+        spec = AnnSpec(backend="ivf", nlist=16, nprobe=4, seed=7)
+        a = IVFIndex.build(units, spec)
+        b = IVFIndex.build(units, spec)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+        np.testing.assert_array_equal(a.assign, b.assign)
+
+    def test_self_exclusion(self, units):
+        spec = AnnSpec(backend="ivf", nlist=16, nprobe=16, seed=1)
+        rows = np.arange(len(units))
+        nb, _ = IVFIndex.build(units, spec).search(rows, 5, exclude_self=True)
+        assert not (nb == rows[:, None]).any()
+
+    def test_small_list_fallback_is_exact(self):
+        # Far more lists than points per list: probed candidates < k,
+        # so every query falls back to exhaustive search.
+        units = random_units(n=40, seed=2)
+        spec = AnnSpec(backend="ivf", nlist=20, nprobe=1, seed=1)
+        rows = np.arange(40)
+        nb, s = IVFIndex.build(units, spec).search(rows, 10)
+        exact_nb, exact_s = ExactIndex(units).search(rows, 10)
+        np.testing.assert_array_equal(nb, exact_nb)
+        np.testing.assert_array_equal(s, exact_s)
+
+    def test_similarities_are_float64_exact(self, units):
+        # Returned sims come from a float64 rescore of the winners.
+        spec = AnnSpec(backend="ivf", nlist=16, nprobe=4, seed=1)
+        rows = np.arange(100)
+        nb, s = IVFIndex.build(units, spec).search(rows, 3)
+        expected = np.einsum(
+            "qkd,qd->qk", units[nb], units[rows]
+        )
+        np.testing.assert_allclose(s, expected, atol=1e-12)
+
+    def test_build_via_factory(self, units):
+        index = build_index(units, AnnSpec(backend="ivf", nlist=12))
+        assert isinstance(index, IVFIndex)
+        assert index.nlist == 12
+
+    def test_auto_nlist_is_sqrt_n(self, units):
+        index = build_index(units, AnnSpec(backend="ivf"))
+        assert index.nlist == round(np.sqrt(len(units)))
+
+
+class TestRecallAudit:
+    def test_audit_records_recall(self):
+        units = clustered_units(n=300, seed=3)
+        audit.reset()
+        spec = AnnSpec(backend="ivf", nlist=10, nprobe=4, recall_sample=32)
+        index = IVFIndex.build(units, spec)
+        index.search(np.arange(300), 5)
+        assert index.last_recall is not None
+        assert 0.0 <= index.last_recall <= 1.0
+        assert audit.last_recall() == index.last_recall
+        assert audit.audited_queries() == 32
+
+    def test_audit_disabled(self):
+        units = clustered_units(n=200, seed=4)
+        audit.reset()
+        spec = AnnSpec(backend="ivf", nlist=8, nprobe=4, recall_sample=0)
+        index = IVFIndex.build(units, spec)
+        index.search(np.arange(200), 5)
+        assert index.last_recall is None
+        assert audit.last_recall() is None
+
+    def test_exhaustive_probe_audits_perfect_recall(self):
+        units = clustered_units(n=200, seed=4)
+        spec = AnnSpec(backend="ivf", nlist=8, nprobe=8, recall_sample=200)
+        index = IVFIndex.build(units, spec)
+        index.search(np.arange(200), 5)
+        assert index.last_recall == 1.0
+
+    def test_exact_backend_records_nothing(self):
+        audit.reset()
+        ExactIndex(random_units(n=50)).search(np.arange(50), 3)
+        assert audit.last_recall() is None
+
+
+class TestIncrementalUpdate:
+    @pytest.fixture(scope="class")
+    def built(self):
+        units = clustered_units(n=500, seed=6)
+        spec = AnnSpec(backend="ivf", nlist=12, nprobe=4, seed=1)
+        return units, IVFIndex.build(units, spec)
+
+    def test_identity_update_preserves_index(self, built):
+        units, index = built
+        evolved = index.updated(units, np.arange(len(units)))
+        np.testing.assert_array_equal(evolved.centroids, index.centroids)
+        np.testing.assert_array_equal(evolved.assign, index.assign)
+
+    def test_add_and_evict(self, built):
+        units, index = built
+        # Drop the first 50 rows, append 30 fresh points.
+        kept = units[50:]
+        fresh = clustered_units(n=30, seed=9)
+        new_units = np.vstack([kept, fresh])
+        prior_rows = np.concatenate(
+            [np.arange(50, len(units)), np.full(30, -1)]
+        )
+        evolved = index.updated(new_units, prior_rows)
+        assert len(evolved) == len(new_units)
+        # Kept rows keep their prior list assignment.
+        np.testing.assert_array_equal(
+            evolved.assign[: len(kept)], index.assign[50:]
+        )
+        # Fresh rows landed in their nearest list.
+        expected = np.argmax(
+            new_units[len(kept) :].astype(np.float32) @ index.centroids.T,
+            axis=1,
+        )
+        np.testing.assert_array_equal(evolved.assign[len(kept) :], expected)
+
+    def test_evolved_index_still_searches_well(self, built):
+        units, index = built
+        evolved = index.updated(units[100:], np.arange(100, len(units)))
+        rows = np.arange(len(evolved))
+        nb, _ = evolved.search(rows, 5)
+        exact_nb, _ = ExactIndex(units[100:]).search(rows, 5)
+        overlap = np.mean(
+            [
+                len(np.intersect1d(nb[i], exact_nb[i])) / 5
+                for i in range(len(rows))
+            ]
+        )
+        assert overlap >= 0.9
+
+    def test_forced_retrain_equals_cold_build(self, built):
+        units, index = built
+        evolved = index.updated(
+            units, np.arange(len(units)), retrain_threshold=0.0
+        )
+        cold = IVFIndex.build(units, index.spec)
+        np.testing.assert_array_equal(evolved.centroids, cold.centroids)
+        np.testing.assert_array_equal(evolved.assign, cold.assign)
+
+    def test_imbalance_triggers_retrain(self, built):
+        units, index = built
+        # Pile every fresh row onto one list by duplicating one point.
+        n_dup = int(RETRAIN_IMBALANCE * len(units) / index.nlist) + 50
+        new_units = np.vstack([units, np.tile(units[:1], (n_dup, 1))])
+        prior_rows = np.concatenate(
+            [np.arange(len(units)), np.full(n_dup, -1)]
+        )
+        evolved = index.updated(new_units, prior_rows)
+        cold = IVFIndex.build(new_units, index.spec)
+        np.testing.assert_array_equal(evolved.centroids, cold.centroids)
+
+    def test_misaligned_prior_rows_raises(self, built):
+        units, index = built
+        with pytest.raises(ValueError, match="align"):
+            index.updated(units, np.arange(10))
+
+
+class TestStoreRoundTrip:
+    def test_codec_round_trip_search_equality(self, tmp_path):
+        units = clustered_units(n=250, seed=8)
+        spec = AnnSpec(backend="ivf", nlist=10, nprobe=3, seed=2)
+        index = IVFIndex.build(units, spec)
+        store = ArtifactStore(tmp_path)
+        store.save("ann-index", "fp-test", IVF_INDEX_CODEC, index)
+        loaded, _ = store.load("ann-index", "fp-test", IVF_INDEX_CODEC)
+        assert isinstance(loaded, IVFIndex)
+        assert loaded.spec == spec
+        rows = np.arange(250)
+        original = index.search(rows, 5)
+        restored = loaded.search(rows, 5)
+        np.testing.assert_array_equal(original[0], restored[0])
+        np.testing.assert_array_equal(original[1], restored[1])
+
+
+class TestCosineKnnCache:
+    def test_predict_and_distances_share_one_search(self):
+        units = clustered_units(n=120, seed=10)
+        labels = np.array(["a", "b"] * 60, dtype=object)
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            knn = CosineKnn(units, labels, k=5)
+            rows = np.arange(40)
+            knn.predict_rows(rows, exclude_self=True)
+            knn.neighbor_distances(rows, exclude_self=True)
+        assert telemetry.registry.counters["knn.queries"] == 40
+
+    def test_cache_misses_on_different_queries(self):
+        units = clustered_units(n=120, seed=10)
+        labels = np.array(["a", "b"] * 60, dtype=object)
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            knn = CosineKnn(units, labels, k=5)
+            knn.predict_rows(np.arange(40), exclude_self=True)
+            knn.predict_rows(np.arange(40, 80), exclude_self=True)
+        assert telemetry.registry.counters["knn.queries"] == 80
+
+    def test_accepts_prebuilt_index(self):
+        units = clustered_units(n=80, seed=11)
+        labels = np.array(["x", "y"] * 40, dtype=object)
+        index = ExactIndex(units)
+        knn = CosineKnn(None, labels, k=3, index=index)
+        direct = CosineKnn(units, labels, k=3)
+        rows = np.arange(80)
+        np.testing.assert_array_equal(
+            knn.predict_rows(rows, exclude_self=True),
+            direct.predict_rows(rows, exclude_self=True),
+        )
+
+
+class TestPipelineIntegration:
+    def test_exact_default_is_unchanged(self, fitted_darkvec, small_trace):
+        # The default config routes every consumer through ExactIndex;
+        # the LOO probe must match a direct legacy-style search.
+        embedding = fitted_darkvec.embedding
+        units = unit_rows(embedding.vectors)
+        rows = np.arange(min(50, len(units)))
+        nb, s = knn_search(units, rows, 7)
+        legacy_nb, legacy_s = legacy_knn_search(units, rows, 7)
+        np.testing.assert_array_equal(nb, legacy_nb)
+        np.testing.assert_array_equal(s, legacy_s)
+
+    def test_ivf_graph_edges_mostly_match_exact(self, fitted_darkvec):
+        from repro.graph.knn_graph import build_knn_graph
+
+        vectors = fitted_darkvec.embedding.vectors
+        exact_graph = build_knn_graph(vectors, k_prime=3)
+        ivf_graph = build_knn_graph(
+            vectors,
+            k_prime=3,
+            spec=AnnSpec(backend="ivf", nprobe=8, seed=1),
+        )
+        exact_nb = exact_graph.targets.reshape(-1, 3)
+        ivf_nb = ivf_graph.targets.reshape(-1, 3)
+        recall = np.mean(
+            [
+                len(np.intersect1d(a, b)) / 3
+                for a, b in zip(ivf_nb, exact_nb)
+            ]
+        )
+        assert recall >= 0.9
+
+
+class TestHealthMonitor:
+    def test_mistuned_ivf_flags_low_recall(self, small_bundle, tmp_path):
+        trace = small_bundle.trace
+        cut = trace.start_time + 3 * 86400.0
+        config = DarkVecConfig(
+            service="domain",
+            epochs=2,
+            seed=3,
+            window_days=3.0,
+            cache_dir=tmp_path,
+            ann_backend="ivf",
+            ann_nlist=64,
+            ann_nprobe=1,
+            ann_recall_sample=64,
+        )
+        darkvec = DarkVec(config).fit(trace.between(trace.start_time, cut))
+        darkvec.update(trace.between(cut, cut + 86400.0))
+        monitors = {m.name: m for m in darkvec.last_health.monitors}
+        assert "ann_recall" in monitors
+        monitor = monitors["ann_recall"]
+        assert monitor.value is not None
+        assert monitor.verdict in ("warn", "fail")
+
+    def test_exact_backend_reports_no_baseline(self, small_bundle, tmp_path):
+        trace = small_bundle.trace
+        cut = trace.start_time + 3 * 86400.0
+        config = DarkVecConfig(
+            service="domain",
+            epochs=2,
+            seed=3,
+            window_days=3.0,
+            cache_dir=tmp_path,
+        )
+        darkvec = DarkVec(config).fit(trace.between(trace.start_time, cut))
+        darkvec.update(trace.between(cut, cut + 86400.0))
+        monitors = {m.name: m for m in darkvec.last_health.monitors}
+        assert monitors["ann_recall"].verdict == "ok"
+        assert monitors["ann_recall"].value is None

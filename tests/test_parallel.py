@@ -286,7 +286,7 @@ class TestSymmetricAdjacency:
 
 class TestParallelKnnSearch:
     def test_workers_do_not_change_results(self, monkeypatch):
-        monkeypatch.setattr("repro.knn.classifier._CHUNK_ROWS", 16)
+        monkeypatch.setattr("repro.ann.exact._MAX_CHUNK_ROWS", 16)
         rng = np.random.default_rng(8)
         vectors = rng.normal(size=(120, 10))
         from repro.w2v.mathutils import unit_rows
