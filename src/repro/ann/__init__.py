@@ -3,12 +3,14 @@
 from repro.ann.base import AnnSpec, NeighborIndex, build_index
 from repro.ann.exact import ExactIndex, score_chunk_rows
 from repro.ann.ivf import IVFIndex
+from repro.ann.ivfpq import IVFPQIndex
 
 __all__ = [
     "AnnSpec",
     "NeighborIndex",
     "ExactIndex",
     "IVFIndex",
+    "IVFPQIndex",
     "build_index",
     "score_chunk_rows",
 ]

@@ -1,19 +1,61 @@
-"""Process-wide record of the most recent ANN recall audit.
+"""ANN recall self-audit: the shared measurement and its last result.
 
-The IVF backend measures its own recall on a seeded query sample at
-every search (:meth:`repro.ann.ivf.IVFIndex.search`).  Besides the
-``ann.recall_at_k`` gauge, the measurement lands here so callers that
-did not construct the index — most importantly the health monitors in
-:meth:`repro.core.pipeline.DarkVec.update`, whose churn and LOO probes
-build their own ephemeral indexes — can still judge the backend's
-accuracy.  Semantics mirror a gauge: last write wins, ``None`` until
-an audited search has run (the exact backend never records).
+The approximate backends (IVF, IVF-PQ) measure their own recall on a
+seeded query sample at every search via :func:`audit_recall`.  Besides
+the ``ann.recall_at_k`` gauge, the measurement lands in module state so
+callers that did not construct the index — most importantly the health
+monitors in :meth:`repro.core.pipeline.DarkVec.update`, whose churn
+and LOO probes build their own ephemeral indexes — can still judge the
+backend's accuracy.  Semantics mirror a gauge: last write wins,
+``None`` until an audited search has run (the exact backend never
+records).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import obs
+
 _last_recall: float | None = None
 _audited_queries: int = 0
+
+
+def audit_recall(
+    units: np.ndarray,
+    rows: np.ndarray,
+    neighbors: np.ndarray,
+    k: int,
+    exclude_self: bool,
+    sample: int,
+    seed: int,
+) -> float | None:
+    """Recall@k of ``neighbors`` vs an exact rescore of a seeded sample.
+
+    Shared by every approximate backend: draws up to ``sample`` query
+    positions, re-runs them through the exact oracle, and records the
+    overlap as the ``ann.recall_at_k`` gauge and the module-level last
+    result.  Returns the measured recall, or None when ``sample`` is 0
+    or there are no queries.  Observation only — results are untouched.
+    """
+    from repro.ann.exact import exact_topk
+
+    m = min(sample, len(rows))
+    if m == 0:
+        return None
+    if m < len(rows):
+        rng = np.random.default_rng(seed)
+        pos = rng.choice(len(rows), m, replace=False)
+    else:
+        pos = np.arange(len(rows))
+    exact_nb, _ = exact_topk(units, rows[pos], k, exclude_self)
+    overlap = sum(
+        len(np.intersect1d(neighbors[pos[i]], exact_nb[i])) for i in range(m)
+    )
+    recall = overlap / (m * k)
+    obs.set_gauge("ann.recall_at_k", recall)
+    record_recall(recall, m)
+    return recall
 
 
 def record_recall(value: float, sampled_queries: int) -> None:

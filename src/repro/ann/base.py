@@ -11,6 +11,10 @@ backend from an :class:`AnnSpec`:
   ``knn_search``).
 * ``"ivf"`` — :class:`repro.ann.ivf.IVFIndex`, an inverted-file index
   with a spherical k-means coarse quantizer and multi-probe search.
+* ``"ivfpq"`` — :class:`repro.ann.ivfpq.IVFPQIndex`, the inverted file
+  with product-quantized residuals: candidates are scored from a
+  compressed code table (ADC lookups) and only a shortlist is rescored
+  exactly, cutting both memory and scan cost at large N.
 
 All backends return ``(neighbors, similarities)`` of shape (Q, k) with
 neighbours sorted by decreasing float64 cosine similarity, so callers
@@ -25,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 #: Backends :func:`build_index` knows how to construct.
-BACKENDS = ("exact", "ivf")
+BACKENDS = ("exact", "ivf", "ivfpq")
 
 
 @dataclass(frozen=True)
@@ -33,7 +37,8 @@ class AnnSpec:
     """Backend selection and tuning knobs for a neighbour index.
 
     Attributes:
-        backend: ``"exact"`` (brute force, the default) or ``"ivf"``.
+        backend: ``"exact"`` (brute force, the default), ``"ivf"``, or
+            ``"ivfpq"`` (inverted file + product-quantized residuals).
         nlist: IVF coarse-quantizer centroids; ``0`` (default) picks
             ``round(sqrt(N))`` at build time, which balances the coarse
             scan (Q x nlist) against the list scans (Q x nprobe x N/nlist).
@@ -46,6 +51,11 @@ class AnnSpec:
             so it is deliberately absent from stage fingerprints.
         seed: seed for the k-means sample, centroid init, and the
             recall-audit query sample.
+        pq_m: product-quantizer subspaces (``"ivfpq"`` only); ``0``
+            (default) picks ``min(16, max(1, dim // 4))`` at build.
+        pq_bits: bits per PQ code (``"ivfpq"`` only); each subspace
+            trains a codebook of ``2**pq_bits`` entries, 1..8 so codes
+            fit one uint8 per subspace.
     """
 
     backend: str = "exact"
@@ -53,6 +63,8 @@ class AnnSpec:
     nprobe: int = 8
     recall_sample: int = 32
     seed: int = 1
+    pq_m: int = 0
+    pq_bits: int = 8
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -65,6 +77,10 @@ class AnnSpec:
             raise ValueError("nprobe must be positive")
         if self.recall_sample < 0:
             raise ValueError("recall_sample must be >= 0")
+        if self.pq_m < 0:
+            raise ValueError("pq_m must be >= 0 (0 means auto)")
+        if not 1 <= self.pq_bits <= 8:
+            raise ValueError("pq_bits must be in 1..8")
 
 
 class NeighborIndex(ABC):
@@ -123,8 +139,11 @@ def build_index(
     """Construct the index ``spec`` asks for over row-normalised ``units``."""
     from repro.ann.exact import ExactIndex
     from repro.ann.ivf import IVFIndex
+    from repro.ann.ivfpq import IVFPQIndex
 
     spec = spec or AnnSpec()
     if spec.backend == "exact":
         return ExactIndex(units)
+    if spec.backend == "ivfpq":
+        return IVFPQIndex.build(units, spec, workers=workers)
     return IVFIndex.build(units, spec, workers=workers)

@@ -24,11 +24,19 @@ _MIN_CHUNK_ROWS = 16
 _MAX_CHUNK_ROWS = 1024
 
 
-def score_chunk_rows(n: int, itemsize: int = 8) -> int:
-    """Query rows per chunk so the score buffer stays within budget."""
+def score_chunk_rows(n: int, itemsize: int = 8, concurrency: int = 1) -> int:
+    """Query rows per chunk so the score buffers stay within budget.
+
+    ``concurrency`` is the number of chunks that can be resident at
+    once (worker count): the budget bounds the *total* score-buffer
+    footprint, not just one chunk's, so a huge query fan-out across
+    many workers cannot multiply past the 64 MiB ceiling.  The floor of
+    :data:`_MIN_CHUNK_ROWS` rows is kept even when it overshoots — a
+    narrower chunk would stop amortising the ``units.T`` access.
+    """
     if n <= 0:
         return _MAX_CHUNK_ROWS
-    by_budget = _CHUNK_BUDGET_BYTES // (n * itemsize)
+    by_budget = _CHUNK_BUDGET_BYTES // (max(1, concurrency) * n * itemsize)
     return int(min(_MAX_CHUNK_ROWS, max(_MIN_CHUNK_ROWS, by_budget)))
 
 
@@ -41,7 +49,7 @@ def exact_topk(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Uninstrumented exact top-k; the core of :class:`ExactIndex`.
 
-    Also serves the IVF backend as recall-audit oracle and as fallback
+    Also serves the IVF backends as recall-audit oracle and as fallback
     for queries whose probed lists held fewer than ``k`` candidates,
     where it must not double-count ``knn.*`` metrics.
     """
@@ -50,7 +58,11 @@ def exact_topk(
     neighbors = np.empty((len(query_rows), k), dtype=np.int64)
     sims = np.empty((len(query_rows), k))
 
-    def search_chunk(bounds: tuple[int, int]) -> None:
+    def search_chunk(bounds: tuple[int, int]):
+        # Chunks return their slices instead of writing shared outputs:
+        # process-backend workers see copy-on-write memory, so in-place
+        # writes would be lost.  The parent assembles — same result,
+        # bit-identical, under both pool backends.
         lo, hi = bounds
         chunk = query_rows[lo:hi]
         scores = units[chunk] @ units.T  # (chunk, N)
@@ -59,20 +71,28 @@ def exact_topk(
         top = np.argpartition(scores, -k, axis=1)[:, -k:]
         top_scores = np.take_along_axis(scores, top, axis=1)
         order = np.argsort(top_scores, axis=1)[:, ::-1]
-        neighbors[lo:hi] = np.take_along_axis(top, order, axis=1)
-        sims[lo:hi] = np.take_along_axis(top_scores, order, axis=1)
+        return (
+            lo,
+            hi,
+            np.take_along_axis(top, order, axis=1),
+            np.take_along_axis(top_scores, order, axis=1),
+        )
 
-    step = score_chunk_rows(n)
+    pool = WorkerPool(workers) if workers != 1 else None
+    concurrency = pool.workers if pool is not None else 1
+    step = score_chunk_rows(n, concurrency=concurrency)
     chunks = [
         (lo, min(lo + step, len(query_rows)))
         for lo in range(0, len(query_rows), step)
     ]
-    if workers == 1 or len(chunks) <= 1:
-        for bounds in chunks:
-            search_chunk(bounds)
+    if pool is None or len(chunks) <= 1:
+        results = [search_chunk(bounds) for bounds in chunks]
     else:
-        with WorkerPool(workers) as pool:
-            pool.map(search_chunk, chunks)
+        with pool:
+            results = pool.map(search_chunk, chunks)
+    for lo, hi, chunk_neighbors, chunk_sims in results:
+        neighbors[lo:hi] = chunk_neighbors
+        sims[lo:hi] = chunk_sims
     return neighbors, sims
 
 

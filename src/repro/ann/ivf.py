@@ -232,20 +232,27 @@ class IVFIndex(NeighborIndex):
         )
         chunks = [(lo, min(lo + step, q)) for lo in range(0, q, step)]
 
-        def search_chunk(bounds: tuple[int, int]) -> dict[str, int]:
+        def search_chunk(bounds: tuple[int, int]) -> tuple:
+            # Returns the chunk's outputs instead of writing shared
+            # arrays: process-backend workers see copy-on-write memory,
+            # so the parent assembles (bit-identical either way).
             lo, hi = bounds
-            return self._search_chunk(
-                rows[lo:hi], k, exclude_self, neighbors, sims, lo
-            )
+            nb, s64, chunk_stats = self._search_chunk(rows[lo:hi], k, exclude_self)
+            return lo, hi, nb, s64, chunk_stats
 
         n = len(self.units)
         with obs.span("knn.search", k=k, queries=q, backend="ivf") as sp:
             obs.add("knn.queries", q)
             if workers == 1 or len(chunks) <= 1:
-                stats = [search_chunk(bounds) for bounds in chunks]
+                results = [search_chunk(bounds) for bounds in chunks]
             else:
                 with WorkerPool(workers) as pool:
-                    stats = pool.map(search_chunk, chunks)
+                    results = pool.map(search_chunk, chunks)
+            stats = []
+            for lo, hi, nb, s64, chunk_stats in results:
+                neighbors[lo:hi] = nb
+                sims[lo:hi] = s64
+                stats.append(chunk_stats)
             probes = sum(s["probes"] for s in stats)
             scored = sum(s["scored"] for s in stats)
             fallbacks = sum(s["fallbacks"] for s in stats)
@@ -263,11 +270,8 @@ class IVFIndex(NeighborIndex):
         rows: np.ndarray,
         k: int,
         exclude_self: bool,
-        neighbors: np.ndarray,
-        sims: np.ndarray,
-        lo: int,
-    ) -> dict[str, int]:
-        """Search one query chunk into the shared output slices."""
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, int]]:
+        """Search one query chunk; returns (neighbors, sims, stats)."""
         c = len(rows)
         q32 = self.units32[rows]
         coarse = q32 @ self.centroids.T  # (c, nlist) float32
@@ -350,9 +354,7 @@ class IVFIndex(NeighborIndex):
             fb_nb, fb_s = exact_topk(self.units, rows[short], k, exclude_self)
             nb[short] = fb_nb
             s64[short] = fb_s
-        neighbors[lo : lo + c] = nb
-        sims[lo : lo + c] = s64
-        return {"probes": c * p, "scored": scored, "fallbacks": fallbacks}
+        return nb, s64, {"probes": c * p, "scored": scored, "fallbacks": fallbacks}
 
     # -- self-audit ----------------------------------------------------
 
@@ -364,19 +366,14 @@ class IVFIndex(NeighborIndex):
         exclude_self: bool,
     ) -> None:
         """Exact-rescore a seeded query sample; record recall@k."""
-        m = min(self.spec.recall_sample, len(rows))
-        if m == 0:
-            return
-        if m < len(rows):
-            rng = np.random.default_rng(self.spec.seed)
-            pos = rng.choice(len(rows), m, replace=False)
-        else:
-            pos = np.arange(len(rows))
-        exact_nb, _ = exact_topk(self.units, rows[pos], k, exclude_self)
-        overlap = sum(
-            len(np.intersect1d(neighbors[pos[i]], exact_nb[i]))
-            for i in range(m)
+        recall = audit.audit_recall(
+            self.units,
+            rows,
+            neighbors,
+            k,
+            exclude_self,
+            self.spec.recall_sample,
+            self.spec.seed,
         )
-        self.last_recall = overlap / (m * k)
-        obs.set_gauge("ann.recall_at_k", self.last_recall)
-        audit.record_recall(self.last_recall, m)
+        if recall is not None:
+            self.last_recall = recall

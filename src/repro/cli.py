@@ -91,10 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_ann_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
             "--ann-backend",
-            choices=("exact", "ivf"),
+            choices=("exact", "ivf", "ivfpq"),
             default="exact",
             help="neighbour-search backend: exact (bit-identical brute "
-            "force) or ivf (inverted-file approximate search)",
+            "force), ivf (inverted-file approximate search), or ivfpq "
+            "(inverted file + product-quantized codes, compressed)",
         )
         cmd.add_argument(
             "--ann-nlist",
@@ -107,6 +108,42 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=8,
             help="IVF lists probed per query (the speed/recall knob)",
+        )
+        cmd.add_argument(
+            "--ann-pq-m",
+            type=int,
+            default=0,
+            help="ivfpq subspaces per vector (0 = auto: min(16, dim/4))",
+        )
+        cmd.add_argument(
+            "--ann-pq-bits",
+            type=int,
+            default=8,
+            help="ivfpq bits per code, 1..8 (codebook of 2^bits entries)",
+        )
+
+    def add_scale_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--shard-size",
+            type=int,
+            default=0,
+            help="stream corpus/vocab building in shards of at most this "
+            "many senders (0 = unsharded; results are bit-identical)",
+        )
+        cmd.add_argument(
+            "--mmap",
+            dest="use_mmap",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="store stage artifacts in the raw mmap container and "
+            "open them as memory-mapped views instead of heap copies",
+        )
+        cmd.add_argument(
+            "--pool-backend",
+            choices=("thread", "process"),
+            default="thread",
+            help="worker-pool backend: thread (exact, GIL-bound) or "
+            "process (fork + shared memory, scales past the GIL)",
         )
 
     simulate = sub.add_parser("simulate", help="generate a synthetic trace")
@@ -182,6 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="also export the embedding as IP-keyed vectors",
         )
         add_ann_flags(cmd)
+        add_scale_flags(cmd)
         add_telemetry_flags(cmd)
 
     run = sub.add_parser(
@@ -240,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="ground-truth labels CSV enabling the LOO-accuracy probe "
         "monitor",
     )
+    update.add_argument(
+        "--pool-backend",
+        choices=("thread", "process"),
+        default=None,
+        help="override the state's worker-pool backend for this update",
+    )
+    update.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="override the state's corpus/vocab shard size",
+    )
     add_telemetry_flags(update)
 
     evaluate = sub.add_parser("evaluate", help="leave-one-out 7-NN report")
@@ -254,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="k-NN search parallelism (results are identical)",
     )
     add_ann_flags(evaluate)
+    add_scale_flags(evaluate)
     add_telemetry_flags(evaluate)
 
     cluster = sub.add_parser("cluster", help="Louvain cluster discovery")
@@ -269,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="k-NN search parallelism (results are identical)",
     )
     add_ann_flags(cluster)
+    add_scale_flags(cluster)
     add_telemetry_flags(cluster)
 
     profile = sub.add_parser(
@@ -474,6 +526,11 @@ def _cmd_run(args) -> int:
         ann_backend=args.ann_backend,
         ann_nlist=args.ann_nlist,
         ann_nprobe=args.ann_nprobe,
+        ann_pq_m=args.ann_pq_m,
+        ann_pq_bits=args.ann_pq_bits,
+        shard_size=args.shard_size,
+        use_mmap=args.use_mmap,
+        pool_backend=args.pool_backend,
         cache_dir=args.cache_dir,
     )
     progress = _print_progress if args.profile else None
@@ -514,6 +571,17 @@ def _cmd_update(args) -> int:
         print("update needs --state or --cache-dir", file=sys.stderr)
         return 2
     darkvec = DarkVec.load_state(state_dir)
+    # Scale knobs may be overridden per invocation (e.g. run the nightly
+    # update under the process backend on a bigger machine).
+    overrides = {}
+    if args.pool_backend is not None:
+        overrides["pool_backend"] = args.pool_backend
+    if args.shard_size is not None:
+        overrides["shard_size"] = args.shard_size
+    if overrides:
+        from dataclasses import replace
+
+        darkvec.config = replace(darkvec.config, **overrides)
     new_trace = read_trace_csv(args.trace)
     truth = _read_labels(args.labels) if args.labels is not None else None
     darkvec.update(
@@ -571,10 +639,14 @@ def _ann_spec_of(args):
         backend=args.ann_backend,
         nlist=args.ann_nlist,
         nprobe=args.ann_nprobe,
+        pq_m=args.ann_pq_m,
+        pq_bits=args.ann_pq_bits,
     )
 
 
 def _cmd_evaluate(args) -> int:
+    from repro.parallel.pool import pool_backend
+
     trace = read_trace_csv(args.trace)
     truth = _read_labels(args.labels)
     embedding = _load_embedding_for(trace, args.vectors)
@@ -582,14 +654,15 @@ def _cmd_evaluate(args) -> int:
     eval_senders = trace.last_days(1.0).observed_senders()
     rows = embedding.rows_of(eval_senders)
     rows = rows[rows >= 0]
-    predictions = leave_one_out_predictions(
-        embedding.vectors,
-        labels,
-        rows,
-        k=args.k,
-        workers=args.workers,
-        spec=_ann_spec_of(args),
-    )
+    with pool_backend(args.pool_backend):
+        predictions = leave_one_out_predictions(
+            embedding.vectors,
+            labels,
+            rows,
+            k=args.k,
+            workers=args.workers,
+            spec=_ann_spec_of(args),
+        )
     report = classification_report(labels[rows], predictions)
     print(report.to_text(title=f"{args.k}-NN leave-one-out report"))
     return 0
@@ -601,13 +674,15 @@ def _cmd_cluster(args) -> int:
     from repro.graph.knn_graph import build_knn_graph
     from repro.graph.louvain import louvain_communities
     from repro.graph.modularity import modularity
+    from repro.parallel.pool import pool_backend
 
-    graph = build_knn_graph(
-        embedding.vectors,
-        k_prime=args.k_prime,
-        workers=args.workers,
-        spec=_ann_spec_of(args),
-    )
+    with pool_backend(args.pool_backend):
+        graph = build_knn_graph(
+            embedding.vectors,
+            k_prime=args.k_prime,
+            workers=args.workers,
+            spec=_ann_spec_of(args),
+        )
     adjacency = graph.symmetric_adjacency()
     communities = louvain_communities(adjacency, seed=0)
     score = modularity(adjacency, communities)

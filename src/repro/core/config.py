@@ -22,12 +22,36 @@ _SERVICE_CHOICES = ("single", "auto", "domain")
 STAGE_CONFIG_FIELDS: dict[str, tuple[str, ...]] = {
     "ingest": (),
     "service-map": ("service", "auto_top_n"),
-    "corpus": ("delta_t",),
-    "vocab": ("min_packets",),
-    "train": ("vector_size", "context", "negative", "epochs", "seed", "workers"),
-    "knn-index": ("k_prime", "ann_backend", "ann_nlist", "ann_nprobe"),
-    "ann-index": ("ann_backend", "ann_nlist", "ann_nprobe", "seed"),
+    "corpus": ("delta_t", "shard_size"),
+    "vocab": ("min_packets", "shard_size"),
+    "train": (
+        "vector_size",
+        "context",
+        "negative",
+        "epochs",
+        "seed",
+        "workers",
+        "pool_backend",
+    ),
+    "knn-index": (
+        "k_prime",
+        "ann_backend",
+        "ann_nlist",
+        "ann_nprobe",
+        "ann_pq_m",
+        "ann_pq_bits",
+    ),
+    "ann-index": (
+        "ann_backend",
+        "ann_nlist",
+        "ann_nprobe",
+        "ann_pq_m",
+        "ann_pq_bits",
+        "seed",
+    ),
 }
+
+_POOL_BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -50,18 +74,34 @@ class DarkVecConfig:
             ``0`` uses all cores; any other value routes training
             through the sharded parallel engine (statistically
             equivalent embeddings, identical k-NN/graph results).
+        pool_backend: how :class:`~repro.parallel.WorkerPool` fans out
+            when ``workers != 1``: ``"thread"`` (default, shared
+            address space) or ``"process"`` (fork-based workers over
+            ``multiprocessing.shared_memory``, escaping the GIL).
+            ``workers=1`` is the same sequential reference under both.
+        shard_size: streaming-shard granularity (distinct senders per
+            shard) for the corpus and vocab stages.  ``0`` (default)
+            builds in one pass; any positive value streams
+            shard-by-shard with a bounded working set and produces a
+            bit-identical corpus and vocabulary.
         k_prime: neighbours per vertex of the k'-NN clustering graph
             (the default for :meth:`~repro.core.pipeline.DarkVec.cluster`
             and the knn-index stage; paper: 3).
         ann_backend: neighbour-search backend for every k-NN consumer
             (LOO evaluation, clustering graph, churn, extension):
-            ``"exact"`` (default, bit-identical brute force) or
+            ``"exact"`` (default, bit-identical brute force),
             ``"ivf"`` (inverted-file approximate search, see
-            :mod:`repro.ann.ivf`).
+            :mod:`repro.ann.ivf`), or ``"ivfpq"`` (product-quantized
+            inverted file with exact shortlist rescoring, see
+            :mod:`repro.ann.ivfpq`).
         ann_nlist: IVF coarse-quantizer centroids; 0 picks
             ``sqrt(N)`` automatically at build time.
         ann_nprobe: inverted lists probed per IVF query (the
             speed/recall knob).
+        ann_pq_m: product-quantizer subspaces for ``"ivfpq"``; 0
+            (default) picks ``min(16, max(1, dim // 4))`` at build.
+        ann_pq_bits: bits per PQ code for ``"ivfpq"`` (codebook size
+            ``2**bits`` per subspace, 1..8).
         ann_recall_sample: queries per search that are exactly
             re-scored to measure ``ann.recall_at_k``; 0 disables the
             audit.  Observation only — it never changes results, so it
@@ -80,6 +120,13 @@ class DarkVecConfig:
             warm model within noise of a full cold retrain.
         cache_dir: artifact-store directory.  ``None`` (the default)
             disables caching and keeps ``fit`` fully in memory.
+        use_mmap: store large-matrix artifacts (corpus, embedding,
+            ANN index) in the raw mmap-able container instead of
+            ``.npz``, so cache loads return page-backed memmap views
+            with bounded RSS.  Content hashes — and therefore stage
+            fingerprints — are container-independent, but the on-disk
+            payload suffix differs, so flipping this recomputes
+            whatever is not already stored in the chosen container.
         health: drift/quality monitor thresholds and the default
             gating mode for :meth:`~repro.core.pipeline.DarkVec.update`
             (see :class:`~repro.obs.health.HealthPolicy`).  Accepts a
@@ -96,10 +143,15 @@ class DarkVecConfig:
     epochs: int = 10
     seed: int = 1
     workers: int = 1
+    pool_backend: str = "thread"
+    shard_size: int = 0
+    use_mmap: bool = False
     k_prime: int = 3
     ann_backend: str = "exact"
     ann_nlist: int = 0
     ann_nprobe: int = 8
+    ann_pq_m: int = 0
+    ann_pq_bits: int = 8
     ann_recall_sample: int = 32
     window_days: float = 30.0
     update_epochs: int = 3
@@ -112,6 +164,13 @@ class DarkVecConfig:
             self.health = HealthPolicy(**self.health)
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 means all cores)")
+        if self.pool_backend not in _POOL_BACKENDS:
+            raise ValueError(
+                f"pool_backend must be one of {_POOL_BACKENDS}, "
+                f"got {self.pool_backend!r}"
+            )
+        if self.shard_size < 0:
+            raise ValueError("shard_size must be >= 0 (0 disables sharding)")
         if isinstance(self.service, str) and self.service not in _SERVICE_CHOICES:
             raise ValueError(
                 f"service must be one of {_SERVICE_CHOICES} or a ServiceMap, "
@@ -143,6 +202,8 @@ class DarkVecConfig:
             nprobe=self.ann_nprobe,
             recall_sample=self.ann_recall_sample,
             seed=self.seed,
+            pq_m=self.ann_pq_m,
+            pq_bits=self.ann_pq_bits,
         )
 
     def resolve_service_map(self, trace: Trace) -> ServiceMap:

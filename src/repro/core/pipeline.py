@@ -35,8 +35,15 @@ from repro.corpus.document import Corpus, Sentence
 from repro.graph.knn_graph import KnnGraph, build_knn_graph
 from repro.graph.louvain import louvain_communities
 from repro.graph.modularity import modularity
-from repro.io.artifacts import IVF_INDEX_CODEC, KNN_GRAPH_CODEC
+from repro.io.artifacts import (
+    IVF_INDEX_CODEC,
+    IVF_INDEX_RAW_CODEC,
+    IVFPQ_INDEX_CODEC,
+    IVFPQ_INDEX_RAW_CODEC,
+    KNN_GRAPH_CODEC,
+)
 from repro.knn.loo import leave_one_out_predictions
+from repro.parallel.pool import pool_backend
 from repro.knn.report import ClassificationReport, classification_report
 from repro.labels.groundtruth import GroundTruth
 from repro.obs.health import HealthReport, MonitorResult, classify
@@ -159,7 +166,7 @@ class DarkVec:
                 :class:`~repro.obs.progress.ProgressEvent`).
         """
         t0 = perf_counter()
-        with obs.span("pipeline.fit"):
+        with obs.span("pipeline.fit"), pool_backend(self.config.pool_backend):
             pipeline = StagedPipeline(
                 self.config, store=self.store, progress=progress
             )
@@ -254,7 +261,7 @@ class DarkVec:
         if window_days <= 0:
             raise ValueError("window_days must be positive")
         t0 = perf_counter()
-        with obs.span("pipeline.update"):
+        with obs.span("pipeline.update"), pool_backend(self.config.pool_backend):
             merged, remap_old, _ = merge_traces(trace, new_trace)
             prior = KeyedVectors(
                 tokens=remap_old[embedding.tokens],
@@ -310,6 +317,7 @@ class DarkVec:
                 alpha=config.update_alpha,
                 seed=config.seed,
                 workers=config.workers,
+                pool_backend=config.pool_backend,
                 progress=progress,
             )
             refit = model.fit(
@@ -404,34 +412,52 @@ class DarkVec:
             {"train": self._embedding_hash},
         )
 
+    def _index_codec(self):
+        """The artifact codec of the configured ANN backend, or None.
+
+        ``use_mmap`` selects the raw container so a loaded index opens
+        its arrays as read-only memmap views instead of heap copies.
+        """
+        backend = self.config.ann_backend
+        if backend == "ivf":
+            return IVF_INDEX_RAW_CODEC if self.config.use_mmap else IVF_INDEX_CODEC
+        if backend == "ivfpq":
+            return (
+                IVFPQ_INDEX_RAW_CODEC
+                if self.config.use_mmap
+                else IVFPQ_INDEX_CODEC
+            )
+        return None
+
     def _ann_index(self) -> NeighborIndex:
         """The neighbour index over the fitted embedding.
 
         Built lazily on first use and invalidated whenever the
-        embedding changes.  IVF indexes are first-class pipeline
-        artifacts: with a store configured they are persisted under the
-        ``ann-index`` fingerprint (train hash + ANN config fields) and
-        loaded back instead of retrained.
+        embedding changes.  IVF and IVF-PQ indexes are first-class
+        pipeline artifacts: with a store configured they are persisted
+        under the ``ann-index`` fingerprint (train hash + ANN config
+        fields) and loaded back instead of retrained.
         """
         _, embedding = self._require_fit()
         if self._index is not None:
             return self._index
         spec = self.config.ann_spec()
         units = unit_rows(embedding.vectors)
+        codec = self._index_codec()
         cacheable = (
-            spec.backend == "ivf"
+            codec is not None
             and self.store is not None
             and self._embedding_hash is not None
         )
         if cacheable:
             fingerprint = self._ann_fingerprint()
-            cached = self.store.load("ann-index", fingerprint, IVF_INDEX_CODEC)
+            cached = self.store.load("ann-index", fingerprint, codec)
             if cached is not None:
                 self._index = cached[0]
                 return self._index
         self._index = build_index(units, spec=spec, workers=self.config.workers)
         if cacheable:
-            self.store.save("ann-index", fingerprint, IVF_INDEX_CODEC, self._index)
+            self.store.save("ann-index", fingerprint, codec, self._index)
         return self._index
 
     def _evolve_index(
@@ -446,16 +472,26 @@ class DarkVec:
         retained from the prior model keep their inverted list, fresh
         senders join their nearest list, evicted senders drop out; the
         quantizer retrains only past the imbalance threshold (see
-        :meth:`repro.ann.ivf.IVFIndex.updated`).  Without a live IVF
-        index there is nothing to evolve — the next consumer rebuilds
-        lazily via :meth:`_ann_index`.
+        :meth:`repro.ann.ivf.IVFIndex.updated` and the IVF-PQ variant,
+        which additionally re-encodes every code).  Without a live
+        approximate index of the configured backend there is nothing to
+        evolve — the next consumer rebuilds lazily via
+        :meth:`_ann_index`.
         """
         from repro.ann.ivf import IVFIndex
+        from repro.ann.ivfpq import IVFPQIndex
 
         self._index = None
-        if not isinstance(prior_index, IVFIndex):
-            return
-        if self.config.ann_backend != "ivf":
+        backend = self.config.ann_backend
+        if backend == "ivfpq":
+            evolvable = isinstance(prior_index, IVFPQIndex)
+        elif backend == "ivf":
+            evolvable = isinstance(prior_index, IVFIndex) and not isinstance(
+                prior_index, IVFPQIndex
+            )
+        else:
+            evolvable = False
+        if not evolvable:
             return
         prior_rows = prior.rows_of(refit.tokens)
         self._index = prior_index.updated(
@@ -463,7 +499,10 @@ class DarkVec:
         )
         if self.store is not None and self._embedding_hash is not None:
             self.store.save(
-                "ann-index", self._ann_fingerprint(), IVF_INDEX_CODEC, self._index
+                "ann-index",
+                self._ann_fingerprint(),
+                self._index_codec(),
+                self._index,
             )
 
     # ------------------------------------------------------------------
@@ -731,7 +770,9 @@ class DarkVec:
         """
         self._require_fit()
         t0 = perf_counter()
-        with obs.span("pipeline.evaluate", k=k):
+        with obs.span("pipeline.evaluate", k=k), pool_backend(
+            self.config.pool_backend
+        ):
             report = self._loo_probe(truth, k=k, eval_days=eval_days)
             obs.set_gauge("eval.accuracy", float(report.accuracy))
             if self.registry is not None:
@@ -811,7 +852,9 @@ class DarkVec:
         self._require_fit()
         if k_prime is None:
             k_prime = self.config.k_prime
-        with obs.span("pipeline.cluster", k_prime=k_prime):
+        with obs.span("pipeline.cluster", k_prime=k_prime), pool_backend(
+            self.config.pool_backend
+        ):
             graph = self._knn_graph(k_prime)
             adjacency = graph.symmetric_adjacency()
             communities = louvain_communities(adjacency, seed=seed)

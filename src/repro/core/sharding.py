@@ -1,0 +1,146 @@
+"""Shard-by-shard streaming builds for the corpus and vocab stages.
+
+The full-trace corpus build materialises the whole (service, window)
+sentence set at once; at millions of senders that working set dominates
+RSS.  These helpers stream the same computation over ΔT-window ranges
+sized so that each shard covers at most ``shard_size`` distinct
+senders, and are **bit-identical** to the one-pass build:
+
+- every (service, window) cell lies in exactly one window range, so
+  sub-builds never split or merge sentences;
+- each sub-build uses the global ``t_origin``, so window indices match
+  the full build's;
+- the full build orders sentences by ``lexsort((windows, service_ids))``
+  — i.e. by ``(service_id, window)`` — and emits exactly one sentence
+  per cell, so re-sorting the concatenated shard sentences by that key
+  reproduces the full ordering with no ties to break;
+- :meth:`~repro.w2v.vocab.Vocabulary.merge` is an exact union + int64
+  count sum, so chunk-wise accumulation equals one global count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.document import Corpus
+from repro.corpus.windows import window_indices
+from repro.services.base import ServiceMap
+from repro.trace.packet import Trace
+from repro.w2v.vocab import Vocabulary
+
+
+def shard_ranges(n: int, size: int) -> list[tuple[int, int]]:
+    """Half-open ``[lo, hi)`` ranges covering ``0..n`` in steps of ``size``."""
+    if size < 1:
+        raise ValueError("shard size must be positive")
+    return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+
+def _slice_trace(trace: Trace, lo: int, hi: int) -> Trace:
+    """Row-range view of a time-sorted trace (no column copies).
+
+    ``sender_ips`` is the sender-interning table, not a packet column —
+    it stays whole so shard tokens keep their global sender indices.
+    """
+    return Trace(
+        times=trace.times[lo:hi],
+        senders=trace.senders[lo:hi],
+        ports=trace.ports[lo:hi],
+        protos=trace.protos[lo:hi],
+        receivers=trace.receivers[lo:hi],
+        mirai=trace.mirai[lo:hi],
+        sender_ips=trace.sender_ips,
+    )
+
+
+def plan_window_shards(
+    windows: np.ndarray,
+    senders: np.ndarray,
+    shard_size: int,
+) -> list[tuple[int, int]]:
+    """Window-index ranges each covering <= ``shard_size`` distinct senders.
+
+    ``windows`` must be the non-decreasing per-packet window indices of
+    a time-sorted trace.  Ranges are half-open ``[w_lo, w_hi)`` and
+    greedy: consecutive windows accumulate until the distinct-sender
+    budget would overflow, with at least one window per shard (a single
+    window busier than the budget still forms its own shard).
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be positive")
+    if len(windows) == 0:
+        return []
+    n_senders = int(senders.max()) + 1 if len(senders) else 1
+    cell_key = windows.astype(np.int64) * n_senders + senders.astype(np.int64)
+    window_of_cell = np.unique(cell_key) // n_senders
+    window_values, window_counts = np.unique(window_of_cell, return_counts=True)
+
+    ranges: list[tuple[int, int]] = []
+    range_start = int(window_values[0])
+    budget = 0
+    for window, count in zip(window_values, window_counts):
+        if budget and budget + int(count) > shard_size:
+            ranges.append((range_start, int(window)))
+            range_start = int(window)
+            budget = 0
+        budget += int(count)
+    ranges.append((range_start, int(window_values[-1]) + 1))
+    return ranges
+
+
+def build_corpus_sharded(
+    trace: Trace,
+    service_map: ServiceMap,
+    delta_t: float,
+    shard_size: int,
+    t_origin: float,
+) -> Corpus:
+    """Streaming corpus build, bit-identical to the one-pass build."""
+    if not len(trace):
+        return CorpusBuilder(service_map, delta_t=delta_t).build(
+            trace, t_start=t_origin
+        )
+    windows = window_indices(trace.times, t_origin, delta_t)
+    builder = CorpusBuilder(service_map, delta_t=delta_t)
+    sentences = []
+    for w_lo, w_hi in plan_window_shards(windows, trace.senders, shard_size):
+        lo = int(np.searchsorted(windows, w_lo, side="left"))
+        hi = int(np.searchsorted(windows, w_hi, side="left"))
+        if lo == hi:
+            continue
+        shard = builder.build(_slice_trace(trace, lo, hi), t_start=t_origin)
+        sentences.extend(shard.sentences)
+    sentences.sort(key=lambda s: (s.service_id, s.window))
+    return Corpus(sentences=sentences, service_names=service_map.names)
+
+
+def build_vocab_streaming(
+    token_arrays: list[np.ndarray],
+    chunk_tokens: int,
+    min_count: int = 1,
+) -> Vocabulary:
+    """Chunk-accumulated vocabulary, equal to one global count.
+
+    Sentences are consumed in order; each chunk holds at most
+    ``chunk_tokens`` tokens (one oversized sentence still forms a
+    chunk).  ``min_count`` prunes *after* accumulation, matching
+    :meth:`Vocabulary.build` over the whole corpus.
+    """
+    if chunk_tokens < 1:
+        raise ValueError("chunk_tokens must be positive")
+    vocab = Vocabulary(
+        tokens=np.empty(0, dtype=np.int64), counts=np.empty(0, dtype=np.int64)
+    )
+    chunk: list[np.ndarray] = []
+    held = 0
+    for tokens in token_arrays:
+        chunk.append(tokens)
+        held += len(tokens)
+        if held >= chunk_tokens:
+            vocab = Vocabulary.merge(vocab, Vocabulary.build(chunk, min_count=1))
+            chunk, held = [], 0
+    if chunk:
+        vocab = Vocabulary.merge(vocab, Vocabulary.build(chunk, min_count=1))
+    keep = vocab.counts >= min_count
+    return Vocabulary(tokens=vocab.tokens[keep], counts=vocab.counts[keep])

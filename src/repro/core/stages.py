@@ -35,12 +35,16 @@ from repro.core.config import DarkVecConfig
 from repro.corpus.builder import CorpusBuilder
 from repro.corpus.document import Corpus
 from repro.graph.knn_graph import KnnGraph, build_knn_graph
+from repro.core.sharding import build_corpus_sharded, build_vocab_streaming
 from repro.io.artifacts import (
     CORPUS_CODEC,
+    CORPUS_RAW_CODEC,
     KEYEDVECTORS_CODEC,
+    KEYEDVECTORS_RAW_CODEC,
     KNN_GRAPH_CODEC,
     SERVICE_MAP_CODEC,
     TRACE_CODEC,
+    TRACE_RAW_CODEC,
     VOCAB_CODEC,
     trace_content_hash,
 )
@@ -176,6 +180,7 @@ class StagedPipeline:
                     content_hash = self.store.save(stage, fingerprint, codec, obj)
                     status = "miss"
             sp.set(status=status)
+        obs.sample_rss_peak("proc.rss_peak")
         statuses.append(
             StageStatus(
                 stage=stage,
@@ -185,6 +190,10 @@ class StagedPipeline:
             )
         )
         return obj, content_hash
+
+    def _codec_for(self, npz_codec, raw_codec):
+        """The configured container for a large-matrix artifact."""
+        return raw_codec if self.config.use_mmap else npz_codec
 
     # ------------------------------------------------------------------
     # The graph
@@ -209,6 +218,7 @@ class StagedPipeline:
         statuses: list[StageStatus] = []
 
         # -- ingest: canonicalise + hash the input trace -------------------
+        trace_codec = self._codec_for(TRACE_CODEC, TRACE_RAW_CODEC)
         trace_hash = trace_content_hash(trace)
         t0 = perf_counter()
         with obs.span("stage.ingest") as sp:
@@ -226,12 +236,13 @@ class StagedPipeline:
                     {},
                     {"trace": trace_hash},
                 )
-                if self.store.verify("ingest", ingest_fp, TRACE_CODEC) is not None:
+                if self.store.verify("ingest", ingest_fp, trace_codec) is not None:
                     ingest_status = "hit"
                 else:
-                    self.store.save("ingest", ingest_fp, TRACE_CODEC, trace)
+                    self.store.save("ingest", ingest_fp, trace_codec, trace)
                     ingest_status = "miss"
             sp.set(status=ingest_status)
+        obs.sample_rss_peak("proc.rss_peak")
         statuses.append(
             StageStatus("ingest", ingest_status, perf_counter() - t0, ingest_fp)
         )
@@ -287,6 +298,14 @@ class StagedPipeline:
         artifacts.t_origin = t_origin
 
         def compute_corpus():
+            if config.shard_size > 0:
+                return build_corpus_sharded(
+                    trace,
+                    service_map,
+                    delta_t=config.delta_t,
+                    shard_size=config.shard_size,
+                    t_origin=t_origin,
+                )
             builder = CorpusBuilder(service_map, delta_t=config.delta_t)
             return builder.build(trace, keep_senders=None, t_start=t_origin)
 
@@ -294,7 +313,7 @@ class StagedPipeline:
             "corpus",
             config.stage_fields("corpus"),
             {"ingest": trace_hash, "service-map": sm_hash},
-            CORPUS_CODEC,
+            self._codec_for(CORPUS_CODEC, CORPUS_RAW_CODEC),
             compute_corpus,
             statuses,
         )
@@ -305,10 +324,16 @@ class StagedPipeline:
         # -- vocab (activity filter as a vocabulary restriction) -----------
         def compute_vocab():
             active = trace.active_senders(config.min_packets)
-            vocab = Vocabulary.build(
-                [sentence.tokens for sentence in corpus], min_count=1
-            ).restricted_to(active)
-            return vocab, active
+            if config.shard_size > 0:
+                vocab = build_vocab_streaming(
+                    [sentence.tokens for sentence in corpus],
+                    chunk_tokens=max(config.shard_size, 1024),
+                )
+            else:
+                vocab = Vocabulary.build(
+                    [sentence.tokens for sentence in corpus], min_count=1
+                )
+            return vocab.restricted_to(active), active
 
         (vocab, active), vocab_hash = self._run_stage(
             "vocab",
@@ -332,6 +357,7 @@ class StagedPipeline:
                 epochs=config.epochs,
                 seed=config.seed,
                 workers=config.workers,
+                pool_backend=config.pool_backend,
                 progress=self.progress,
             )
             return model.fit(
@@ -347,7 +373,7 @@ class StagedPipeline:
             "train",
             config.stage_fields("train"),
             {"corpus": corpus_hash, "vocab": vocab_hash},
-            KEYEDVECTORS_CODEC,
+            self._codec_for(KEYEDVECTORS_CODEC, KEYEDVECTORS_RAW_CODEC),
             compute_embedding,
             statuses,
             inputs=train_inputs,

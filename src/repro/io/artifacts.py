@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.corpus.document import Corpus, Sentence
 from repro.graph.knn_graph import KnnGraph
+from repro.io.rawio import read_raw, write_raw
 from repro.store.fingerprint import stable_hash
 from repro.trace.packet import Trace
 from repro.w2v.keyedvectors import KeyedVectors
@@ -48,6 +49,42 @@ class NpzCodec:
         with np.load(Path(path), allow_pickle=False) as data:
             payload = {name: data[name] for name in data.files}
         return self._from_payload(payload)
+
+    def content_hash(self, obj) -> str:
+        """Canonical content hash of ``obj`` (payload-level, not bytes)."""
+        return stable_hash(self._to_payload(obj))
+
+
+class RawCodec:
+    """Codec storing the same payloads as :class:`NpzCodec` in the raw
+    mmap-able container from :mod:`repro.io.rawio`.
+
+    ``content_hash`` hashes the payload, exactly like the ``.npz``
+    codecs, so switching containers never changes an artifact's
+    canonical content hash or any downstream stage fingerprint.  With
+    ``mmap=True`` (the default) loads return read-only memmap views,
+    so opening a multi-GB embedding costs pages, not RSS.
+    """
+
+    suffix = ".raw"
+
+    def __init__(
+        self,
+        to_payload: Callable[[object], dict],
+        from_payload: Callable[[dict], object],
+        mmap: bool = True,
+    ) -> None:
+        self._to_payload = to_payload
+        self._from_payload = from_payload
+        self.mmap = mmap
+
+    def save(self, obj, path: str | Path) -> None:
+        """Serialise ``obj`` to ``path`` (which must carry ``.raw``)."""
+        write_raw(Path(path), self._to_payload(obj))
+
+    def load(self, path: str | Path):
+        """Deserialise the artifact written by :meth:`save`."""
+        return self._from_payload(read_raw(Path(path), mmap=self.mmap))
 
     def content_hash(self, obj) -> str:
         """Canonical content hash of ``obj`` (payload-level, not bytes)."""
@@ -201,6 +238,54 @@ def _ivf_from_payload(payload: dict):
     )
 
 
+def _ivfpq_to_payload(index) -> dict:
+    spec = index.spec
+    return {
+        "units": index.units,
+        "centroids": index.centroids,
+        "assign": index.assign,
+        "codes": index.codes,
+        "codebooks": index.codebooks,
+        "params": np.array(
+            [
+                spec.nlist,
+                spec.nprobe,
+                spec.recall_sample,
+                spec.seed,
+                spec.pq_m,
+                spec.pq_bits,
+            ],
+            dtype=np.int64,
+        ),
+    }
+
+
+def _ivfpq_from_payload(payload: dict):
+    from repro.ann.base import AnnSpec
+    from repro.ann.ivfpq import IVFPQIndex
+
+    nlist, nprobe, recall_sample, seed, pq_m, pq_bits = (
+        int(v) for v in payload["params"]
+    )
+    spec = AnnSpec(
+        backend="ivfpq",
+        nlist=nlist,
+        nprobe=nprobe,
+        recall_sample=recall_sample,
+        seed=seed,
+        pq_m=pq_m,
+        pq_bits=pq_bits,
+    )
+    return IVFPQIndex(
+        units=payload["units"],
+        spec=spec,
+        centroids=payload["centroids"],
+        assign=payload["assign"],
+        codes=payload["codes"],
+        codebooks=payload["codebooks"],
+    )
+
+
 def _graph_to_payload(graph: KnnGraph) -> dict:
     return {
         "n_nodes": np.array([graph.n_nodes], dtype=np.int64),
@@ -238,6 +323,21 @@ KNN_GRAPH_CODEC = NpzCodec(_graph_to_payload, _graph_from_payload)
 #: Codec for :class:`~repro.ann.ivf.IVFIndex` artifacts (the trained
 #: quantizer + list assignments; inverted lists rebuild on load).
 IVF_INDEX_CODEC = NpzCodec(_ivf_to_payload, _ivf_from_payload)
+
+#: Codec for :class:`~repro.ann.ivfpq.IVFPQIndex` artifacts (coarse
+#: quantizer, PQ codebooks, and the compressed codes).
+IVFPQ_INDEX_CODEC = NpzCodec(_ivfpq_to_payload, _ivfpq_from_payload)
+
+#: Raw (mmap-able) siblings of the large-matrix codecs.  They store
+#: the same payload dicts, so content hashes — and therefore stage
+#: fingerprints — are container-independent.
+TRACE_RAW_CODEC = RawCodec(_trace_to_payload, _trace_from_payload)
+CORPUS_RAW_CODEC = RawCodec(_corpus_to_payload, _corpus_from_payload)
+KEYEDVECTORS_RAW_CODEC = RawCodec(
+    _keyedvectors_to_payload, _keyedvectors_from_payload
+)
+IVF_INDEX_RAW_CODEC = RawCodec(_ivf_to_payload, _ivf_from_payload)
+IVFPQ_INDEX_RAW_CODEC = RawCodec(_ivfpq_to_payload, _ivfpq_from_payload)
 
 #: Codec for service-map spec documents.
 SERVICE_MAP_CODEC = JsonCodec()

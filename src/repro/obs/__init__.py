@@ -47,6 +47,7 @@ from repro.obs.health import (
     classify,
 )
 from repro.obs.metrics import METRICS, Histogram, MetricSpec, MetricsRegistry
+from repro.obs.proc import rss_bytes, rss_peak_bytes, sample_rss_peak
 from repro.obs.progress import ProgressEvent, epoch_event
 from repro.obs.quality import (
     data_profile,
@@ -112,6 +113,9 @@ __all__ = [
     "port_mix",
     "port_mix_shift",
     "record_run",
+    "rss_bytes",
+    "rss_peak_bytes",
+    "sample_rss_peak",
     "session",
     "set_gauge",
     "span",

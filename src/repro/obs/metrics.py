@@ -212,6 +212,12 @@ METRICS: dict[str, MetricSpec] = {
         "warm updates refused promotion by the health gate",
         deterministic=False,
     ),
+    "proc.rss_peak": MetricSpec(
+        "gauge",
+        "peak process resident set size sampled at stage boundaries",
+        unit="bytes",
+        deterministic=False,
+    ),
 }
 
 

@@ -1,0 +1,69 @@
+"""Process-memory probes backing the ``proc.rss_peak`` gauge.
+
+Bounded-memory claims need an instrument: the staged pipeline samples
+the process's peak resident set (``VmHWM``) at every stage boundary, so
+a telemetry session records how high RSS actually went regardless of
+where inside the stage the peak occurred.  Reads come from
+``/proc/self/status`` (Linux) with a ``resource.getrusage`` fallback,
+and cost one small file read — nothing is sampled unless a recorder is
+enabled.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import recorder
+
+_STATUS_PATH = Path("/proc/self/status")
+
+
+def _status_kib(field: str) -> int | None:
+    """A ``kB`` field of ``/proc/self/status``, or None off-Linux."""
+    try:
+        text = _STATUS_PATH.read_text()
+    except OSError:
+        return None
+    for line in text.splitlines():
+        if line.startswith(field + ":"):
+            try:
+                return int(line.split()[1])
+            except (IndexError, ValueError):
+                return None
+    return None
+
+
+def _rusage_peak_bytes() -> int:
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.  Treat small values as KiB.
+    return int(peak) * 1024 if peak < 1 << 32 else int(peak)
+
+
+def rss_bytes() -> int:
+    """Current resident set size of this process, in bytes."""
+    kib = _status_kib("VmRSS")
+    if kib is None:
+        return _rusage_peak_bytes()
+    return kib * 1024
+
+
+def rss_peak_bytes() -> int:
+    """Peak resident set size (high-water mark) of this process."""
+    kib = _status_kib("VmHWM")
+    if kib is None:
+        return _rusage_peak_bytes()
+    return kib * 1024
+
+
+def sample_rss_peak(gauge: str = "proc.rss_peak") -> None:
+    """Record the RSS high-water mark into the ``gauge`` gauge.
+
+    No-op when no telemetry session is active, so the instrumented
+    stage boundaries stay free on the default path.  Call sites pass
+    the gauge name explicitly so the metric stays greppable where it
+    is emitted.
+    """
+    if recorder.current().enabled:
+        recorder.set_gauge(gauge, float(rss_peak_bytes()))

@@ -17,14 +17,27 @@ the library:
 ``workers=0`` means "use all available cores".
 """
 
-from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.parallel.pool import (
+    POOL_BACKENDS,
+    WorkerPool,
+    default_backend,
+    fork_available,
+    pool_backend,
+    resolve_workers,
+)
 from repro.parallel.sgd import dedup_pairs, scaled_scatter_add, sigmoid_table
+from repro.parallel.shm import SharedArray
 from repro.parallel.trainer import ShardedTrainer
 
 __all__ = [
+    "POOL_BACKENDS",
+    "SharedArray",
     "ShardedTrainer",
     "WorkerPool",
     "dedup_pairs",
+    "default_backend",
+    "fork_available",
+    "pool_backend",
     "resolve_workers",
     "scaled_scatter_add",
     "sigmoid_table",

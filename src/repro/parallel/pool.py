@@ -10,20 +10,47 @@ submit time; this keeps the task structure (and therefore work
 sharding) identical across machines while skipping thread overhead
 entirely, and makes single-core runs fully deterministic.
 
+Pools also support a ``"process"`` backend for ``map``: tasks fan out
+to fork-based workers (``multiprocessing``), escaping the GIL for
+Python-heavy work.  Fork inheritance stands in for pickling — the task
+function and items are published in a module global before the fork,
+and workers receive only indices — so arbitrary closures work.  The
+trade-off is that workers see copy-on-write *copies* of the parent's
+memory: task functions must **return** their results (mutating parent
+arrays in place does not propagate).  Writable cross-process state
+lives in :mod:`repro.parallel.shm` shared-memory arrays.
+
 When a telemetry session is active (:mod:`repro.obs`), every task runs
 inside a task scope: its metric writes land in a task-local registry
-whose snapshot is merged back into the parent when the task finishes,
+whose snapshot is merged back into the parent when the task finishes —
+process-backend tasks ship their snapshot home alongside the result —
 so ``workers > 1`` runs aggregate counters exactly like single-worker
 runs.  With no session active the wrapping is skipped entirely.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable
 
+from repro.obs import recorder
 from repro.obs.recorder import wrap_task
+
+#: Valid WorkerPool backends.
+POOL_BACKENDS = ("thread", "process")
+
+#: Session-default backend used when a pool is built without an
+#: explicit one; see :func:`pool_backend`.
+_DEFAULT_BACKEND = "thread"
+
+#: Fork-published ``(fn, items)`` for the in-flight process map, plus
+#: the lock serialising process maps (the global is per-fork state).
+_FORK_STATE: tuple[Callable[[Any], Any], list] | None = None
+_FORK_LOCK = threading.Lock()
 
 
 def resolve_workers(workers: int) -> int:
@@ -33,21 +60,80 @@ def resolve_workers(workers: int) -> int:
     return int(workers)
 
 
+def fork_available() -> bool:
+    """Whether fork-based process pools work on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_backend() -> str:
+    """The session-default pool backend (``"thread"`` unless scoped)."""
+    return _DEFAULT_BACKEND
+
+
+@contextmanager
+def pool_backend(name: str):
+    """Scope the default backend of pools built without an explicit one.
+
+    The pipeline wraps ``fit``/``update``/``evaluate``/``cluster`` in
+    this scope so one config knob reaches every nested WorkerPool
+    without threading a parameter through each call site.
+    """
+    global _DEFAULT_BACKEND
+    if name not in POOL_BACKENDS:
+        raise ValueError(f"pool backend must be one of {POOL_BACKENDS}, got {name!r}")
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = name
+    try:
+        yield
+    finally:
+        _DEFAULT_BACKEND = previous
+
+
+def _fork_map_entry(index: int):
+    """Run one fork-published task; executed inside a worker process."""
+    assert _FORK_STATE is not None
+    fn, items = _FORK_STATE
+    rec = recorder.current()
+    if not rec.enabled:
+        return fn(items[index]), None
+    with rec.task_scope() as shard:
+        result = fn(items[index])
+        snapshot = shard.snapshot()
+    return result, snapshot
+
+
 class WorkerPool:
     """Thread pool with an inline fast path for single-threaded runs.
 
     Attributes:
         workers: requested logical parallelism (after resolving ``0``).
-        threads: actual thread count, capped at the core count.
+        threads: actual worker count, capped at the core count.
+        backend: ``"thread"`` or ``"process"`` (``map`` fan-out only;
+            ``submit`` always uses threads).  ``None`` at construction
+            picks the scoped :func:`default_backend`.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, backend: str | None = None) -> None:
         self.workers = resolve_workers(workers)
         self.threads = max(1, min(self.workers, os.cpu_count() or 1))
+        if backend is None:
+            backend = default_backend()
+        if backend not in POOL_BACKENDS:
+            raise ValueError(
+                f"pool backend must be one of {POOL_BACKENDS}, got {backend!r}"
+            )
+        if backend == "process" and not fork_available():
+            backend = "thread"
+        self.backend = backend
         self._executor: ThreadPoolExecutor | None = None
 
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
-        """Schedule ``fn(*args, **kwargs)``; runs inline when 1-threaded."""
+        """Schedule ``fn(*args, **kwargs)``; runs inline when 1-threaded.
+
+        Futures need a shared address space to be awaited incrementally,
+        so ``submit`` always uses the thread executor regardless of
+        backend; only ``map`` fans out across processes.
+        """
         fn = wrap_task(fn)
         if self.threads == 1:
             future: Future = Future()
@@ -59,12 +145,39 @@ class WorkerPool:
         return self._ensure_executor().submit(fn, *args, **kwargs)
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
-        """Apply ``fn`` to every item concurrently, preserving order."""
+        """Apply ``fn`` to every item concurrently, preserving order.
+
+        The process backend fans out ``workers`` processes (not the
+        core-capped ``threads``): forked workers escape the GIL, so
+        requested parallelism is honoured even where the thread pool
+        would collapse to the core count.
+        """
         items = list(items)
-        fn = wrap_task(fn)
+        if self.backend == "process" and self.workers > 1 and len(items) > 1:
+            return self._process_map(fn, items)
         if self.threads == 1 or len(items) <= 1:
+            fn = wrap_task(fn)
             return [fn(item) for item in items]
-        return list(self._ensure_executor().map(fn, items))
+        return list(self._ensure_executor().map(wrap_task(fn), items))
+
+    def _process_map(self, fn: Callable[[Any], Any], items: list) -> list:
+        """Fan ``fn`` over ``items`` in fork-based worker processes."""
+        global _FORK_STATE
+        rec = recorder.current()
+        with _FORK_LOCK:
+            _FORK_STATE = (fn, items)
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(processes=min(self.workers, len(items))) as pool:
+                    outcomes = pool.map(_fork_map_entry, range(len(items)))
+            finally:
+                _FORK_STATE = None
+        results = []
+        for result, snapshot in outcomes:
+            if snapshot is not None and rec.enabled:
+                rec.merge_snapshot(snapshot)
+            results.append(result)
+        return results
 
     def close(self) -> None:
         """Shut the underlying executor down (idempotent)."""

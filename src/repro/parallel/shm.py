@@ -1,0 +1,50 @@
+"""Shared-memory numpy arrays for cross-process Hogwild training.
+
+Fork-inherited numpy arrays are copy-on-write: a worker process that
+writes to one mutates its private copy, so plain arrays cannot carry
+the syn0/syn1 weight matrices across a process pool.  A
+:class:`SharedArray` places the buffer in POSIX shared memory
+(``multiprocessing.shared_memory``), which is mapped ``MAP_SHARED`` —
+writes from any process that inherited the mapping are visible to all
+of them, giving the process backend the same asynchronous-overwrite
+semantics ("Hogwild") that threads get for free.
+
+Lifecycle: the creating process owns the segment and must call
+:meth:`release` (unlink) when done; worker processes that merely
+inherited the mapping must not unlink.  The trainer wraps usage in a
+``try/finally`` so segments never leak past a crash.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+class SharedArray:
+    """A numpy array backed by a named POSIX shared-memory segment."""
+
+    def __init__(self, shape: tuple[int, ...], dtype) -> None:
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+
+    @classmethod
+    def copy_of(cls, source: np.ndarray) -> "SharedArray":
+        """A shared-memory copy of ``source``."""
+        shared = cls(source.shape, source.dtype)
+        shared.array[...] = source
+        return shared
+
+    def release(self) -> None:
+        """Drop the mapping and unlink the segment (owner only)."""
+        # The array view must die before close(), else the exported
+        # buffer keeps the mapping pinned and close() raises.
+        self.array = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass

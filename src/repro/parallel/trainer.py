@@ -21,6 +21,7 @@ unaffected (see ``benchmarks/bench_perf_engine.py``).
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
 from collections import deque
@@ -29,9 +30,16 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro import obs
+from repro.obs import recorder as obs_recorder
 from repro.obs.progress import epoch_event
-from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.parallel.pool import (
+    WorkerPool,
+    default_backend,
+    fork_available,
+    resolve_workers,
+)
 from repro.parallel.sgd import dedup_pairs, sgd_step_fast
+from repro.parallel.shm import SharedArray
 from repro.w2v.mathutils import cap_row_norms
 from repro.w2v.negative import NegativeSampler
 from repro.w2v.skipgram import skipgram_pairs_flat
@@ -42,6 +50,43 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 # Distinct stream tags so generation and SGD randomness never collide.
 _GEN_STREAM = 11
 _SGD_STREAM = 13
+
+#: Fork-published trainer for the in-flight process-backend fit, plus
+#: the lock serialising process fits (the global is per-fork state).
+_PROC_TRAINER: "ShardedTrainer | None" = None
+_PROC_LOCK = threading.Lock()
+
+
+def _proc_shard_entry(task: tuple) -> tuple:
+    """Generate + SGD-train one shard; runs inside a worker process.
+
+    Returns ``(loss_sum, loss_pairs, metrics_snapshot)``.  The worker's
+    weight writes land directly in the fork-inherited shared-memory
+    syn0/syn1 (Hogwild across processes); everything else — loss terms
+    and the task-local metrics shard — must travel home by value, since
+    ordinary memory is copy-on-write after fork.
+    """
+    epoch, shard, sel = task
+    trainer = _PROC_TRAINER
+    assert trainer is not None
+    rec = obs_recorder.current()
+
+    def run() -> tuple[float, int] | None:
+        payload = trainer._generate(epoch, shard, sel)
+        if payload is None:
+            return None
+        return trainer._train_shard(epoch, shard, payload)
+
+    if rec.enabled:
+        with rec.task_scope() as shard_registry:
+            result = run()
+            snapshot = shard_registry.snapshot()
+    else:
+        result = run()
+        snapshot = None
+    if result is None:
+        return 0.0, 0, snapshot
+    return result[0], result[1], snapshot
 
 
 class ShardedTrainer:
@@ -73,11 +118,19 @@ class ShardedTrainer:
         self._processed = 0
         self._loss_sum = 0.0
         self._loss_pairs = 0
+        self._shared_processed = None
 
     @property
     def processed_pairs(self) -> int:
         """Raw (pre-dedup) skip-gram pairs trained so far."""
         return self._processed
+
+    def _backend(self) -> str:
+        """The pool backend this fit uses (model knob or scoped default)."""
+        backend = getattr(self.model, "pool_backend", None) or default_backend()
+        if backend == "process" and (self.workers == 1 or not fork_available()):
+            backend = "thread"
+        return backend
 
     # ------------------------------------------------------------------
     # Entry points (called by Word2Vec.fit / fit_pairs)
@@ -163,6 +216,7 @@ class ShardedTrainer:
         self._processed = 0
         self._loss_sum = 0.0
         self._loss_pairs = 0
+        self._shared_processed = None
         self._track_loss = self.model.progress is not None
 
     def _train_epochs(
@@ -173,8 +227,11 @@ class ShardedTrainer:
     ) -> None:
         if n_items == 0:
             return
+        if self._backend() == "process":
+            self._train_epochs_process(n_items, generate, rng)
+            return
         t_start = time.perf_counter()
-        with WorkerPool(self.model.workers) as pool:
+        with WorkerPool(self.model.workers, backend="thread") as pool:
             for epoch in range(self.model.epochs):
                 loss_sum0, loss_pairs0 = self._loss_sum, self._loss_pairs
                 with obs.span("train.epoch", epoch=epoch):
@@ -182,6 +239,72 @@ class ShardedTrainer:
                     shards = np.array_split(order, min(self.n_shards, n_items))
                     self._run_epoch(pool, epoch, shards, generate)
                 self._emit_progress(epoch, t_start, loss_sum0, loss_pairs0)
+
+    def _train_epochs_process(
+        self,
+        n_items: int,
+        generate: Callable[[int, int, np.ndarray], tuple | None],
+        rng: np.random.Generator,
+    ) -> None:
+        """Epoch loop over fork-based worker processes.
+
+        syn0/syn1 move into shared memory for the duration of the fit
+        (so Hogwild writes from every process land in one buffer) and
+        are copied back into the caller's arrays at the end.  The
+        epoch/shard decomposition and all per-shard RNG streams are
+        identical to the thread path — only the executor differs — so
+        deterministic metric totals (pair counts, batch sizes) match
+        across backends exactly.
+        """
+        global _PROC_TRAINER
+        t_start = time.perf_counter()
+        ctx = multiprocessing.get_context("fork")
+        rec = obs_recorder.current()
+        shared0 = SharedArray.copy_of(self._syn0)
+        shared1 = SharedArray.copy_of(self._syn1)
+        original0, original1 = self._syn0, self._syn1
+        self._syn0, self._syn1 = shared0.array, shared1.array
+        self._shared_processed = ctx.Value("q", 0)
+        self._generate = generate
+        try:
+            with _PROC_LOCK:
+                _PROC_TRAINER = self
+                try:
+                    # One fork per fit: workers inherit the trainer (and
+                    # the shared mappings) once; tasks are small tuples.
+                    with ctx.Pool(processes=self.workers) as procs:
+                        for epoch in range(self.model.epochs):
+                            loss_sum0 = self._loss_sum
+                            loss_pairs0 = self._loss_pairs
+                            with obs.span("train.epoch", epoch=epoch):
+                                order = rng.permutation(n_items)
+                                shards = np.array_split(
+                                    order, min(self.n_shards, n_items)
+                                )
+                                tasks = [
+                                    (epoch, i, shard)
+                                    for i, shard in enumerate(shards)
+                                ]
+                                for loss_sum, loss_pairs, snapshot in procs.imap(
+                                    _proc_shard_entry, tasks
+                                ):
+                                    self._loss_sum += loss_sum
+                                    self._loss_pairs += loss_pairs
+                                    if snapshot is not None and rec.enabled:
+                                        rec.merge_snapshot(snapshot)
+                            self._processed = int(self._shared_processed.value)
+                            self._emit_progress(
+                                epoch, t_start, loss_sum0, loss_pairs0
+                            )
+                finally:
+                    _PROC_TRAINER = None
+            original0[...] = shared0.array
+            original1[...] = shared1.array
+        finally:
+            self._syn0, self._syn1 = original0, original1
+            self._shared_processed = None
+            shared0.release()
+            shared1.release()
 
     def _emit_progress(
         self, epoch: int, t_start: float, loss_sum0: float, loss_pairs0: int
@@ -241,7 +364,10 @@ class ShardedTrainer:
             if next_shard < len(shards):
                 submit_generation()
         for future in sgd_futures:
-            future.result()
+            loss_sum, loss_pairs = future.result()
+            with self._lock:
+                self._loss_sum += loss_sum
+                self._loss_pairs += loss_pairs
 
     def _shard_rng(self, stream: int, epoch: int, shard: int):
         return np.random.default_rng([self.model.seed, stream, epoch, shard])
@@ -297,17 +423,44 @@ class ShardedTrainer:
         perm = grng.permutation(len(uniq_c))
         return uniq_c[perm], uniq_x[perm], multiplicity[perm]
 
-    def _train_shard(self, epoch: int, shard: int, payload: tuple) -> None:
+    def _claim(self, represented: int) -> float:
+        """Advance the processed-pairs counter; returns the batch's lr.
+
+        The counter lives behind the trainer lock on the thread path
+        and behind a ``multiprocessing.Value`` on the process path, so
+        the linear learning-rate decay tracks global progress under
+        either executor.
+        """
+        model = self.model
+        shared = self._shared_processed
+        if shared is not None:
+            with shared.get_lock():
+                fraction = min(shared.value / self._total_pairs, 1.0)
+                shared.value += represented
+        else:
+            with self._lock:
+                fraction = min(self._processed / self._total_pairs, 1.0)
+                self._processed += represented
+        return max(model.alpha * (1.0 - fraction), model.min_alpha)
+
+    def _train_shard(
+        self, epoch: int, shard: int, payload: tuple
+    ) -> tuple[float, int]:
+        """SGD over one shard's pair stream; returns (loss sum, pairs).
+
+        Loss terms are returned rather than accumulated in place so the
+        same code serves thread workers (parent absorbs under its lock)
+        and forked processes (values travel home with the result).
+        """
         model = self.model
         centers, contexts, multiplicity = payload
         srng = self._shard_rng(_SGD_STREAM, epoch, shard)
+        loss_sum = 0.0
+        loss_pairs = 0
         for lo in range(0, len(centers), self._batch_pairs):
             hi = min(lo + self._batch_pairs, len(centers))
             represented = int(multiplicity[lo:hi].sum())
-            with self._lock:
-                fraction = min(self._processed / self._total_pairs, 1.0)
-                lr = max(model.alpha * (1.0 - fraction), model.min_alpha)
-                self._processed += represented
+            lr = self._claim(represented)
             loss = sgd_step_fast(
                 self._syn0,
                 self._syn1,
@@ -325,9 +478,9 @@ class ShardedTrainer:
             obs.add("train.batches", 1)
             obs.observe("train.batch_pairs", hi - lo)
             if loss is not None:
-                with self._lock:
-                    self._loss_sum += loss
-                    self._loss_pairs += represented
+                loss_sum += loss
+                loss_pairs += represented
             if model.max_norm is not None:
                 cap_row_norms(self._syn0, model.max_norm)
                 cap_row_norms(self._syn1, model.max_norm)
+        return loss_sum, loss_pairs

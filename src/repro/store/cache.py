@@ -26,6 +26,22 @@ from repro import obs
 #: Meta-record schema version; bump when the layout changes.
 META_FORMAT = 1
 
+#: Read granularity for file digests; bounds digest RSS for raw
+#: multi-GB artifacts that would otherwise be slurped whole.
+_HASH_CHUNK_BYTES = 8 << 20
+
+
+def file_sha256(path: Path) -> str:
+    """Streaming sha256 of a file's bytes (constant memory)."""
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        while True:
+            chunk = handle.read(_HASH_CHUNK_BYTES)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
 
 class ArtifactStore:
     """Fingerprint-keyed object store rooted at a directory."""
@@ -58,10 +74,9 @@ class ArtifactStore:
             return None
         try:
             meta = json.loads(meta_path.read_text())
-            blob = payload_path.read_bytes()
             if meta.get("format") != META_FORMAT:
                 raise ValueError("unknown meta format")
-            if hashlib.sha256(blob).hexdigest() != meta["file_sha256"]:
+            if file_sha256(payload_path) != meta["file_sha256"]:
                 raise ValueError("payload bytes do not match recorded digest")
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
             obs.add("store.invalid")
@@ -115,7 +130,7 @@ class ArtifactStore:
             "stage": stage,
             "fingerprint": fingerprint,
             "content_hash": content_hash,
-            "file_sha256": hashlib.sha256(path.read_bytes()).hexdigest(),
+            "file_sha256": file_sha256(path),
             "payload": path.name,
             "created_unix": time.time(),
         }

@@ -46,6 +46,10 @@ class Word2Vec:
     "use all available cores".  The parallel engine optimises the same
     objective and is statistically equivalent, but not bit-identical,
     to the sequential path.  CBOW always trains sequentially.
+    ``pool_backend`` picks the parallel executor: ``"thread"`` (shared
+    address space), ``"process"`` (fork workers over shared-memory
+    syn0/syn1), or ``None`` to inherit the scoped default from
+    :func:`repro.parallel.pool.pool_backend`.
 
     ``progress`` is an optional per-epoch callback receiving a
     :class:`~repro.obs.progress.ProgressEvent` (pairs/sec, loss
@@ -69,6 +73,7 @@ class Word2Vec:
     dynamic_window: bool = True
     seed: int = 1
     workers: int = 1
+    pool_backend: str | None = None
     progress: Callable[[ProgressEvent], None] | None = field(
         default=None, repr=False, compare=False
     )
@@ -79,6 +84,11 @@ class Word2Vec:
         self._track_loss = False
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 means all cores)")
+        if self.pool_backend not in (None, "thread", "process"):
+            raise ValueError(
+                f"pool_backend must be 'thread', 'process', or None, "
+                f"got {self.pool_backend!r}"
+            )
         if self.vector_size < 1:
             raise ValueError("vector_size must be positive")
         if self.context < 1:
