@@ -11,6 +11,8 @@ cannot change any result — outputs stay bitwise identical.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import obs
@@ -117,6 +119,8 @@ class ExactIndex(NeighborIndex):
     ) -> tuple[np.ndarray, np.ndarray]:
         query_rows = check_query(len(self.units), query_rows, k, exclude_self)
         n = len(self.units)
+        rec = obs.current()
+        t0 = time.perf_counter() if rec.enabled else 0.0
         with obs.span("knn.search", k=k, queries=len(query_rows)) as sp:
             obs.add("knn.queries", len(query_rows))
             obs.add("knn.distance_computations", len(query_rows) * n)
@@ -125,4 +129,6 @@ class ExactIndex(NeighborIndex):
                 self.units, query_rows, k, exclude_self, workers=workers
             )
             obs.observe_many("knn.neighbor_distance", 1.0 - sims.ravel())
+            if rec.enabled:
+                obs.observe("knn.search_seconds", time.perf_counter() - t0)
         return neighbors, sims

@@ -28,6 +28,7 @@ scratch only when list imbalance crosses a threshold.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -241,6 +242,8 @@ class IVFIndex(NeighborIndex):
             return lo, hi, nb, s64, chunk_stats
 
         n = len(self.units)
+        rec = obs.current()
+        t0 = time.perf_counter() if rec.enabled else 0.0
         with obs.span("knn.search", k=k, queries=q, backend="ivf") as sp:
             obs.add("knn.queries", q)
             if workers == 1 or len(chunks) <= 1:
@@ -262,6 +265,8 @@ class IVFIndex(NeighborIndex):
             obs.add("ann.candidates_scored", scored)
             sp.set(items=computed, items_unit="dists")
             obs.observe_many("knn.neighbor_distance", 1.0 - sims.ravel())
+            if rec.enabled:
+                obs.observe("knn.search_seconds", time.perf_counter() - t0)
             self._audit(rows, neighbors, k, exclude_self)
         return neighbors, sims
 

@@ -35,6 +35,7 @@ list imbalance crosses the threshold.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -308,6 +309,8 @@ class IVFPQIndex(NeighborIndex):
             return lo, hi, nb, s64, chunk_stats
 
         n = len(self.units)
+        rec = obs.current()
+        t0 = time.perf_counter() if rec.enabled else 0.0
         with obs.span("knn.search", k=k, queries=q, backend="ivfpq") as sp:
             obs.add("knn.queries", q)
             if workers == 1 or len(chunks) <= 1:
@@ -330,6 +333,8 @@ class IVFPQIndex(NeighborIndex):
             obs.add("ann.candidates_scored", scored)
             sp.set(items=computed, items_unit="dists")
             obs.observe_many("knn.neighbor_distance", 1.0 - sims.ravel())
+            if rec.enabled:
+                obs.observe("knn.search_seconds", time.perf_counter() - t0)
             self._audit(rows, neighbors, k, exclude_self)
         return neighbors, sims
 

@@ -11,6 +11,7 @@ Subcommands mirror the DarkVec workflow:
     repro evaluate  --trace trace.csv --vectors vectors.npz --labels labels.csv
     repro cluster   --trace trace.csv --vectors vectors.npz [--k-prime K]
     repro profile   [--preset small|medium] [--metrics-out trace.ndjson]
+    repro top       --stream live.ndjson [--interval S] [--once]
     repro runs      list|show <id>|compare <a> <b>  --cache-dir cache
     repro health    --cache-dir cache
 
@@ -30,7 +31,12 @@ the evaluate step can be run on the simulated data.
 ``update`` accept ``--metrics-out PATH`` (export the telemetry trace
 as NDJSON) and ``--profile`` (also print a per-stage
 time/memory/throughput table).  ``profile`` runs the whole pipeline on
-a synthetic scenario with both enabled.
+a synthetic scenario with both enabled.  The same commands accept
+``--telemetry-out PATH`` (stream live frames every
+``--telemetry-interval`` seconds, including in-flight spans and
+per-worker RSS) and ``--prom-out PATH`` (Prometheus text exposition,
+atomically rewritten per flush); ``repro top --stream PATH`` tails the
+live stream from another terminal.
 
 Commands running against an artifact cache append an immutable record
 to the run registry (``<cache-dir>/registry/runs.ndjson``); ``repro
@@ -74,6 +80,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_live_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--telemetry-out",
+            type=Path,
+            default=None,
+            help="stream live telemetry frames (in-flight spans, "
+            "counters, worker RSS, sketch quantiles) to this NDJSON "
+            "file while the command runs; tail it with `repro top`",
+        )
+        cmd.add_argument(
+            "--telemetry-interval",
+            type=float,
+            default=1.0,
+            help="seconds between live telemetry flushes (default 1.0)",
+        )
+        cmd.add_argument(
+            "--prom-out",
+            type=Path,
+            default=None,
+            help="also publish a Prometheus text-exposition file, "
+            "atomically rewritten on every flush",
+        )
+
     def add_telemetry_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
             "--metrics-out",
@@ -87,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="profile the run and print a per-stage table "
             "(time, peak memory, throughput)",
         )
+        add_live_flags(cmd)
 
     def add_ann_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
@@ -343,7 +373,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the telemetry trace (spans + metrics) as NDJSON",
     )
+    add_live_flags(profile)
     profile.set_defaults(profile=True)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard tailing a --telemetry-out stream from "
+        "another repro process",
+    )
+    top.add_argument(
+        "--stream",
+        type=Path,
+        required=True,
+        help="NDJSON telemetry stream written by --telemetry-out",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between screen refreshes (default 1.0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render the latest frame once and exit (no screen clearing)",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="exit after rendering this many refreshes",
+    )
 
     def add_registry_args(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
@@ -365,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_registry_args(runs_list)
     runs_show = runs_sub.add_parser("show", help="full detail of one run")
     runs_show.add_argument("run_id")
+    runs_show.add_argument(
+        "--quantiles",
+        action="store_true",
+        help="print sketch quantiles (p50/p95/p99) recorded for the run",
+    )
     add_registry_args(runs_show)
     runs_compare = runs_sub.add_parser(
         "compare",
@@ -851,6 +916,19 @@ def _cmd_runs(args) -> int:
                     health["monitors"], title=f"Health: {health['verdict']}"
                 )
             )
+        if getattr(args, "quantiles", False):
+            sketches = (record.get("metrics") or {}).get("sketches") or {}
+            if sketches:
+                print(
+                    obs.format_quantile_table(
+                        sketches, title="Latency quantiles (sketch)"
+                    )
+                )
+            else:
+                print(
+                    "no sketch quantiles recorded for this run "
+                    "(re-run with telemetry enabled, e.g. --metrics-out)"
+                )
         extra = record.get("extra") or {}
         for key in sorted(extra):
             print(f"{key}: {extra[key]}")
@@ -1019,6 +1097,52 @@ def _cmd_health(args) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Tail a ``--telemetry-out`` stream and render a live dashboard."""
+    import time as time_mod
+
+    from repro.obs.live import read_frames, render_frame
+
+    stream: Path = args.stream
+    offset = 0
+    frame = None
+    prev = None
+    rss_history: list[float] = []
+    rendered = 0
+    clear = "\x1b[2J\x1b[H"  # ANSI: clear screen, cursor home
+    try:
+        while True:
+            if stream.exists():
+                frames, offset = read_frames(stream, offset)
+                for new in frames:
+                    if frame is not None:
+                        prev = frame
+                    frame = new
+                    rss = (new.get("proc") or {}).get("rss")
+                    if rss:
+                        rss_history.append(float(rss))
+            if args.once:
+                if frame is None:
+                    print(f"no frames in {stream}", file=sys.stderr)
+                    return 2
+                print(render_frame(frame, prev, rss_history))
+                return 0
+            if frame is not None:
+                sys.stdout.write(clear + render_frame(frame, prev, rss_history))
+                sys.stdout.write("\n")
+                sys.stdout.flush()
+                rendered += 1
+                if args.frames is not None and rendered >= args.frames:
+                    return 0
+            elif not stream.exists():
+                sys.stdout.write(f"waiting for {stream} ...\r")
+                sys.stdout.flush()
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "stats": _cmd_stats,
@@ -1029,6 +1153,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "cluster": _cmd_cluster,
     "profile": _cmd_profile,
+    "top": _cmd_top,
     "runs": _cmd_runs,
     "health": _cmd_health,
 }
@@ -1037,28 +1162,56 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    When ``--metrics-out`` or ``--profile`` is given, the command runs
-    inside a telemetry session; afterwards the trace is exported as
-    NDJSON and/or the per-stage table is printed.  Without either flag
+    When ``--metrics-out``, ``--profile`` or ``--telemetry-out`` is
+    given, the command runs inside a telemetry session; afterwards the
+    trace is exported as NDJSON and/or the per-stage table is printed.
+    ``--telemetry-out`` additionally runs a background flusher that
+    streams live frames while the command executes, so a second
+    process can watch with ``repro top``.  Without any of the flags
     the no-op recorder stays installed and nothing is measured.
     """
     args = build_parser().parse_args(argv)
     handler = _COMMANDS[args.command]
     metrics_out = getattr(args, "metrics_out", None)
     profiling = getattr(args, "profile", False)
-    if metrics_out is None and not profiling:
+    telemetry_out = getattr(args, "telemetry_out", None)
+    if metrics_out is None and not profiling and telemetry_out is None:
         return handler(args)
     telemetry = obs.Telemetry(profile_memory=profiling)
+    sink = None
+    if telemetry_out is not None:
+        sink = obs.TelemetrySink(
+            telemetry,
+            telemetry_out,
+            prom_path=getattr(args, "prom_out", None),
+            interval=getattr(args, "telemetry_interval", 1.0),
+        )
     with obs.session(telemetry):
-        code = handler(args)
+        if sink is not None:
+            sink.start()
+        try:
+            code = handler(args)
+        finally:
+            if sink is not None:
+                sink.stop()
     if profiling:
         print()
         print(obs.format_stage_table(telemetry, title="Pipeline stages"))
         print()
         print(obs.format_counters_table(telemetry))
+        sketches = telemetry.snapshot().get("sketches") or {}
+        if sketches:
+            print()
+            print(
+                obs.format_quantile_table(
+                    sketches, title="Latency quantiles (sketch)"
+                )
+            )
     if metrics_out is not None:
         obs.write_metrics_ndjson(telemetry, metrics_out)
         print(f"wrote telemetry NDJSON to {metrics_out}")
+    if telemetry_out is not None:
+        print(f"streamed live telemetry to {telemetry_out}")
     return code
 
 

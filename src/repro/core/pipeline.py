@@ -172,6 +172,7 @@ class DarkVec:
             )
             artifacts = pipeline.run(trace, until="train")
             self._adopt(artifacts)
+            obs.sample_rss_peak_children("proc.rss_peak_children")
             if self.registry is not None:
                 profile, monitors = self._monitor_ingest(trace, kind="fit")
                 self.last_health = HealthReport(monitors=monitors)
@@ -345,6 +346,8 @@ class DarkVec:
 
             self._embedding_hash = KEYEDVECTORS_CODEC.content_hash(refit)
             self._evolve_index(prior_index, prior, refit)
+            obs.sample_rss_peak("proc.rss_peak")
+            obs.sample_rss_peak_children("proc.rss_peak_children")
             self.last_update = UpdateReport(
                 seconds=perf_counter() - t0,
                 new_packets=len(new_trace),

@@ -181,11 +181,15 @@ class StagedPipeline:
                     status = "miss"
             sp.set(status=status)
         obs.sample_rss_peak("proc.rss_peak")
+        obs.sample_rss_peak_children("proc.rss_peak_children")
+        seconds = perf_counter() - t0
+        if obs.current().enabled:
+            obs.observe("stage.seconds", seconds)
         statuses.append(
             StageStatus(
                 stage=stage,
                 status=status,
-                seconds=perf_counter() - t0,
+                seconds=seconds,
                 fingerprint=fingerprint,
             )
         )
@@ -243,8 +247,12 @@ class StagedPipeline:
                     ingest_status = "miss"
             sp.set(status=ingest_status)
         obs.sample_rss_peak("proc.rss_peak")
+        obs.sample_rss_peak_children("proc.rss_peak_children")
+        ingest_seconds = perf_counter() - t0
+        if obs.current().enabled:
+            obs.observe("stage.seconds", ingest_seconds)
         statuses.append(
-            StageStatus("ingest", ingest_status, perf_counter() - t0, ingest_fp)
+            StageStatus("ingest", ingest_status, ingest_seconds, ingest_fp)
         )
 
         artifacts = PipelineArtifacts(

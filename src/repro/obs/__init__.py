@@ -36,10 +36,12 @@ from repro.obs.drift import (
 from repro.obs.export import (
     counters_from_records,
     format_counters_table,
+    format_quantile_table,
     format_stage_table,
     telemetry_records,
     write_metrics_ndjson,
 )
+from repro.obs.live import TelemetrySink, WorkerStream, build_frame
 from repro.obs.health import (
     HealthPolicy,
     HealthReport,
@@ -47,7 +49,13 @@ from repro.obs.health import (
     classify,
 )
 from repro.obs.metrics import METRICS, Histogram, MetricSpec, MetricsRegistry
-from repro.obs.proc import rss_bytes, rss_peak_bytes, sample_rss_peak
+from repro.obs.proc import (
+    rss_bytes,
+    rss_peak_bytes,
+    rss_peak_children_bytes,
+    sample_rss_peak,
+    sample_rss_peak_children,
+)
 from repro.obs.progress import ProgressEvent, epoch_event
 from repro.obs.quality import (
     data_profile,
@@ -76,6 +84,7 @@ from repro.obs.recorder import (
     span,
     wrap_task,
 )
+from repro.obs.sketch import QuantileSketch
 from repro.obs.spans import Span
 
 __all__ = [
@@ -89,12 +98,16 @@ __all__ = [
     "MonitorResult",
     "NullRecorder",
     "ProgressEvent",
+    "QuantileSketch",
     "RunRecord",
     "RunRegistry",
     "Span",
     "SpanHandle",
     "Telemetry",
+    "TelemetrySink",
+    "WorkerStream",
     "add",
+    "build_frame",
     "classify",
     "cluster_stability",
     "code_version",
@@ -106,6 +119,7 @@ __all__ = [
     "empty_window_rate",
     "epoch_event",
     "format_counters_table",
+    "format_quantile_table",
     "format_stage_table",
     "neighborhood_churn",
     "observe",
@@ -115,7 +129,9 @@ __all__ = [
     "record_run",
     "rss_bytes",
     "rss_peak_bytes",
+    "rss_peak_children_bytes",
     "sample_rss_peak",
+    "sample_rss_peak_children",
     "session",
     "set_gauge",
     "span",

@@ -16,6 +16,7 @@ from pathlib import Path
 
 from repro.obs.metrics import METRICS
 from repro.obs.recorder import Telemetry
+from repro.obs.sketch import summarize
 from repro.obs.spans import Span
 
 
@@ -70,6 +71,16 @@ def telemetry_records(telemetry: Telemetry) -> list[dict]:
                 "name": name,
                 "deterministic": METRICS[name].deterministic,
                 **data,
+            }
+        )
+    for name, data in sorted(snapshot.get("sketches", {}).items()):
+        records.append(
+            {
+                "type": "sketch",
+                "name": name,
+                "deterministic": METRICS[name].deterministic,
+                **summarize(data),
+                "state": data,
             }
         )
     return records
@@ -140,6 +151,35 @@ def format_counters_table(
         )
     ]
     return format_table(["Metric", "Kind", "Value"], rows, title=title)
+
+
+def format_quantile_table(
+    sketches: dict[str, dict], title: str | None = None
+) -> str:
+    """Sketch p50/p95/p99 table from a ``sketches`` snapshot section.
+
+    Shared by ``repro profile`` output and ``runs show --quantiles`` —
+    the historical view of the same quantiles the live dashboard shows.
+    """
+    from repro.utils.tables import format_table
+
+    rows = []
+    for name, data in sorted(sketches.items()):
+        summary = summarize(data)
+        rows.append(
+            [
+                name,
+                f"{summary['count']:,}",
+                *(
+                    "-" if summary[col] is None else f"{summary[col]:.6f}"
+                    for col in ("p50", "p95", "p99")
+                ),
+                "-" if summary["max"] is None else f"{summary['max']:.6f}",
+            ]
+        )
+    return format_table(
+        ["Metric", "Count", "p50", "p95", "p99", "Max"], rows, title=title
+    )
 
 
 def _memory_cell(span: Span) -> str:

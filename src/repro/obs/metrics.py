@@ -1,4 +1,4 @@
-"""Metric registry: counters, gauges and fixed-bucket histograms.
+"""Metric registry: counters, gauges, histograms and quantile sketches.
 
 Every metric the pipeline can emit is declared up front in
 :data:`METRICS`; recording to an undeclared name raises immediately,
@@ -14,9 +14,12 @@ aggregate without locking the hot path (see
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.obs.sketch import QuantileSketch
 
 
 @dataclass(frozen=True)
@@ -24,11 +27,14 @@ class MetricSpec:
     """Declaration of one metric.
 
     Attributes:
-        kind: ``"counter"``, ``"gauge"`` or ``"histogram"``.
+        kind: ``"counter"``, ``"gauge"``, ``"histogram"`` or
+            ``"sketch"`` (streaming quantiles, see
+            :class:`repro.obs.sketch.QuantileSketch`).
         description: one-line meaning, surfaced in the README table.
         unit: unit of the recorded values (informational).
         buckets: upper-inclusive bucket edges (histograms only); values
-            above the last edge land in an overflow bucket.
+            above the last edge land in an overflow bucket.  Sketches
+            need no edges — that is the point of them.
         deterministic: True when the aggregated value is identical for
             every ``workers`` setting of the same run (timing aside);
             False for values that depend on the RNG streams of the
@@ -42,7 +48,7 @@ class MetricSpec:
     deterministic: bool = True
 
     def __post_init__(self) -> None:
-        if self.kind not in ("counter", "gauge", "histogram"):
+        if self.kind not in ("counter", "gauge", "histogram", "sketch"):
             raise ValueError(f"unknown metric kind {self.kind!r}")
         if (self.kind == "histogram") != (self.buckets is not None):
             raise ValueError("histograms (and only histograms) need buckets")
@@ -218,6 +224,47 @@ METRICS: dict[str, MetricSpec] = {
         unit="bytes",
         deterministic=False,
     ),
+    "proc.rss_peak_children": MetricSpec(
+        "gauge",
+        "aggregate peak resident set size of process-pool children "
+        "(live VmHWM sum, falling back to RUSAGE_CHILDREN)",
+        unit="bytes",
+        deterministic=False,
+    ),
+    "stage.seconds": MetricSpec(
+        "sketch",
+        "streaming quantiles of per-stage wall times",
+        unit="seconds",
+        deterministic=False,
+    ),
+    "train.epoch_seconds": MetricSpec(
+        "sketch",
+        "streaming quantiles of per-epoch training wall times",
+        unit="seconds",
+        deterministic=False,
+    ),
+    "knn.search_seconds": MetricSpec(
+        "sketch",
+        "streaming quantiles of k-NN search call latency",
+        unit="seconds",
+        deterministic=False,
+    ),
+    "telemetry.flushes": MetricSpec(
+        "counter",
+        "live telemetry frames flushed to the NDJSON stream",
+        deterministic=False,
+    ),
+    "telemetry.flush_seconds": MetricSpec(
+        "sketch",
+        "streaming quantiles of telemetry flush latency",
+        unit="seconds",
+        deterministic=False,
+    ),
+    "telemetry.worker_snapshots": MetricSpec(
+        "counter",
+        "periodic in-flight snapshots received from process-pool workers",
+        deterministic=False,
+    ),
 }
 
 
@@ -241,19 +288,26 @@ class Histogram:
     so means survive snapshot/merge.
     """
 
-    __slots__ = ("edges", "counts", "total", "sum")
+    __slots__ = ("edges", "_edge_list", "counts", "total", "sum")
 
     def __init__(self, edges: tuple[float, ...]) -> None:
         self.edges = np.asarray(edges, dtype=np.float64)
         if len(self.edges) == 0 or np.any(np.diff(self.edges) <= 0):
             raise ValueError("bucket edges must be strictly increasing")
+        # Plain-list mirror of the edges: bisect on a list is much
+        # cheaper than building a 1-element ndarray per observation.
+        self._edge_list = self.edges.tolist()
         self.counts = np.zeros(len(self.edges) + 1, dtype=np.int64)
         self.total = 0
         self.sum = 0.0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.observe_many(np.asarray([value], dtype=np.float64))
+        """Record one observation (scalar fast path, no allocation)."""
+        value = float(value)
+        # bisect_left == searchsorted(side="left"): first edge >= value.
+        self.counts[bisect.bisect_left(self._edge_list, value)] += 1
+        self.total += 1
+        self.sum += value
 
     def observe_many(self, values: np.ndarray) -> None:
         """Record a batch of observations in one vectorized pass."""
@@ -300,6 +354,7 @@ class MetricsRegistry:
         self.counters: dict[str, int | float] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        self.sketches: dict[str, QuantileSketch] = {}
 
     def add(self, name: str, value: int | float = 1) -> None:
         """Increment counter ``name`` by ``value``."""
@@ -312,12 +367,12 @@ class MetricsRegistry:
         self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Record one observation into histogram ``name``."""
-        self._histogram(name).observe(value)
+        """Record one observation into histogram or sketch ``name``."""
+        self._series(name).observe(value)
 
     def observe_many(self, name: str, values: np.ndarray) -> None:
-        """Record a batch of observations into histogram ``name``."""
-        self._histogram(name).observe_many(values)
+        """Record a batch of observations into histogram or sketch."""
+        self._series(name).observe_many(values)
 
     def _histogram(self, name: str) -> Histogram:
         hist = self.histograms.get(name)
@@ -327,6 +382,28 @@ class MetricsRegistry:
             hist = self.histograms[name] = Histogram(spec.buckets)
         return hist
 
+    def _sketch(self, name: str) -> QuantileSketch:
+        sketch = self.sketches.get(name)
+        if sketch is None:
+            _spec_for(name, "sketch")
+            sketch = self.sketches[name] = QuantileSketch()
+        return sketch
+
+    def _series(self, name: str) -> Histogram | QuantileSketch:
+        """The observable series for ``name``, dispatched by kind."""
+        series = self.histograms.get(name) or self.sketches.get(name)
+        if series is not None:
+            return series
+        spec = METRICS.get(name)
+        if spec is None:
+            raise ValueError(
+                f"unknown metric {name!r}; declare it in "
+                "repro.obs.metrics.METRICS"
+            )
+        if spec.kind == "sketch":
+            return self._sketch(name)
+        return self._histogram(name)
+
     def snapshot(self) -> dict:
         """Plain-dict copy of every recorded value."""
         return {
@@ -335,13 +412,18 @@ class MetricsRegistry:
             "histograms": {
                 name: hist.to_dict() for name, hist in self.histograms.items()
             },
+            "sketches": {
+                name: sketch.to_dict()
+                for name, sketch in self.sketches.items()
+            },
         }
 
     def merge(self, snapshot: dict) -> None:
         """Fold a :meth:`snapshot` into this registry.
 
-        Counters and histograms accumulate; gauges take the incoming
-        value (last write wins, as for direct :meth:`set_gauge` calls).
+        Counters, histograms and sketches accumulate; gauges take the
+        incoming value (last write wins, as for direct
+        :meth:`set_gauge` calls).
         """
         for name, value in snapshot.get("counters", {}).items():
             self.add(name, value)
@@ -349,3 +431,5 @@ class MetricsRegistry:
             self.set_gauge(name, value)
         for name, data in snapshot.get("histograms", {}).items():
             self._histogram(name).merge_dict(data)
+        for name, data in snapshot.get("sketches", {}).items():
+            self._sketch(name).merge_dict(data)

@@ -16,12 +16,13 @@ from pathlib import Path
 from repro.obs import recorder
 
 _STATUS_PATH = Path("/proc/self/status")
+_TASK_DIR = Path("/proc/self/task")
 
 
-def _status_kib(field: str) -> int | None:
-    """A ``kB`` field of ``/proc/self/status``, or None off-Linux."""
+def _status_kib(field: str, path: Path = _STATUS_PATH) -> int | None:
+    """A ``kB`` field of a ``/proc/<pid>/status`` file, or None off-Linux."""
     try:
-        text = _STATUS_PATH.read_text()
+        text = path.read_text()
     except OSError:
         return None
     for line in text.splitlines():
@@ -55,6 +56,63 @@ def rss_peak_bytes() -> int:
     if kib is None:
         return _rusage_peak_bytes()
     return kib * 1024
+
+
+def child_pids() -> list[int]:
+    """Pids of this process's live direct children (Linux; [] elsewhere).
+
+    Children are listed per kernel thread under
+    ``/proc/self/task/<tid>/children`` — process-pool workers forked
+    from any thread are all direct children of this process.
+    """
+    pids: set[int] = set()
+    try:
+        task_dirs = list(_TASK_DIR.iterdir())
+    except OSError:
+        return []
+    for task in task_dirs:
+        try:
+            text = (task / "children").read_text()
+        except OSError:
+            continue
+        pids.update(int(pid) for pid in text.split())
+    return sorted(pids)
+
+
+def _rusage_children_peak_bytes() -> int:
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(peak) * 1024 if peak < 1 << 32 else int(peak)
+
+
+def rss_peak_children_bytes() -> int:
+    """Aggregate RSS high-water mark of this process's children.
+
+    Sums ``VmHWM`` across live child pids (the in-flight process-pool
+    view) and takes the max against ``RUSAGE_CHILDREN`` (which only
+    covers already-reaped children — each alone is blind to half the
+    picture).  Returns 0 when no children ever existed.
+    """
+    live = 0
+    for pid in child_pids():
+        kib = _status_kib("VmHWM", Path(f"/proc/{pid}/status"))
+        if kib is not None:
+            live += kib * 1024
+    return max(live, _rusage_children_peak_bytes())
+
+
+def sample_rss_peak_children(gauge: str = "proc.rss_peak_children") -> None:
+    """Record the children's aggregate RSS high-water mark into ``gauge``.
+
+    No-op when no telemetry session is active, and skips the write
+    entirely while the value is 0 (no process-pool children yet), so
+    thread-backend runs do not emit a meaningless zero gauge.
+    """
+    if recorder.current().enabled:
+        peak = rss_peak_children_bytes()
+        if peak > 0:
+            recorder.set_gauge(gauge, float(peak))
 
 
 def sample_rss_peak(gauge: str = "proc.rss_peak") -> None:

@@ -106,8 +106,6 @@ class SpanHandle:
         telemetry = self._telemetry
         stack = telemetry._stack()
         parent = stack[-1]
-        with telemetry._lock:
-            parent.children.append(self.span)
         stack.append(self.span)
         if telemetry.profile_memory and tracemalloc.is_tracing():
             # Fold the global high-water mark seen so far into the
@@ -117,10 +115,17 @@ class SpanHandle:
             parent.mem_peak_bytes = max(parent.mem_peak_bytes or 0, pre_peak)
             tracemalloc.reset_peak()
         self._t0 = time.perf_counter()
+        with telemetry._lock:
+            # Link and register in one critical section so live readers
+            # (the TelemetrySink) see every in-flight span with its
+            # start time — progress is observable mid-stage.
+            parent.children.append(self.span)
+            telemetry._open_spans[id(self.span)] = self._t0
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.span.elapsed = time.perf_counter() - self._t0
+        self._telemetry._open_spans.pop(id(self.span), None)
         telemetry = self._telemetry
         stack = telemetry._stack()
         if stack and stack[-1] is self.span:
@@ -149,6 +154,10 @@ class Telemetry:
             into it; see :meth:`task_scope`).
         profile_memory: when True and a :func:`session` is active,
             ``tracemalloc`` runs and spans record peak memory.
+        worker_stream_interval: when set (by an attached
+            :class:`~repro.obs.live.TelemetrySink`), process-pool
+            workers publish in-flight snapshots at this period; None
+            (the default) keeps cross-process streaming off entirely.
     """
 
     enabled = True
@@ -157,8 +166,15 @@ class Telemetry:
         self.root = Span(name="root")
         self.registry = MetricsRegistry()
         self.profile_memory = profile_memory
+        self.worker_stream_interval: float | None = None
         self._lock = threading.Lock()
         self._tls = threading.local()
+        # id(span) -> perf_counter() at entry, for every unclosed span.
+        self._open_spans: dict[int, float] = {}
+        # thread ident -> live task-scope registry (in-flight metrics).
+        self._active_shards: dict[int, MetricsRegistry] = {}
+        # worker pid -> last published heartbeat (see publish_worker).
+        self._workers_live: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # Recording surface (mirrors NullRecorder)
@@ -223,11 +239,19 @@ class Telemetry:
         """
         shard = MetricsRegistry()
         previous = getattr(self._tls, "registry", None)
+        tid = threading.get_ident()
         self._tls.registry = shard
+        with self._lock:
+            self._active_shards[tid] = shard
         try:
             yield shard
         finally:
             self._tls.registry = previous
+            with self._lock:
+                if previous is not None:
+                    self._active_shards[tid] = previous
+                else:
+                    self._active_shards.pop(tid, None)
             self.merge_snapshot(shard.snapshot())
 
     def merge_snapshot(self, snapshot: dict) -> None:
@@ -239,10 +263,71 @@ class Telemetry:
         """Thread-safe snapshot of the aggregated metrics.
 
         Note: metric writes made inside still-running task scopes are
-        not visible until those tasks complete.
+        not visible until those tasks complete; use
+        :meth:`inflight_snapshot` for the live view.
         """
         with self._lock:
             return self.registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # Live view (consumed by repro.obs.live)
+    # ------------------------------------------------------------------
+
+    def open_spans(self) -> dict[int, float]:
+        """``id(span) -> start perf_counter`` for every unclosed span.
+
+        Copied under the lock so a concurrent exit cannot mutate the
+        dict mid-iteration.
+        """
+        with self._lock:
+            return dict(self._open_spans)
+
+    def inflight_snapshot(self) -> dict:
+        """Merged snapshot of every still-running task scope.
+
+        This is the live complement of :meth:`snapshot`: metric writes
+        sitting in unfinished task shards, visible before the shards
+        merge.  Reading races the writers benignly (counters may lag by
+        the last increment) — the final merge is still exact.
+        """
+        with self._lock:
+            shards = list(self._active_shards.values())
+        merged = MetricsRegistry()
+        for shard in shards:
+            try:
+                merged.merge(shard.snapshot())
+            except RuntimeError:
+                # The owning thread added a metric mid-copy ("dict
+                # changed size during iteration"); skip this shard for
+                # this frame — the next one will see it.
+                continue
+        return merged.snapshot()
+
+    def publish_worker(self, info: dict) -> None:
+        """Record a periodic heartbeat from a process-pool worker.
+
+        ``info`` carries at least ``pid``; by convention also ``rss``
+        (bytes), ``time`` (wall clock) and ``metrics`` (an in-flight
+        registry snapshot).  Heartbeats feed the live frame only — the
+        worker's end-of-task snapshot still merges normally, so the
+        aggregate never double-counts.
+        """
+        with self._lock:
+            self._workers_live[int(info.get("pid", 0))] = info
+            self.registry.add("telemetry.worker_snapshots", 1)
+
+    def workers_view(self) -> list[dict]:
+        """Latest heartbeat per live worker pid, sorted by pid."""
+        with self._lock:
+            return [
+                dict(info)
+                for _, info in sorted(self._workers_live.items())
+            ]
+
+    def clear_workers(self) -> None:
+        """Drop worker heartbeats (the pool they came from is gone)."""
+        with self._lock:
+            self._workers_live.clear()
 
     # ------------------------------------------------------------------
     # Internals

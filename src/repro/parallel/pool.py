@@ -164,14 +164,31 @@ class WorkerPool:
         """Fan ``fn`` over ``items`` in fork-based worker processes."""
         global _FORK_STATE
         rec = recorder.current()
+        ctx = multiprocessing.get_context("fork")
+        stream = None
+        initializer, initargs = None, ()
+        if rec.enabled and getattr(rec, "worker_stream_interval", None):
+            # A live sink is attached: workers heartbeat in-flight
+            # snapshots + RSS through a queue (see repro.obs.live).
+            from repro.obs.live import WorkerStream
+
+            stream = WorkerStream.maybe(rec, ctx)
+        if stream is not None:
+            initializer, initargs = stream.initargs
+            stream.start()
         with _FORK_LOCK:
             _FORK_STATE = (fn, items)
             try:
-                ctx = multiprocessing.get_context("fork")
-                with ctx.Pool(processes=min(self.workers, len(items))) as pool:
+                with ctx.Pool(
+                    processes=min(self.workers, len(items)),
+                    initializer=initializer,
+                    initargs=initargs,
+                ) as pool:
                     outcomes = pool.map(_fork_map_entry, range(len(items)))
             finally:
                 _FORK_STATE = None
+                if stream is not None:
+                    stream.stop()
         results = []
         for result, snapshot in outcomes:
             if snapshot is not None and rec.enabled:

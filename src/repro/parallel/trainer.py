@@ -234,10 +234,14 @@ class ShardedTrainer:
         with WorkerPool(self.model.workers, backend="thread") as pool:
             for epoch in range(self.model.epochs):
                 loss_sum0, loss_pairs0 = self._loss_sum, self._loss_pairs
+                t_epoch = time.perf_counter()
                 with obs.span("train.epoch", epoch=epoch):
                     order = rng.permutation(n_items)
                     shards = np.array_split(order, min(self.n_shards, n_items))
                     self._run_epoch(pool, epoch, shards, generate)
+                obs.observe(
+                    "train.epoch_seconds", time.perf_counter() - t_epoch
+                )
                 self._emit_progress(epoch, t_start, loss_sum0, loss_pairs0)
 
     def _train_epochs_process(
@@ -266,16 +270,32 @@ class ShardedTrainer:
         self._syn0, self._syn1 = shared0.array, shared1.array
         self._shared_processed = ctx.Value("q", 0)
         self._generate = generate
+        stream = None
+        initializer, initargs = None, ()
+        if rec.enabled and getattr(rec, "worker_stream_interval", None):
+            # A live sink is attached: workers heartbeat in-flight
+            # snapshots + RSS through a queue (see repro.obs.live).
+            from repro.obs.live import WorkerStream
+
+            stream = WorkerStream.maybe(rec, ctx)
+        if stream is not None:
+            initializer, initargs = stream.initargs
+            stream.start()
         try:
             with _PROC_LOCK:
                 _PROC_TRAINER = self
                 try:
                     # One fork per fit: workers inherit the trainer (and
                     # the shared mappings) once; tasks are small tuples.
-                    with ctx.Pool(processes=self.workers) as procs:
+                    with ctx.Pool(
+                        processes=self.workers,
+                        initializer=initializer,
+                        initargs=initargs,
+                    ) as procs:
                         for epoch in range(self.model.epochs):
                             loss_sum0 = self._loss_sum
                             loss_pairs0 = self._loss_pairs
+                            t_epoch = time.perf_counter()
                             with obs.span("train.epoch", epoch=epoch):
                                 order = rng.permutation(n_items)
                                 shards = np.array_split(
@@ -292,12 +312,18 @@ class ShardedTrainer:
                                     self._loss_pairs += loss_pairs
                                     if snapshot is not None and rec.enabled:
                                         rec.merge_snapshot(snapshot)
+                            obs.observe(
+                                "train.epoch_seconds",
+                                time.perf_counter() - t_epoch,
+                            )
                             self._processed = int(self._shared_processed.value)
                             self._emit_progress(
                                 epoch, t_start, loss_sum0, loss_pairs0
                             )
                 finally:
                     _PROC_TRAINER = None
+                    if stream is not None:
+                        stream.stop()
             original0[...] = shared0.array
             original1[...] = shared1.array
         finally:

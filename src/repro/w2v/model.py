@@ -247,6 +247,7 @@ class Word2Vec:
         t_start = time.perf_counter()
         for epoch in range(self.epochs):
             self._loss_sum, self._loss_pairs = 0.0, 0
+            t_epoch = time.perf_counter()
             with obs.span("train.epoch", epoch=epoch):
                 order = rng.permutation(len(encoded))
                 for idx in order:
@@ -266,6 +267,7 @@ class Word2Vec:
                     buffered += len(centers)
                     if buffered >= batch_pairs:
                         flush()
+            obs.observe("train.epoch_seconds", time.perf_counter() - t_epoch)
             # Buffered pairs carry over into the next epoch's batches
             # (flushing here would change batch boundaries and break
             # bit-reproducibility), so progress counts them as seen.
@@ -345,6 +347,7 @@ class Word2Vec:
         t_start = time.perf_counter()
         for epoch in range(self.epochs):
             self._loss_sum, self._loss_pairs = 0.0, 0
+            t_epoch = time.perf_counter()
             with obs.span("train.epoch", epoch=epoch):
                 order = rng.permutation(len(centers))
                 for lo in range(0, len(order), batch_pairs):
@@ -363,6 +366,7 @@ class Word2Vec:
                         # cap must be applied per batch, not per epoch.
                         _cap_norms(syn0, self.max_norm)
                         _cap_norms(syn1, self.max_norm)
+            obs.observe("train.epoch_seconds", time.perf_counter() - t_epoch)
             self._emit_progress(epoch, processed, total_pairs, t_start)
         fit_span.set(items=processed, items_unit="pairs")
         return KeyedVectors(

@@ -190,6 +190,20 @@ class TestHistogram:
         with pytest.raises(ValueError, match="different edges"):
             a.merge_dict(b.to_dict())
 
+    def test_scalar_observe_matches_observe_many(self):
+        # The scalar fast path (bisect on a plain list) must land every
+        # value in the same bucket as the vectorised searchsorted path,
+        # including the upper-inclusive edge cases.
+        edges = (0.001, 0.01, 0.1, 1.0, 10.0)
+        values = [0.0005, 0.001, 0.0011, 0.01, 0.05, 0.1, 1.0, 5.0, 10.0, 99.0]
+        scalar, vectored = Histogram(edges), Histogram(edges)
+        for value in values:
+            scalar.observe(value)
+        vectored.observe_many(np.array(values))
+        assert scalar.counts.tolist() == vectored.counts.tolist()
+        assert scalar.total == vectored.total
+        assert scalar.sum == pytest.approx(vectored.sum)
+
 
 class TestWorkerPoolAggregation:
     def _count_task(self, n):
@@ -358,6 +372,28 @@ class TestDeterminism:
         assert np.array_equal(plain.vectors, instrumented.vectors)
         assert np.array_equal(plain.tokens, instrumented.tokens)
 
+    def test_fit_bit_identical_with_live_sink(self, tmp_path):
+        # The background flusher must observe, never perturb: a fit
+        # streamed at a fast flush interval is bit-identical to the
+        # uninstrumented one.
+        from repro.obs import TelemetrySink
+        from repro.w2v.model import Word2Vec
+
+        sentences = self._sentences()
+        plain = Word2Vec(vector_size=12, epochs=2, seed=9).fit(sentences)
+        telemetry = Telemetry()
+        sink = TelemetrySink(
+            telemetry, tmp_path / "live.ndjson", interval=0.01
+        )
+        with obs.session(telemetry):
+            with sink:
+                streamed = Word2Vec(vector_size=12, epochs=2, seed=9).fit(
+                    sentences
+                )
+        assert np.array_equal(plain.vectors, streamed.vectors)
+        assert np.array_equal(plain.tokens, streamed.tokens)
+        assert (tmp_path / "live.ndjson").exists()
+
 
 class TestStageTable:
     def test_table_contains_stages_and_throughput(self):
@@ -386,7 +422,12 @@ class TestStageTable:
 class TestMetricDeclarations:
     def test_all_spec_kinds_valid(self):
         for name, spec in METRICS.items():
-            assert spec.kind in ("counter", "gauge", "histogram"), name
+            assert spec.kind in (
+                "counter",
+                "gauge",
+                "histogram",
+                "sketch",
+            ), name
             assert spec.description, name
 
     def test_deterministic_flags(self):

@@ -57,8 +57,9 @@ class TestMetricsEmitted:
     def test_every_metric_referenced_in_source(self):
         emitting = ""
         for path in SRC.rglob("*.py"):
-            if "obs" not in path.parts:  # exclude the registry itself
-                emitting += path.read_text()
+            if path.name == "metrics.py" and "obs" in path.parts:
+                continue  # exclude only the registry itself
+            emitting += path.read_text()
         unused = sorted(
             name
             for name in METRICS
