@@ -14,6 +14,8 @@ Subcommands mirror the DarkVec workflow:
     repro top       --stream live.ndjson [--interval S] [--once]
     repro runs      list|show <id>|compare <a> <b>  --cache-dir cache
     repro health    --cache-dir cache
+    repro serve     --cache-dir cache [--port P --port-file F --labels L]
+    repro query     <op> [--ip A.B.C.D --k K --trace batch.csv]
 
 ``run`` executes the staged pipeline against a content-addressed
 artifact store and prints the per-stage hit/miss table; ``resume`` is
@@ -44,6 +46,16 @@ runs`` lists, shows and compares those records, and ``repro health``
 renders the latest drift/quality verdicts with sparkline history.
 ``repro update --health-gate`` refuses to persist an update whose
 monitors fail, keeping the previous fitted state live.
+
+``serve`` turns the fitted state into a streaming daemon: packet
+micro-batches arrive over a localhost JSON-lines socket (``repro
+query ingest``), a single writer applies :meth:`DarkVec.update` per
+batch behind the health gate, and classify/neighbors/members queries
+answer from an atomically-swapped model snapshot — they keep working,
+against the previous model, while an update trains or is rolled back.
+``query`` is the matching client; with ``--telemetry-out`` on the
+daemon, ``repro top`` watches its ingest/query/promotion counters
+live.
 """
 
 from __future__ import annotations
@@ -463,6 +475,135 @@ def build_parser() -> argparse.ArgumentParser:
     add_registry_args(health)
     health.add_argument(
         "--width", type=int, default=48, help="sparkline width in cells"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="streaming daemon: ingest micro-batches, answer queries "
+        "from an atomically-swapped model snapshot",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache directory whose <cache-dir>/state holds the fitted state",
+    )
+    serve.add_argument(
+        "--state",
+        type=Path,
+        default=None,
+        help="fitted-state directory (overrides --cache-dir/state)",
+    )
+    serve.add_argument(
+        "--labels",
+        type=Path,
+        default=None,
+        help="ground-truth labels CSV: labels classify answers and "
+        "enables the LOO-accuracy health monitor on every update",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="write the bound port here once listening (lets scripts "
+        "connect without racing an ephemeral port)",
+    )
+    serve.add_argument(
+        "--health-gate",
+        action="store_true",
+        help="gate every ingested batch on the health verdict (a fail "
+        "rolls the model back and keeps the previous snapshot live)",
+    )
+    serve.add_argument(
+        "--knn-k", type=int, default=7, help="neighbours used by classify"
+    )
+    serve.add_argument(
+        "--clusters",
+        dest="with_clusters",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cache a Louvain partition per snapshot so `members` "
+        "queries are O(1) (--no-clusters cuts promotion cost)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="ingest queue capacity; producers block past this",
+    )
+    serve.add_argument(
+        "--save-state",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="persist the promoted model back to the state directory "
+        "on clean shutdown",
+    )
+    add_live_flags(serve)
+    serve.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write the telemetry trace (spans + metrics) as NDJSON "
+        "after shutdown",
+    )
+
+    query = sub.add_parser(
+        "query", help="query or feed a running `repro serve` daemon"
+    )
+    query.add_argument(
+        "op",
+        choices=(
+            "ping",
+            "status",
+            "classify",
+            "neighbors",
+            "members",
+            "ingest",
+            "drain",
+            "shutdown",
+        ),
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument(
+        "--port", type=int, default=None, help="daemon port"
+    )
+    query.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        help="read the daemon port from this file (waits for it)",
+    )
+    query.add_argument(
+        "--ip", default=None, help="sender address for classify/neighbors/members"
+    )
+    query.add_argument(
+        "--k", type=int, default=None, help="neighbours (neighbors op)"
+    )
+    query.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="cluster members to list (members op)",
+    )
+    query.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="micro-batch trace CSV for the ingest op (the daemon "
+        "reads the file, so the path must be visible to it)",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="seconds to wait (drain/shutdown ops)",
     )
 
     return parser
@@ -1143,6 +1284,95 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_serve(args) -> int:
+    """`repro serve`: run the streaming daemon until a shutdown op."""
+    from repro.serve import DarkVecService, ServeServer
+
+    if args.state is not None:
+        state_dir = args.state
+    elif args.cache_dir is not None:
+        state_dir = args.cache_dir / "state"
+    else:
+        print("serve needs --state or --cache-dir", file=sys.stderr)
+        return 2
+    darkvec = DarkVec.load_state(state_dir)
+    truth = _read_labels(args.labels) if args.labels is not None else None
+    service = DarkVecService(
+        darkvec,
+        truth=truth,
+        health_gate=True if args.health_gate else None,
+        knn_k=args.knn_k,
+        with_clusters=args.with_clusters,
+        max_pending=args.max_pending,
+    )
+    server = ServeServer(
+        service,
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+    )
+    print(
+        f"serving model v0 ({len(service.snapshot)} senders) on "
+        f"{args.host}:{server.port} — stop with `repro query shutdown "
+        f"--port {server.port}`",
+        flush=True,
+    )
+    try:
+        server.serve_until_shutdown()
+    except KeyboardInterrupt:
+        print("interrupted; draining writer", flush=True)
+        service.close()
+        server.server_close()
+    status = service.status()
+    print(
+        f"served model v{status['version']}: {status['batches']} batches, "
+        f"{status['promotions']} promotions, {status['rollbacks']} rollbacks"
+    )
+    if args.save_state and service.promotions > 0:
+        darkvec.save_state(state_dir)
+        print(f"saved promoted state to {state_dir}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    """`repro query`: one JSON round trip against a serve daemon."""
+    import json
+
+    from repro.serve import ServeClient
+
+    needs_ip = {"classify", "neighbors", "members"}
+    if args.op in needs_ip and args.ip is None:
+        print(f"{args.op} needs --ip", file=sys.stderr)
+        return 2
+    if args.port_file is not None:
+        client = ServeClient.from_port_file(args.port_file, host=args.host)
+    elif args.port is not None:
+        client = ServeClient(host=args.host, port=args.port)
+    else:
+        print("query needs --port or --port-file", file=sys.stderr)
+        return 2
+    with client:
+        if args.op == "ingest":
+            if args.trace is None:
+                print("ingest needs --trace", file=sys.stderr)
+                return 2
+            response = client.ingest_path(args.trace.resolve())
+        elif args.op in needs_ip:
+            fields = {"ip": args.ip}
+            if args.op == "neighbors":
+                fields["k"] = args.k
+            if args.op == "members":
+                fields["sample"] = args.sample
+            response = client.call(args.op, **fields)
+        elif args.op in ("drain", "shutdown"):
+            response = client.call(args.op, timeout=args.timeout)
+        else:
+            response = client.call(args.op)
+    response.pop("ok", None)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "stats": _cmd_stats,
@@ -1156,6 +1386,8 @@ _COMMANDS = {
     "top": _cmd_top,
     "runs": _cmd_runs,
     "health": _cmd_health,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 

@@ -32,6 +32,7 @@ from repro.core.config import DarkVecConfig
 from repro.core.stages import STAGE_VERSIONS, StagedPipeline, StageStatus
 from repro.corpus.builder import CorpusBuilder
 from repro.corpus.document import Corpus, Sentence
+from repro.corpus.windows import WindowGrid
 from repro.graph.knn_graph import KnnGraph, build_knn_graph
 from repro.graph.louvain import louvain_communities
 from repro.graph.modularity import modularity
@@ -52,7 +53,7 @@ from repro.obs.registry import RunRegistry, record_run
 from repro.store.cache import ArtifactStore
 from repro.store.fingerprint import stage_fingerprint
 from repro.trace.merge import merge_traces
-from repro.trace.packet import SECONDS_PER_DAY, Trace
+from repro.trace.packet import Trace
 from repro.w2v.keyedvectors import KeyedVectors
 from repro.w2v.mathutils import unit_rows
 from repro.w2v.model import Word2Vec
@@ -189,6 +190,8 @@ class DarkVec:
 
     def _adopt(self, artifacts) -> None:
         """Install the staged-pipeline outputs as the fitted state."""
+        from repro.io.artifacts import KEYEDVECTORS_CODEC
+
         self.trace = artifacts.trace
         self._raw_corpus = artifacts.corpus
         self._active = artifacts.active
@@ -197,10 +200,14 @@ class DarkVec:
         self._t_origin = artifacts.t_origin
         self._service_map = artifacts.service_map
         self.stage_statuses = list(artifacts.statuses)
-        self._index = None  # stale for the new embedding; rebuilt lazily
-        from repro.io.artifacts import KEYEDVECTORS_CODEC
-
-        self._embedding_hash = KEYEDVECTORS_CODEC.content_hash(artifacts.embedding)
+        embedding_hash = KEYEDVECTORS_CODEC.content_hash(artifacts.embedding)
+        if embedding_hash != self._embedding_hash:
+            # Stale for the new embedding; rebuilt lazily.  A pure
+            # cache-hit refit (identical embedding hash, e.g. a warm
+            # restart re-running fit against the store) keeps the
+            # fitted ANN index instead of paying a full rebuild.
+            self._index = None
+        self._embedding_hash = embedding_hash
 
     # ------------------------------------------------------------------
     # Incremental retraining
@@ -214,22 +221,31 @@ class DarkVec:
         progress: Callable[[ProgressEvent], None] | None = None,
         health_gate: bool | None = None,
         truth: GroundTruth | None = None,
+        allow_empty: bool = False,
     ) -> "DarkVec":
-        """Append a day of traffic and refit warm — O(delta), not O(full).
+        """Append a window of traffic and refit warm — O(delta), not O(full).
 
-        The rolling-window daily-retrain loop of the paper (Fig. 6) and
-        of DANTE: the new trace is merged into the fitted one, packets
-        outside the last ``window_days`` days are evicted (at dT-window
-        granularity, so retained sentences stay exact), only the dT
-        windows the new day touches are rebuilt, and the embedding is
-        refit **warm**: previously-seen senders resume from their prior
-        input and context vectors (fresh senders from random
-        initialisation) at the reduced fine-tuning learning rate
+        The rolling-window retrain loop of the paper (Fig. 6) and of
+        DANTE, generalised from whole days to arbitrary sub-day
+        micro-batches: the new trace is merged into the fitted one,
+        packets outside the last ``window_days`` days are evicted (at
+        dT-window granularity, so retained sentences stay exact), only
+        the dT windows the new traffic touches are rebuilt, and the
+        embedding is refit **warm**: previously-seen senders resume
+        from their prior input and context vectors (fresh senders from
+        random initialisation) at the reduced fine-tuning learning rate
         ``config.update_alpha``.
 
-        The dT window grid keeps the origin of the first ``fit`` and
-        the service map is *not* re-derived (relevant for ``"auto"``
-        services), so successive updates stay mutually consistent.
+        All window arithmetic goes through one :class:`~repro.corpus.
+        windows.WindowGrid` anchored at the first ``fit``'s origin (the
+        service map is likewise *not* re-derived, relevant for
+        ``"auto"`` services), so successive updates index mutually
+        consistent cells.  Because eviction is monotone in the merged
+        end time and a mid-window batch rebuilds its boundary cell from
+        the *merged* kept trace, N sub-day ``update(window)`` calls
+        leave bit-identical corpus and vocabulary to one merged daily
+        ``update`` — only the embedding differs, bounded by warm-refit
+        drift (property-tested in ``tests/test_serve.py``).
 
         A report of the work done lands in :attr:`last_update`.
 
@@ -252,9 +268,16 @@ class DarkVec:
             truth: optional ground truth enabling the LOO-accuracy
                 probe monitor (drop vs the registry's last recorded
                 accuracy).
+            allow_empty: tolerate an empty ``new_trace`` as a counted
+                no-op (``serve.empty_batches``) instead of raising —
+                the serve loop's idle ticks must not kill the daemon,
+                while the direct batch verb keeps the hard error.
         """
         trace, embedding = self._require_fit()
         if not len(new_trace):
+            if allow_empty:
+                obs.add("serve.empty_batches")
+                return self
             raise ValueError("update requires a non-empty trace")
         config = self.config
         window_days = config.window_days if window_days is None else window_days
@@ -271,29 +294,16 @@ class DarkVec:
             )
             raw = self._raw_corpus.remapped(remap_old)
 
-            delta_t = config.delta_t
-            origin = self._t_origin
-            keep_from = int(
-                np.floor(
-                    (merged.end_time - window_days * SECONDS_PER_DAY - origin)
-                    / delta_t
-                )
-            )
-            keep_from = max(keep_from, 0)
-            rebuild_from = max(
-                int(np.floor((new_trace.start_time - origin) / delta_t)),
-                keep_from,
-            )
+            builder = CorpusBuilder(self._service_map, delta_t=config.delta_t)
+            grid = builder.grid(self._t_origin)
+            keep_from = grid.keep_from(merged.end_time, window_days)
+            rebuild_from = grid.rebuild_from(new_trace.start_time, keep_from)
 
-            kept_trace = merged.between(origin + keep_from * delta_t, np.inf)
+            kept_trace = merged.between(grid.start(keep_from), np.inf)
             evicted, rest = raw.split_windows(keep_from)
             retained = [s for s in rest if s.window < rebuild_from]
-            rebuild_slice = kept_trace.between(
-                origin + rebuild_from * delta_t, np.inf
-            )
-            rebuilt = CorpusBuilder(self._service_map, delta_t=delta_t).build(
-                rebuild_slice, t_start=origin
-            )
+            rebuild_slice = kept_trace.between(grid.start(rebuild_from), np.inf)
+            rebuilt = builder.build(rebuild_slice, t_start=grid.origin)
 
             sentences = sorted(
                 retained + rebuilt.sentences,

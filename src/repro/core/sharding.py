@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.corpus.builder import CorpusBuilder
 from repro.corpus.document import Corpus
-from repro.corpus.windows import window_indices
+from repro.corpus.windows import WindowGrid
 from repro.services.base import ServiceMap
 from repro.trace.packet import Trace
 from repro.w2v.vocab import Vocabulary
@@ -101,8 +101,8 @@ def build_corpus_sharded(
         return CorpusBuilder(service_map, delta_t=delta_t).build(
             trace, t_start=t_origin
         )
-    windows = window_indices(trace.times, t_origin, delta_t)
     builder = CorpusBuilder(service_map, delta_t=delta_t)
+    windows = builder.grid(t_origin).indices(trace.times)
     sentences = []
     for w_lo, w_hi in plan_window_shards(windows, trace.senders, shard_size):
         lo = int(np.searchsorted(windows, w_lo, side="left"))

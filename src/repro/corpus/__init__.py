@@ -2,6 +2,6 @@
 
 from repro.corpus.builder import CorpusBuilder
 from repro.corpus.document import Corpus, Sentence
-from repro.corpus.windows import window_indices
+from repro.corpus.windows import WindowGrid, window_indices
 
-__all__ = ["Corpus", "CorpusBuilder", "Sentence", "window_indices"]
+__all__ = ["Corpus", "CorpusBuilder", "Sentence", "WindowGrid", "window_indices"]

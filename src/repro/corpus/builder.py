@@ -11,7 +11,7 @@ import numpy as np
 
 from repro import obs
 from repro.corpus.document import Corpus, Sentence
-from repro.corpus.windows import window_indices
+from repro.corpus.windows import WindowGrid
 from repro.services.base import ServiceMap
 from repro.trace.packet import Trace
 
@@ -26,6 +26,12 @@ class CorpusBuilder:
             raise ValueError("delta_t must be positive")
         self.service_map = service_map
         self.delta_t = delta_t
+
+    def grid(self, t_start: float) -> WindowGrid:
+        """The ΔT window grid this builder splits on, anchored at
+        ``t_start`` — the same grid :meth:`repro.core.pipeline.DarkVec.
+        update` evicts and rebuilds against."""
+        return WindowGrid(origin=t_start, delta_t=self.delta_t)
 
     def build(
         self,
@@ -58,7 +64,7 @@ class CorpusBuilder:
             service_ids = self.service_map.service_ids(
                 trace.ports, trace.protos
             )
-            windows = window_indices(trace.times, t_start, self.delta_t)
+            windows = self.grid(t_start).indices(trace.times)
 
             # Stable sort by (service, window): packets keep their time
             # order inside each sentence because the trace is time-sorted.

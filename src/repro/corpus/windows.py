@@ -1,8 +1,24 @@
-"""Time-window assignment for corpus sentences (ΔT splitting)."""
+"""Time-window assignment for corpus sentences (ΔT splitting).
+
+The ΔT grid is the load-bearing coordinate system of the incremental
+pipeline: corpus sentences, rolling-window eviction, affected-window
+rebuilds and shard planning all index the same
+``[origin + i*ΔT, origin + (i+1)*ΔT)`` windows.  :class:`WindowGrid`
+owns that arithmetic in one place so every consumer — the corpus
+builder, the streaming sharded build, and
+:meth:`repro.core.pipeline.DarkVec.update` — provably floors against
+the same origin.  That shared grid is what makes sub-day updates
+composable: N micro-batch updates and one merged daily update evict
+and rebuild exactly the same window cells.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
+
+from repro.trace.packet import SECONDS_PER_DAY
 
 
 def window_indices(
@@ -20,3 +36,65 @@ def window_indices(
     if len(times) and times.min() < t_start:
         raise ValueError("timestamps before the corpus start")
     return np.floor((times - t_start) / delta_t).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class WindowGrid:
+    """The ΔT window grid anchored at a fixed origin.
+
+    Attributes:
+        origin: timestamp of the left edge of window 0 (the first
+            ``fit``'s start time; *never* re-derived across updates, so
+            successive micro-batches index mutually consistent cells).
+        delta_t: window width in seconds.
+    """
+
+    origin: float
+    delta_t: float
+
+    def __post_init__(self) -> None:
+        if self.delta_t <= 0:
+            raise ValueError("delta_t must be positive")
+
+    def indices(self, times: np.ndarray) -> np.ndarray:
+        """Window index per timestamp (see :func:`window_indices`)."""
+        return window_indices(times, self.origin, self.delta_t)
+
+    def index_of(self, t: float) -> int:
+        """Window index containing timestamp ``t`` (may be negative)."""
+        return int(np.floor((t - self.origin) / self.delta_t))
+
+    def start(self, index: int) -> float:
+        """Timestamp of the left (inclusive) edge of window ``index``."""
+        return self.origin + index * self.delta_t
+
+    def keep_from(self, end_time: float, window_days: float) -> int:
+        """First window index retained by the rolling-window eviction.
+
+        Everything strictly before ``end_time - window_days`` days is
+        evicted, *floored to a window boundary* so retained sentences
+        stay exact (a window is kept whole or dropped whole).  Clamped
+        at 0: the grid never extends before its origin.
+
+        Monotone in ``end_time`` — which is what makes sub-day
+        eviction composable: the windows an intermediate micro-batch
+        update evicts are a subset of what the merged daily update
+        would evict, and the final state agrees.
+        """
+        if window_days <= 0:
+            raise ValueError("window_days must be positive")
+        cut = self.index_of(end_time - window_days * SECONDS_PER_DAY)
+        return max(cut, 0)
+
+    def rebuild_from(self, start_time: float, keep_from: int) -> int:
+        """First window index whose sentence must be rebuilt.
+
+        New traffic starting at ``start_time`` can only change windows
+        at or after its first packet's cell; windows before that — but
+        inside the retention floor ``keep_from`` — are retained
+        untouched.  When a micro-batch lands mid-window, the boundary
+        cell is rebuilt from the *merged* kept trace, so the rebuilt
+        sentence includes the packets earlier batches contributed to
+        the same cell — the key to N-batch/one-batch equivalence.
+        """
+        return max(self.index_of(start_time), keep_from)

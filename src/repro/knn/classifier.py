@@ -85,6 +85,12 @@ class CosineKnn:
         self.labels = np.asarray(labels, dtype=object)
         self.k = k
         self.workers = workers
+        # Label-encode once: np.unique over an object array is O(N)
+        # python comparisons, far too slow to repeat per query when the
+        # classifier serves point lookups (see repro.serve).
+        self._unique_labels, self._codes = np.unique(
+            self.labels, return_inverse=True
+        )
         self._cached: tuple[tuple, tuple[np.ndarray, np.ndarray]] | None = None
 
     def search(
@@ -110,7 +116,7 @@ class CosineKnn:
     ) -> np.ndarray:
         """Predicted labels for the given row indices."""
         neighbors, sims = self.search(query_rows, exclude_self=exclude_self)
-        return majority_vote(self.labels, neighbors, sims)
+        return vote_encoded(self._unique_labels, self._codes, neighbors, sims)
 
     def neighbor_distances(
         self, query_rows: np.ndarray, exclude_self: bool = False
@@ -132,12 +138,28 @@ def majority_vote(
     neighbour order as a per-row loop would, so the result (including
     float-exact tie behaviour) matches the naive implementation.
     """
+    labels = np.asarray(labels, dtype=object)
+    unique_labels, codes = np.unique(labels, return_inverse=True)
+    return vote_encoded(unique_labels, codes, neighbors, similarities)
+
+
+def vote_encoded(
+    unique_labels: np.ndarray,
+    codes: np.ndarray,
+    neighbors: np.ndarray,
+    similarities: np.ndarray,
+) -> np.ndarray:
+    """:func:`majority_vote` over pre-encoded labels.
+
+    ``codes`` maps each row to its index in the sorted ``unique_labels``
+    (the ``np.unique(..., return_inverse=True)`` pair).  Encoding once
+    and voting many times is what keeps per-query classification O(k)
+    in the serving read path instead of O(N) label comparisons.
+    """
     n_queries = len(neighbors)
     predictions = np.empty(n_queries, dtype=object)
     if n_queries == 0:
         return predictions
-    labels = np.asarray(labels, dtype=object)
-    unique_labels, codes = np.unique(labels, return_inverse=True)
     n_labels = len(unique_labels)
     neighbor_codes = codes[np.asarray(neighbors)]  # (Q, k)
     cells = (

@@ -265,6 +265,51 @@ METRICS: dict[str, MetricSpec] = {
         "periodic in-flight snapshots received from process-pool workers",
         deterministic=False,
     ),
+    "serve.ingested_packets": MetricSpec(
+        "counter",
+        "packets accepted by the serve loop's ingest queue",
+        unit="packets",
+    ),
+    "serve.empty_batches": MetricSpec(
+        "counter",
+        "empty micro-batches tolerated as no-ops by the serve loop",
+    ),
+    "serve.batches": MetricSpec(
+        "counter",
+        "non-empty micro-batches applied by the single-writer update loop",
+    ),
+    "serve.promotions": MetricSpec(
+        "counter",
+        "serve-loop updates promoted into the live model snapshot",
+        deterministic=False,
+    ),
+    "serve.rollbacks": MetricSpec(
+        "counter",
+        "serve-loop updates refused by the health gate (prior snapshot "
+        "stays live) or failed outright",
+        deterministic=False,
+    ),
+    "serve.queries": MetricSpec(
+        "counter", "queries answered from the live model snapshot"
+    ),
+    "serve.query_errors": MetricSpec(
+        "counter",
+        "queries rejected (unknown sender, malformed request, "
+        "unavailable capability)",
+    ),
+    "serve.query_seconds": MetricSpec(
+        "sketch",
+        "streaming quantiles of query latency in the serving read path",
+        unit="seconds",
+        deterministic=False,
+    ),
+    "serve.promotion_seconds": MetricSpec(
+        "sketch",
+        "streaming quantiles of snapshot build + atomic swap time per "
+        "promotion",
+        unit="seconds",
+        deterministic=False,
+    ),
 }
 
 

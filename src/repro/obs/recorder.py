@@ -28,9 +28,11 @@ module-level helpers (:func:`span`, :func:`add`, ...) in
 from __future__ import annotations
 
 import functools
+import os
 import threading
 import time
 import tracemalloc
+import weakref
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
@@ -38,6 +40,28 @@ import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span
+
+#: Every live Telemetry, so forked children can refresh their locks.
+_LIVE_TELEMETRY: "weakref.WeakSet[Telemetry]" = weakref.WeakSet()
+
+
+def _refresh_locks_after_fork() -> None:
+    """Re-create recorder locks in a freshly forked child process.
+
+    A fork can happen while another thread of the parent sits inside a
+    recorder critical section (e.g. a serving read path calling
+    ``obs.add`` concurrently with a process-backend refit forking its
+    worker pool).  The child inherits the mutex in its locked state
+    with no thread left to release it, so its first metric write would
+    deadlock.  Immediately after fork the child is single-threaded,
+    so replacing the locks outright is safe.
+    """
+    for telemetry in list(_LIVE_TELEMETRY):
+        telemetry._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_refresh_locks_after_fork)
 
 
 class _NullSpan:
@@ -169,6 +193,7 @@ class Telemetry:
         self.worker_stream_interval: float | None = None
         self._lock = threading.Lock()
         self._tls = threading.local()
+        _LIVE_TELEMETRY.add(self)
         # id(span) -> perf_counter() at entry, for every unclosed span.
         self._open_spans: dict[int, float] = {}
         # thread ident -> live task-scope registry (in-flight metrics).

@@ -1,0 +1,27 @@
+"""Streaming serving layer: ingest queue, atomic snapshots, daemon.
+
+Turns the batch pipeline into a long-running service (the paper's
+daily retrain loop generalised to sub-day micro-batches): packets are
+submitted as micro-batches, a single writer applies
+:meth:`DarkVec.update` per batch behind the health gate, and queries
+(classify / neighbors / members) answer from an atomically-swapped
+:class:`ModelSnapshot` so they never block on — or observe a torn
+state from — a retrain.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import PROTOCOL_VERSION, ServeServer, wait_for_port
+from repro.serve.service import DarkVecService, ServiceClosedError
+from repro.serve.snapshot import ModelSnapshot, UnknownSenderError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DarkVecService",
+    "ModelSnapshot",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "ServiceClosedError",
+    "UnknownSenderError",
+    "wait_for_port",
+]

@@ -1,0 +1,183 @@
+"""JSON-lines-over-TCP front end for :class:`DarkVecService`.
+
+The daemon listens on localhost only.  The protocol is one JSON object
+per line in each direction: the request carries ``{"op": ..., ...}``,
+the response ``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``.
+Connections are handled by a thread pool (``ThreadingTCPServer``), so
+queries answer concurrently with ingestion and with each other — the
+read path only ever touches the immutable current snapshot.
+
+Supported ops:
+
+``ping``
+    liveness check; echoes the server protocol version.
+``status``
+    writer/reader state (model version, promotions, rollbacks, ...).
+``classify`` / ``neighbors`` / ``members``
+    the three read queries, keyed by ``ip`` (dotted quad or int).
+``ingest``
+    enqueue one micro-batch: either ``path`` (a trace file the server
+    loads) or inline ``events`` columns (times, ips, ports, protos,
+    receivers, mirai).  Returns immediately after queueing.
+``drain``
+    block until every queued batch has been applied (``timeout``).
+``shutdown``
+    drain, stop the writer, and stop the server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.service import DarkVecService
+from repro.trace.packet import Trace
+
+PROTOCOL_VERSION = 1
+
+
+def _batch_from_request(request: dict) -> Trace:
+    if "path" in request:
+        from repro.io.csvio import read_trace_csv
+
+        return read_trace_csv(request["path"])
+    events = request.get("events")
+    if events is None:
+        raise ValueError("ingest needs 'path' or 'events'")
+    times = np.asarray(events["times"], dtype=np.float64)
+    if not len(times):
+        return Trace.empty()
+    from repro.trace.address import str_to_ip
+
+    ips = np.asarray(
+        [str_to_ip(ip) if isinstance(ip, str) else int(ip) for ip in events["ips"]],
+        dtype=np.uint64,
+    )
+    n = len(times)
+
+    def column(name, dtype, default):
+        values = events.get(name)
+        if values is None:
+            return np.full(n, default, dtype=dtype)
+        return np.asarray(values, dtype=dtype)
+
+    return Trace.from_events(
+        times=times,
+        sender_ips_per_packet=ips,
+        ports=column("ports", np.int32, 0),
+        protos=column("protos", np.uint8, 6),
+        receivers=column("receivers", np.uint8, 1),
+        mirai=column("mirai", bool, False),
+    )
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "ServeServer" = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            try:
+                response = server.dispatch(json.loads(line))
+            except Exception as exc:  # one bad request must not kill the daemon
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("bye"):
+                return
+
+
+class ServeServer(socketserver.ThreadingTCPServer):
+    """Localhost TCP server wrapping one :class:`DarkVecService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: DarkVecService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        port_file: str | Path | None = None,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.port = int(self.server_address[1])
+        self._shutdown_requested = threading.Event()
+        if port_file is not None:
+            Path(port_file).write_text(f"{self.port}\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request: dict) -> dict:
+        """Route one request object to the service; returns the reply."""
+        op = request.get("op")
+        service = self.service
+        if op == "ping":
+            return {"ok": True, "protocol": PROTOCOL_VERSION}
+        if op == "status":
+            return {"ok": True, **service.status()}
+        if op == "classify":
+            return {"ok": True, **service.classify(request["ip"])}
+        if op == "neighbors":
+            return {"ok": True, **service.neighbors(request["ip"], k=request.get("k"))}
+        if op == "members":
+            return {
+                "ok": True,
+                **service.membership(request["ip"], sample=request.get("sample", 8)),
+            }
+        if op == "ingest":
+            batch = _batch_from_request(request)
+            service.submit(batch)
+            return {"ok": True, "queued_packets": int(len(batch))}
+        if op == "drain":
+            done = service.drain(timeout=request.get("timeout"))
+            return {"ok": True, "drained": bool(done), **service.status()}
+        if op == "shutdown":
+            service.drain(timeout=request.get("timeout", 60.0))
+            self._shutdown_requested.set()
+            return {"ok": True, "bye": True, **service.status()}
+        raise ValueError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+
+    def serve_until_shutdown(self, poll_interval: float = 0.2) -> None:
+        """Serve requests until a client sends ``shutdown``."""
+        stopper = threading.Thread(target=self._await_shutdown, daemon=True)
+        stopper.start()
+        try:
+            self.serve_forever(poll_interval=poll_interval)
+        finally:
+            self.service.close()
+            self.server_close()
+
+    def _await_shutdown(self) -> None:
+        self._shutdown_requested.wait()
+        self.shutdown()
+
+    def start_background(self) -> threading.Thread:
+        """Serve from a daemon thread (used by tests and benchmarks)."""
+        thread = threading.Thread(target=self.serve_until_shutdown, daemon=True)
+        thread.start()
+        return thread
+
+
+def wait_for_port(port_file: str | Path, timeout: float = 30.0) -> int:
+    """Poll ``port_file`` until the daemon has written its port."""
+    import time
+
+    path = Path(port_file)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            text = path.read_text(encoding="utf-8").strip()
+            if text:
+                return int(text)
+        time.sleep(0.05)
+    raise TimeoutError(f"no port written to {path} within {timeout}s")

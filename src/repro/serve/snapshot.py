@@ -1,0 +1,189 @@
+"""Immutable, atomically-swappable model snapshots for the read path.
+
+The serving layer separates *writing* (the single-writer update loop
+applying ``DarkVec.update(window)``) from *reading* (queries).  A
+:class:`ModelSnapshot` freezes everything a query needs — the embedded
+sender table, the ANN index, the labeled k-NN classifier, the cached
+Louvain partition — into one object that is built off the query path
+and installed with a single attribute assignment (atomic under the
+GIL).  Queries grab the current snapshot once and answer entirely from
+it, so an in-flight retrain never blocks or torments a reader: until
+the swap they see the previous model, after it the new one, never a
+mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.knn.classifier import CosineKnn
+from repro.labels.groundtruth import GroundTruth
+from repro.trace.address import ip_to_str
+
+
+class UnknownSenderError(KeyError):
+    """Raised when a queried IP is not covered by the live embedding."""
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """One immutable serving view of a fitted DarkVec model.
+
+    Attributes:
+        version: monotone promotion counter (0 = the initial fit).
+        tokens: embedded sender indices, aligned with the index rows.
+        sender_ips: uint32 IP of each embedded sender (aligned with
+            ``tokens``).
+        knn: labeled cosine k-NN classifier sharing the live ANN
+            index; ``labels`` is all-``Unknown`` without ground truth
+            (classify still answers, with the honest label).
+        communities: Louvain community id per embedded sender, or None
+            when cluster caching is disabled.
+        modularity: modularity of the cached partition (None with it).
+        built_seconds: wall time spent building this snapshot — the
+            "promotion pause" of the swap (queries never pause; this
+            is the writer-side cost).
+    """
+
+    version: int
+    tokens: np.ndarray
+    sender_ips: np.ndarray
+    knn: CosineKnn
+    communities: np.ndarray | None
+    modularity: float | None
+    built_seconds: float
+    _ip_order: np.ndarray = field(repr=False, default=None)
+
+    @staticmethod
+    def of(
+        darkvec,
+        truth: GroundTruth | None = None,
+        version: int = 0,
+        k: int = 7,
+        with_clusters: bool = True,
+    ) -> "ModelSnapshot":
+        """Freeze the current fitted state of ``darkvec``.
+
+        Runs on the writer side (initial start and after each promoted
+        update).  Builds the ANN index if the model does not hold a
+        live one (``DarkVec._ann_index`` reuses an evolved or cached
+        index when possible) and, with ``with_clusters``, computes the
+        Louvain partition once so membership queries are O(1) lookups.
+        """
+        t0 = perf_counter()
+        trace, embedding = darkvec._require_fit()
+        tokens = embedding.tokens
+        sender_ips = trace.sender_ips[tokens].astype(np.uint32)
+        index = darkvec._ann_index()
+        if truth is not None:
+            labels = truth.labels_for(trace)[tokens]
+        else:
+            from repro.labels.groundtruth import UNKNOWN
+
+            labels = np.full(len(tokens), UNKNOWN, dtype=object)
+        knn = CosineKnn(
+            vectors=None,
+            labels=labels,
+            k=k,
+            workers=darkvec.config.workers,
+            index=index,
+        )
+        communities = modularity = None
+        if with_clusters:
+            result = darkvec.cluster()
+            communities = result.communities
+            modularity = float(result.modularity)
+        return ModelSnapshot(
+            version=version,
+            tokens=tokens,
+            sender_ips=sender_ips,
+            knn=knn,
+            communities=communities,
+            modularity=modularity,
+            built_seconds=perf_counter() - t0,
+            _ip_order=np.argsort(sender_ips, kind="stable"),
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def row_of_ip(self, ip: int) -> int:
+        """Embedding row of sender ``ip``; raises when not embedded."""
+        order = self._ip_order
+        pos = int(np.searchsorted(self.sender_ips, np.uint32(ip), sorter=order))
+        if pos < len(order) and int(self.sender_ips[order[pos]]) == int(ip):
+            return int(order[pos])
+        raise UnknownSenderError(
+            f"sender {ip_to_str(int(ip))} is not covered by the live "
+            f"embedding (model v{self.version}, {len(self)} senders)"
+        )
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+
+    def classify(self, ip: int) -> dict:
+        """Majority-vote label of the sender's k nearest neighbours."""
+        row = self.row_of_ip(ip)
+        rows = np.array([row], dtype=np.int64)
+        label = self.knn.predict_rows(rows, exclude_self=True)[0]
+        distance = float(self.knn.neighbor_distances(rows, exclude_self=True)[0])
+        return {
+            "ip": ip_to_str(int(ip)),
+            "label": str(label),
+            "mean_distance": distance,
+            "k": self.knn.k,
+            "version": self.version,
+        }
+
+    def neighbors(self, ip: int, k: int | None = None) -> dict:
+        """The sender's nearest embedded senders by cosine similarity."""
+        row = self.row_of_ip(ip)
+        k = self.knn.k if k is None else int(k)
+        if k < 1:
+            raise ValueError("k must be positive")
+        k = min(k, len(self) - 1)
+        neighbors, sims = self.knn.index.search(
+            np.array([row], dtype=np.int64), k, exclude_self=True
+        )
+        return {
+            "ip": ip_to_str(int(ip)),
+            "version": self.version,
+            "neighbors": [
+                {
+                    "ip": ip_to_str(int(self.sender_ips[n])),
+                    "similarity": float(s),
+                    "label": str(self.knn.labels[n]),
+                }
+                for n, s in zip(neighbors[0], sims[0])
+            ],
+        }
+
+    def membership(self, ip: int, sample: int = 8) -> dict:
+        """Cluster membership from the cached Louvain partition."""
+        if self.communities is None:
+            raise ValueError(
+                "cluster membership is disabled for this service "
+                "(started without cluster caching)"
+            )
+        row = self.row_of_ip(ip)
+        cluster = int(self.communities[row])
+        members = np.flatnonzero(self.communities == cluster)
+        preview = members[members != row][: max(sample, 0)]
+        return {
+            "ip": ip_to_str(int(ip)),
+            "version": self.version,
+            "cluster": cluster,
+            "size": int(len(members)),
+            "modularity": self.modularity,
+            "members_sample": [
+                ip_to_str(int(self.sender_ips[m])) for m in preview
+            ],
+        }

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.corpus.builder import CorpusBuilder
 from repro.corpus.document import Corpus, Sentence, _one_sided_pairs
-from repro.corpus.windows import window_indices
+from repro.corpus.windows import WindowGrid, window_indices
 from repro.services.domain import DomainServiceMap
 from repro.services.single import SingleServiceMap
 
@@ -34,6 +34,71 @@ class TestWindowIndices:
         idx = window_indices(times_arr, 0.0, delta)
         assert np.all(idx * delta <= times_arr)
         assert np.all(times_arr < (idx + 1) * delta + 1e-6 * delta)
+
+
+class TestWindowGrid:
+    def test_indices_match_window_indices(self):
+        times = np.array([0.0, 10.0, 3599.0, 3600.0, 7200.0])
+        grid = WindowGrid(origin=0.0, delta_t=3600.0)
+        assert np.array_equal(
+            grid.indices(times), window_indices(times, 0.0, 3600.0)
+        )
+
+    def test_index_of_and_start_roundtrip(self):
+        grid = WindowGrid(origin=100.0, delta_t=50.0)
+        for index in (0, 1, 7):
+            assert grid.index_of(grid.start(index)) == index
+            # any instant strictly inside the cell maps back to it
+            assert grid.index_of(grid.start(index) + 49.999) == index
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            WindowGrid(origin=0.0, delta_t=0.0)
+
+    def test_keep_from_clamps_at_origin(self):
+        grid = WindowGrid(origin=0.0, delta_t=3600.0)
+        # end time well inside the window: nothing to evict
+        assert grid.keep_from(end_time=7200.0, window_days=30.0) == 0
+
+    def test_keep_from_evicts_whole_windows(self):
+        grid = WindowGrid(origin=0.0, delta_t=3600.0)
+        day = 86400.0
+        keep = grid.keep_from(end_time=3 * day, window_days=1.0)
+        # the cut instant (end - 1 day) lands exactly on a boundary
+        assert keep == grid.index_of(2 * day)
+
+    def test_invalid_window_days(self):
+        grid = WindowGrid(origin=0.0, delta_t=3600.0)
+        with pytest.raises(ValueError):
+            grid.keep_from(end_time=100.0, window_days=0.0)
+
+    def test_rebuild_from_floors_at_keep_from(self):
+        grid = WindowGrid(origin=0.0, delta_t=3600.0)
+        assert grid.rebuild_from(start_time=10 * 3600.0, keep_from=3) == 10
+        # a batch starting before the eviction cut rebuilds from the cut
+        assert grid.rebuild_from(start_time=1 * 3600.0, keep_from=3) == 3
+
+    @given(
+        st.floats(0.0, 1e6, allow_nan=False),
+        st.floats(1.0, 1e5),
+        st.floats(0.1, 40.0),
+        st.floats(0.0, 50.0 * 86400.0),
+    )
+    def test_keep_from_monotone_in_end_time(
+        self, origin, delta, window_days, span
+    ):
+        """Eviction never moves backwards as time advances.
+
+        This is the property the sub-day update path relies on: the
+        windows an intermediate micro-batch evicts are always a subset
+        of what the merged daily update would evict.
+        """
+        grid = WindowGrid(origin=origin, delta_t=delta)
+        early = origin + span
+        late = early + span / 2 + 1.0
+        assert grid.keep_from(early, window_days) <= grid.keep_from(
+            late, window_days
+        )
 
 
 class TestSentenceAndCorpus:

@@ -2,11 +2,14 @@
 
 import gzip
 import json
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro import obs
+from repro.obs import recorder
 from repro.io.ndjson import read_ndjson, write_ndjson
 from repro.obs import (
     METRICS,
@@ -20,7 +23,7 @@ from repro.obs import (
     telemetry_records,
     write_metrics_ndjson,
 )
-from repro.parallel.pool import WorkerPool
+from repro.parallel.pool import WorkerPool, fork_available
 
 
 class TestNullRecorder:
@@ -241,6 +244,51 @@ class TestWorkerPoolAggregation:
                     pool.map(self._count_task, range(1, 11))
             results[workers] = telemetry.snapshot()["counters"]
         assert results[1] == results[4]
+
+
+class TestForkSafety:
+    def test_refresh_releases_inherited_locks(self):
+        # Simulate what a forked child inherits when another thread of
+        # the parent sat inside a recorder critical section at fork
+        # time: a locked mutex with nobody left to unlock it.
+        telemetry = Telemetry()
+        telemetry._lock.acquire()
+        recorder._refresh_locks_after_fork()
+        assert not telemetry._lock.locked()
+        with obs.session(telemetry):
+            obs.add("trace.packets", 1)  # must not deadlock
+        assert telemetry.snapshot()["counters"]["trace.packets"] == 1
+
+    @pytest.mark.skipif(
+        not fork_available(), reason="fork-based pools unavailable"
+    )
+    def test_forked_child_records_while_parent_holds_lock(self):
+        telemetry = Telemetry()
+        with obs.session(telemetry):
+            telemetry._lock.acquire()  # stands in for a mid-write thread
+            try:
+                pid = os.fork()
+                if pid == 0:  # pragma: no cover - child process
+                    status = 1
+                    try:
+                        obs.add("trace.packets", 1)
+                        status = 0
+                    finally:
+                        os._exit(status)
+                # poll so a regression shows up as a failure, not a hang
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    done, raw_status = os.waitpid(pid, os.WNOHANG)
+                    if done:
+                        break
+                    time.sleep(0.05)
+                else:
+                    os.kill(pid, 9)
+                    os.waitpid(pid, 0)
+                    pytest.fail("forked child deadlocked on recorder lock")
+            finally:
+                telemetry._lock.release()
+        assert raw_status == 0
 
 
 class TestNdjsonExport:
