@@ -55,7 +55,9 @@ answer from an atomically-swapped model snapshot — they keep working,
 against the previous model, while an update trains or is rolled back.
 ``query`` is the matching client; with ``--telemetry-out`` on the
 daemon, ``repro top`` watches its ingest/query/promotion counters
-live.
+live.  The daemon trusts local processes by default; ``--token`` (a
+shared secret required for ingest/shutdown) and ``--ingest-root`` (a
+directory confining path-based ingest) tighten it on shared machines.
 """
 
 from __future__ import annotations
@@ -539,6 +541,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="ingest queue capacity; producers block past this",
     )
     serve.add_argument(
+        "--token",
+        default=None,
+        help="shared secret required by mutating ops (ingest, shutdown); "
+        "default leaves them open to any local process",
+    )
+    serve.add_argument(
+        "--ingest-root",
+        type=Path,
+        default=None,
+        help="confine path-based ingest to trace files under this "
+        "directory (default: any server-readable path)",
+    )
+    serve.add_argument(
         "--save-state",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -604,6 +619,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="seconds to wait (drain/shutdown ops)",
+    )
+    query.add_argument(
+        "--token",
+        default=None,
+        help="shared secret for mutating ops on a --token'd daemon",
     )
 
     return parser
@@ -1310,6 +1330,8 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         port_file=args.port_file,
+        token=args.token,
+        ingest_root=args.ingest_root,
     )
     print(
         f"serving model v0 ({len(service.snapshot)} senders) on "
@@ -1345,9 +1367,11 @@ def _cmd_query(args) -> int:
         print(f"{args.op} needs --ip", file=sys.stderr)
         return 2
     if args.port_file is not None:
-        client = ServeClient.from_port_file(args.port_file, host=args.host)
+        client = ServeClient.from_port_file(
+            args.port_file, host=args.host, token=args.token
+        )
     elif args.port is not None:
-        client = ServeClient(host=args.host, port=args.port)
+        client = ServeClient(host=args.host, port=args.port, token=args.token)
     else:
         print("query needs --port or --port-file", file=sys.stderr)
         return 2

@@ -99,12 +99,17 @@ class CosineKnn:
         """``(neighbors, similarities)`` for the given row indices.
 
         The most recent result is cached, so consecutive calls with
-        the same queries (predict + distances) search once.
+        the same queries (predict + distances) search once.  The cache
+        is read into a local before the key check, so concurrent
+        searches for different queries (the serving read path runs one
+        classifier under many handler threads) can never return each
+        other's result — at worst a concurrent writer wastes a search.
         """
         query_rows = np.asarray(query_rows, dtype=np.int64)
         key = (query_rows.tobytes(), bool(exclude_self), self.k)
-        if self._cached is not None and self._cached[0] == key:
-            return self._cached[1]
+        cached = self._cached
+        if cached is not None and cached[0] == key:
+            return cached[1]
         result = self.index.search(
             query_rows, self.k, exclude_self=exclude_self, workers=self.workers
         )

@@ -21,19 +21,29 @@ class ServeClient:
     """Blocking client for one serve daemon connection."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        token: str | None = None,
     ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
+        self._token = token
 
     @staticmethod
     def from_port_file(
-        port_file: str | Path, host: str = "127.0.0.1", timeout: float = 60.0
+        port_file: str | Path,
+        host: str = "127.0.0.1",
+        timeout: float = 60.0,
+        token: str | None = None,
     ) -> "ServeClient":
         """Connect to the port a daemon published via ``--port-file``."""
         from repro.serve.server import wait_for_port
 
-        return ServeClient(host=host, port=wait_for_port(port_file), timeout=timeout)
+        return ServeClient(
+            host=host, port=wait_for_port(port_file), timeout=timeout, token=token
+        )
 
     def close(self) -> None:
         """Close the connection (the daemon keeps running)."""
@@ -53,6 +63,8 @@ class ServeClient:
     def call(self, op: str, **fields) -> dict:
         """One request/response round trip; raises on ``ok: false``."""
         request = {"op": op, **{k: v for k, v in fields.items() if v is not None}}
+        if self._token is not None:
+            request.setdefault("token", self._token)
         self._file.write((json.dumps(request) + "\n").encode("utf-8"))
         self._file.flush()
         line = self._file.readline()

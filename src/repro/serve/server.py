@@ -23,6 +23,27 @@ Supported ops:
     block until every queued batch has been applied (``timeout``).
 ``shutdown``
     drain, stop the writer, and stop the server.
+
+Trust model
+-----------
+
+The daemon binds to localhost and speaks plaintext JSON — it is a
+*same-user development tool*, not a hardened network service.  By
+default any local process that can open the port can query the model,
+make the server read a trace file by path, or stop it.  Two opt-in
+knobs tighten that for shared machines:
+
+``token``
+    a shared secret; when set, the mutating ops (``ingest`` and
+    ``shutdown``) must carry a matching ``"token"`` field or they are
+    refused.  Read-only queries stay open.
+``ingest_root``
+    a directory; when set, path-based ingest is confined to files
+    under it (resolved, so ``..`` cannot escape), bounding what the
+    daemon can be made to read from disk.
+
+Both are surfaced as ``repro serve --token/--ingest-root`` and
+``repro query --token``.
 """
 
 from __future__ import annotations
@@ -41,11 +62,16 @@ from repro.trace.packet import Trace
 PROTOCOL_VERSION = 1
 
 
-def _batch_from_request(request: dict) -> Trace:
+def _batch_from_request(request: dict, ingest_root: Path | None = None) -> Trace:
     if "path" in request:
         from repro.io.csvio import read_trace_csv
 
-        return read_trace_csv(request["path"])
+        path = Path(request["path"]).resolve()
+        if ingest_root is not None and not path.is_relative_to(ingest_root):
+            raise PermissionError(
+                f"ingest path {path} is outside the allowed root {ingest_root}"
+            )
+        return read_trace_csv(path)
     events = request.get("events")
     if events is None:
         raise ValueError("ingest needs 'path' or 'events'")
@@ -87,17 +113,41 @@ class _Handler(socketserver.StreamRequestHandler):
                 response = server.dispatch(json.loads(line))
             except Exception as exc:  # one bad request must not kill the daemon
                 response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
-            if response.get("bye"):
+            bye = bool(response.get("bye"))
+            try:
+                self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+                self.wfile.flush()
+            finally:
+                if bye:
+                    # Stop the server only after the goodbye response is
+                    # flushed (or the write failed): triggering teardown
+                    # from dispatch() raced the daemon's process exit
+                    # against this write, and clients intermittently read
+                    # EOF instead of the final status.
+                    server._shutdown_requested.set()
+            if bye:
                 return
 
 
 class ServeServer(socketserver.ThreadingTCPServer):
-    """Localhost TCP server wrapping one :class:`DarkVecService`."""
+    """Localhost TCP server wrapping one :class:`DarkVecService`.
+
+    Args:
+        service: the streaming service answering all ops.
+        host / port: bind address (port 0 picks an ephemeral port).
+        port_file: write the bound port here once listening.
+        token: shared secret required by the mutating ops (``ingest``,
+            ``shutdown``); None leaves them open (see the module
+            docstring's trust model).
+        ingest_root: confine path-based ingest to files under this
+            directory; None allows any server-readable path.
+    """
 
     allow_reuse_address = True
     daemon_threads = True
+
+    #: ops that change or stop the daemon — guarded by ``token``.
+    MUTATING_OPS = frozenset({"ingest", "shutdown"})
 
     def __init__(
         self,
@@ -105,10 +155,16 @@ class ServeServer(socketserver.ThreadingTCPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         port_file: str | Path | None = None,
+        token: str | None = None,
+        ingest_root: str | Path | None = None,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.service = service
         self.port = int(self.server_address[1])
+        self.token = token
+        self.ingest_root = (
+            None if ingest_root is None else Path(ingest_root).resolve()
+        )
         self._shutdown_requested = threading.Event()
         if port_file is not None:
             Path(port_file).write_text(f"{self.port}\n", encoding="utf-8")
@@ -119,6 +175,9 @@ class ServeServer(socketserver.ThreadingTCPServer):
         """Route one request object to the service; returns the reply."""
         op = request.get("op")
         service = self.service
+        if self.token is not None and op in self.MUTATING_OPS:
+            if request.get("token") != self.token:
+                raise PermissionError(f"op {op!r} requires a valid token")
         if op == "ping":
             return {"ok": True, "protocol": PROTOCOL_VERSION}
         if op == "status":
@@ -133,7 +192,7 @@ class ServeServer(socketserver.ThreadingTCPServer):
                 **service.membership(request["ip"], sample=request.get("sample", 8)),
             }
         if op == "ingest":
-            batch = _batch_from_request(request)
+            batch = _batch_from_request(request, ingest_root=self.ingest_root)
             service.submit(batch)
             return {"ok": True, "queued_packets": int(len(batch))}
         if op == "drain":
@@ -141,7 +200,8 @@ class ServeServer(socketserver.ThreadingTCPServer):
             return {"ok": True, "drained": bool(done), **service.status()}
         if op == "shutdown":
             service.drain(timeout=request.get("timeout", 60.0))
-            self._shutdown_requested.set()
+            # The handler sets _shutdown_requested after flushing this
+            # reply, so the client reads it before the daemon exits.
             return {"ok": True, "bye": True, **service.status()}
         raise ValueError(f"unknown op {op!r}")
 

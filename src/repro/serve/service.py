@@ -71,6 +71,10 @@ class DarkVecService:
         self._pending = 0
         self._idle = threading.Condition()
         self._closed = False
+        # Serialises submit() against close(): nothing may be enqueued
+        # after the shutdown sentinel, or the writer would exit with the
+        # batch silently dropped and _pending never reaching zero.
+        self._lifecycle = threading.Lock()
         self._writer = threading.Thread(
             target=self._writer_loop, name="darkvec-writer", daemon=True
         )
@@ -87,11 +91,15 @@ class DarkVecService:
         queue is full (backpressure).  The batch may span any sub-day
         window and may be empty (counted no-op).
         """
-        if self._closed:
-            raise ServiceClosedError("service is shut down")
-        with self._idle:
-            self._pending += 1
-        self._queue.put(batch)
+        with self._lifecycle:
+            if self._closed:
+                raise ServiceClosedError("service is shut down")
+            with self._idle:
+                self._pending += 1
+            # put() may block on backpressure while holding the lock;
+            # the writer drains the queue without it, so slots free up
+            # and close() simply waits its turn behind this submit.
+            self._queue.put(batch)
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every submitted batch has been applied.
@@ -111,10 +119,11 @@ class DarkVecService:
 
     def close(self, timeout: float | None = 30.0) -> None:
         """Drain outstanding batches and stop the writer thread."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(None)
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)
         self._writer.join(timeout=timeout)
 
     def __enter__(self) -> "DarkVecService":
@@ -145,7 +154,7 @@ class DarkVecService:
         obs.add("serve.ingested_packets", len(batch))
         obs.add("serve.batches")
         self.batches += 1
-        before = self.darkvec._embedding_hash
+        health_before = self.darkvec.last_health
         try:
             self.darkvec.update(
                 batch, truth=self.truth, health_gate=self.health_gate
@@ -157,7 +166,13 @@ class DarkVecService:
             self.rollbacks += 1
             obs.add("serve.rollbacks")
             return
-        if self.darkvec._embedding_hash == before:
+        # Branch on the gate verdict, not the embedding hash: a
+        # successful update whose embedding happens to be unchanged
+        # (e.g. a pure cache-hit refit) is a promotion, not a rollback.
+        # `last_health` is refreshed per gated/monitored update, so a
+        # new report with promoted=False is the one rollback signal.
+        health = self.darkvec.last_health
+        if health is not None and health is not health_before and not health.promoted:
             # The health gate refused promotion and restored the prior
             # state — the old snapshot stays live.
             self.rollbacks += 1

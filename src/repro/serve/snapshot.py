@@ -77,6 +77,11 @@ class ModelSnapshot:
         trace, embedding = darkvec._require_fit()
         tokens = embedding.tokens
         sender_ips = trace.sender_ips[tokens].astype(np.uint32)
+        # Clamp k to the embedded population (mirroring neighbors()):
+        # classify excludes the query row, so a model with fewer than
+        # k+1 senders would reject every query instead of answering
+        # with the neighbours it has.
+        k = max(1, min(int(k), len(tokens) - 1))
         index = darkvec._ann_index()
         if truth is not None:
             labels = truth.labels_for(trace)[tokens]

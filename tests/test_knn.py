@@ -94,6 +94,48 @@ class TestCosineKnn:
         with pytest.raises(ValueError):
             CosineKnn(vectors, labels[:-1])
 
+    def test_memo_cache_safe_under_concurrent_queries(self, two_clusters):
+        """Threads querying *different* rows never cross cached results.
+
+        The serving read path runs one classifier under many handler
+        threads; the last-search memo must never hand thread A the
+        neighbours computed for thread B's key (the old two-read check
+        raced exactly there).
+        """
+        import threading
+
+        vectors, labels = two_clusters
+        classifier = CosineKnn(vectors, labels, k=3)
+        rows = [np.array([i]) for i in range(8)]
+        expected = [
+            (
+                classifier.predict_rows(row, exclude_self=True)[0],
+                classifier.neighbor_distances(row, exclude_self=True)[0],
+            )
+            for row in rows
+        ]
+        crossed: list[tuple] = []
+        start = threading.Barrier(len(rows))
+
+        def hammer(i: int) -> None:
+            row, (want_label, want_dist) = rows[i], expected[i]
+            start.wait()
+            for _ in range(300):
+                label = classifier.predict_rows(row, exclude_self=True)[0]
+                dist = classifier.neighbor_distances(row, exclude_self=True)[0]
+                if label != want_label or dist != want_dist:
+                    crossed.append((i, label, dist))
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(len(rows))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert crossed == []
+
 
 class TestLeaveOneOut:
     def test_perfect_on_separated_clusters(self, two_clusters):

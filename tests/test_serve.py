@@ -220,6 +220,15 @@ class TestModelSnapshot:
         with pytest.raises(ValueError, match="disabled"):
             snapshot.membership(int(snapshot.sender_ips[0]))
 
+    def test_classify_clamps_k_to_population(self, fresh_fit):
+        """A model with fewer than k+1 senders still answers classify."""
+        darkvec, _ = fresh_fit
+        n = len(darkvec.embedding.tokens)
+        snapshot = ModelSnapshot.of(darkvec, k=n + 5, with_clusters=False)
+        answer = snapshot.classify(int(snapshot.sender_ips[0]))
+        assert answer["k"] == n - 1
+        assert isinstance(answer["label"], str)
+
 
 class TestServiceLifecycle:
     def test_promotions_advance_the_snapshot(self, fresh_fit):
@@ -288,6 +297,58 @@ class TestServiceLifecycle:
         service.close()
         with pytest.raises(ServiceClosedError):
             service.submit(Trace.empty())
+
+    def test_unchanged_embedding_promotion_is_not_a_rollback(self, fresh_fit):
+        """An update that changes nothing (cache-hit refit) promotes.
+
+        The writer branches on the health-gate verdict, not on the
+        embedding hash — a successful no-change update must not read
+        as a phantom rollback in `repro top`.
+        """
+        darkvec, trace = fresh_fit
+        darkvec.update = lambda *args, **kwargs: darkvec
+        with DarkVecService(darkvec, with_clusters=False) as service:
+            service.submit(_batches(trace, 2.0, (2.5,))[0])
+            assert service.drain(timeout=60.0)
+            status = service.status()
+            assert status["rollbacks"] == 0
+            assert status["promotions"] == 1
+            assert status["version"] == 1
+
+    def test_submit_racing_close_never_drops_batches(self, fresh_fit):
+        """submit vs close: accepted batches are applied, losers raise.
+
+        close() enqueues its shutdown sentinel under the same lock
+        submit uses, so no batch can land behind the sentinel — a
+        submit either beats close (and the writer applies it before
+        exiting) or raises ServiceClosedError; nothing is silently
+        dropped and `_pending` always reaches zero.
+        """
+        darkvec, _ = fresh_fit
+        for _ in range(5):
+            service = DarkVecService(darkvec, with_clusters=False)
+            barrier = threading.Barrier(9)
+            outcomes: list[str] = []
+
+            def producer() -> None:
+                barrier.wait()
+                try:
+                    service.submit(Trace.empty())
+                    outcomes.append("accepted")
+                except ServiceClosedError:
+                    outcomes.append("rejected")
+
+            producers = [threading.Thread(target=producer) for _ in range(8)]
+            for thread in producers:
+                thread.start()
+            barrier.wait()
+            service.close(timeout=60.0)
+            for thread in producers:
+                thread.join(timeout=60.0)
+            assert len(outcomes) == 8
+            assert not service._writer.is_alive()
+            with service._idle:
+                assert service._pending == 0
 
     def test_queries_never_fail_across_promotions(self, fresh_fit):
         """Zero failed queries while updates promote concurrently."""
@@ -374,6 +435,37 @@ class TestServerClient:
             service.close()
             server.server_close()
 
+    def test_token_and_ingest_root_guard_mutating_ops(self, fresh_fit, tmp_path):
+        darkvec, _ = fresh_fit
+        service = DarkVecService(darkvec, with_clusters=False)
+        server = ServeServer(
+            service, port=0, token="s3cret", ingest_root=tmp_path
+        )
+        server.start_background()
+        try:
+            with ServeClient(port=server.port) as client:
+                # the read path stays open without the token
+                assert client.status()["version"] == 0
+                with pytest.raises(ServeError, match="token"):
+                    client.call("ingest", path=str(tmp_path / "batch.csv"))
+                with pytest.raises(ServeError, match="token"):
+                    client.call("shutdown")
+            with ServeClient(port=server.port, token="wrong") as client:
+                with pytest.raises(ServeError, match="token"):
+                    client.shutdown()
+            with ServeClient(port=server.port, token="s3cret") as client:
+                # valid token, but the path escapes the ingest root
+                with pytest.raises(ServeError, match="outside the allowed root"):
+                    client.ingest_path(tmp_path / ".." / "escape.csv")
+                # inside the root the path check passes (the missing
+                # file fails later, in the reader, not the guard)
+                with pytest.raises(ServeError, match="missing"):
+                    client.ingest_path(tmp_path / "missing.csv")
+                assert client.shutdown()["version"] == 0
+        finally:
+            service.close()
+            server.server_close()
+
     def test_ingest_needs_a_payload(self, fresh_fit):
         darkvec, _ = fresh_fit
         service = DarkVecService(darkvec, with_clusters=False)
@@ -412,6 +504,28 @@ class TestServeCli:
         assert args.command == "query"
         assert args.op == "neighbors"
         assert args.k == 5
+
+    def test_parser_accepts_trust_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "serve",
+                "--cache-dir",
+                "cache",
+                "--token",
+                "s3cret",
+                "--ingest-root",
+                "batches",
+            ]
+        )
+        assert args.token == "s3cret"
+        assert str(args.ingest_root) == "batches"
+        args = parser.parse_args(
+            ["query", "shutdown", "--port", "1", "--token", "s3cret"]
+        )
+        assert args.token == "s3cret"
 
     def test_query_without_port_is_an_error(self, capsys):
         from repro.cli import main
