@@ -13,7 +13,14 @@ of micro-batches through the single-writer update loop.  Reported:
   ``serve.query_seconds`` quantile sketch of the telemetry plane (the
   same numbers ``repro top`` and ``runs show --quantiles`` render).
 * **promotion** — the writer-side pause per promotion (snapshot build:
-  ANN index + classifier swap), from ``serve.promotion_seconds``.
+  ANN index + classifier swap), from ``serve.promotion_seconds``; the
+  snapshot warm-up (pre-touching the freshly built index before the
+  swap) is reported alongside from ``serve.warmup_seconds``.
+* **batched queries** — after the ingest phase drains, one thread
+  classifies the same sender list twice: one-at-a-time and via
+  ``classify_many`` in fixed-size batches.  Batching answers the whole
+  list from one vectorized search, so its throughput must beat the
+  single-query loop.
 
 The acceptance bar is the read path: **p99 query latency < 50 ms at
 N=100k senders** while promotions are happening.  Queries answer from
@@ -185,6 +192,22 @@ def bench_serve(args) -> dict:
             reader.join(timeout=30.0)
         final_version = service.snapshot.version
         promotions = service.promotions
+
+        # Batched vs single classify: same sender list, one thread, no
+        # concurrent load — isolates the per-request overhead batching
+        # amortizes (snapshot grab, ip parse, one search per call).
+        batch_ips = [
+            int(ip)
+            for ip in query_ips[: args.batch_query_total]
+        ]
+        t_single = time.perf_counter()
+        for ip in batch_ips:
+            service.classify(ip)
+        single_seconds = time.perf_counter() - t_single
+        t_batched = time.perf_counter()
+        for lo in range(0, len(batch_ips), args.batch_query_size):
+            service.classify_many(batch_ips[lo : lo + args.batch_query_size])
+        batched_seconds = time.perf_counter() - t_batched
         service.close()
 
     snapshot_metrics = telemetry.snapshot()
@@ -192,6 +215,7 @@ def bench_serve(args) -> dict:
     counters = snapshot_metrics.get("counters") or {}
     query = _quantiles(sketches, "serve.query_seconds")
     promotion = _quantiles(sketches, "serve.promotion_seconds")
+    warmup = _quantiles(sketches, "serve.warmup_seconds")
     n_queries = int(sum(query_counts))
     return {
         "n_senders": args.n_senders,
@@ -218,10 +242,19 @@ def bench_serve(args) -> dict:
             "p95_ms": _ms(query.get("p95")),
             "p99_ms": _ms(query.get("p99")),
         },
+        "queries_batched": {
+            "total": len(batch_ips),
+            "batch_size": args.batch_query_size,
+            "single_per_second": round(len(batch_ips) / single_seconds, 1),
+            "batched_per_second": round(len(batch_ips) / batched_seconds, 1),
+            "speedup": round(single_seconds / batched_seconds, 2),
+        },
         "promotion_pause": {
             "count": promotion.get("count", 0),
             "p50_ms": _ms(promotion.get("p50")),
             "max_ms": _ms(promotion.get("max")),
+            "warmup_p50_ms": _ms(warmup.get("p50")),
+            "warmup_max_ms": _ms(warmup.get("max")),
         },
         "counters": {
             name: counters[name]
@@ -258,9 +291,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--ann-backend",
-        choices=("exact", "ivf", "ivfpq"),
+        choices=("exact", "ivf", "ivfpq", "hnsw"),
         default="ivf",
         help="neighbour index served from the snapshot",
+    )
+    parser.add_argument(
+        "--batch-query-size",
+        type=int,
+        default=64,
+        help="senders per classify_many call in the batched phase",
+    )
+    parser.add_argument(
+        "--batch-query-total",
+        type=int,
+        default=2048,
+        help="senders classified in each arm of the batched phase",
     )
     parser.add_argument(
         "--query-threads",
@@ -313,6 +358,12 @@ def main() -> int:
     p99 = serve["queries"]["p99_ms"]
     if p99 is None or p99 >= 50.0:
         failures.append(f"p99 query latency {p99} ms >= 50 ms")
+    batched = serve["queries_batched"]
+    if batched["batched_per_second"] <= batched["single_per_second"]:
+        failures.append(
+            f"batched classify {batched['batched_per_second']}/s not above "
+            f"single-query loop {batched['single_per_second']}/s"
+        )
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0

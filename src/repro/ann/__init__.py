@@ -2,6 +2,7 @@
 
 from repro.ann.base import AnnSpec, NeighborIndex, build_index
 from repro.ann.exact import ExactIndex, score_chunk_rows
+from repro.ann.hnsw import HNSWIndex
 from repro.ann.ivf import IVFIndex
 from repro.ann.ivfpq import IVFPQIndex
 
@@ -9,6 +10,7 @@ __all__ = [
     "AnnSpec",
     "NeighborIndex",
     "ExactIndex",
+    "HNSWIndex",
     "IVFIndex",
     "IVFPQIndex",
     "build_index",

@@ -15,6 +15,11 @@ backend from an :class:`AnnSpec`:
   with product-quantized residuals: candidates are scored from a
   compressed code table (ADC lookups) and only a shortlist is rescored
   exactly, cutting both memory and scan cost at large N.
+* ``"hnsw"`` — :class:`repro.ann.hnsw.HNSWIndex`, a hierarchical
+  navigable small-world graph: greedy descent through geometrically
+  thinning upper layers, then an ``ef_search``-wide beam over the
+  layer-0 graph, so per-query cost tracks the graph diameter
+  (logarithmic in N) instead of the probed-list mass.
 
 All backends return ``(neighbors, similarities)`` of shape (Q, k) with
 neighbours sorted by decreasing float64 cosine similarity, so callers
@@ -29,7 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 #: Backends :func:`build_index` knows how to construct.
-BACKENDS = ("exact", "ivf", "ivfpq")
+BACKENDS = ("exact", "ivf", "ivfpq", "hnsw")
 
 
 @dataclass(frozen=True)
@@ -37,8 +42,9 @@ class AnnSpec:
     """Backend selection and tuning knobs for a neighbour index.
 
     Attributes:
-        backend: ``"exact"`` (brute force, the default), ``"ivf"``, or
-            ``"ivfpq"`` (inverted file + product-quantized residuals).
+        backend: ``"exact"`` (brute force, the default), ``"ivf"``,
+            ``"ivfpq"`` (inverted file + product-quantized residuals),
+            or ``"hnsw"`` (hierarchical navigable small-world graph).
         nlist: IVF coarse-quantizer centroids; ``0`` (default) picks
             ``round(sqrt(N))`` at build time, which balances the coarse
             scan (Q x nlist) against the list scans (Q x nprobe x N/nlist).
@@ -56,6 +62,14 @@ class AnnSpec:
         pq_bits: bits per PQ code (``"ivfpq"`` only); each subspace
             trains a codebook of ``2**pq_bits`` entries, 1..8 so codes
             fit one uint8 per subspace.
+        hnsw_m: HNSW links per node on the upper layers (layer 0 holds
+            ``2 * hnsw_m``); also sets the level decay ``1 / ln(M)``.
+        hnsw_ef_build: beam width while inserting nodes at build time.
+            Wider beams find better links — a one-time cost paid at
+            construction, not per query.
+        hnsw_ef_search: beam width at query time; the recall/speed
+            knob (IVF's ``nprobe`` analogue).  Values below ``k`` are
+            raised to ``k`` (+1 with self-exclusion) per search.
     """
 
     backend: str = "exact"
@@ -65,6 +79,9 @@ class AnnSpec:
     seed: int = 1
     pq_m: int = 0
     pq_bits: int = 8
+    hnsw_m: int = 16
+    hnsw_ef_build: int = 80
+    hnsw_ef_search: int = 8
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -81,6 +98,12 @@ class AnnSpec:
             raise ValueError("pq_m must be >= 0 (0 means auto)")
         if not 1 <= self.pq_bits <= 8:
             raise ValueError("pq_bits must be in 1..8")
+        if self.hnsw_m < 2:
+            raise ValueError("hnsw_m must be >= 2")
+        if self.hnsw_ef_build < 1:
+            raise ValueError("hnsw_ef_build must be positive")
+        if self.hnsw_ef_search < 1:
+            raise ValueError("hnsw_ef_search must be positive")
 
 
 class NeighborIndex(ABC):
@@ -138,6 +161,7 @@ def build_index(
 ) -> NeighborIndex:
     """Construct the index ``spec`` asks for over row-normalised ``units``."""
     from repro.ann.exact import ExactIndex
+    from repro.ann.hnsw import HNSWIndex
     from repro.ann.ivf import IVFIndex
     from repro.ann.ivfpq import IVFPQIndex
 
@@ -146,4 +170,6 @@ def build_index(
         return ExactIndex(units)
     if spec.backend == "ivfpq":
         return IVFPQIndex.build(units, spec, workers=workers)
+    if spec.backend == "hnsw":
+        return HNSWIndex.build(units, spec, workers=workers)
     return IVFIndex.build(units, spec, workers=workers)

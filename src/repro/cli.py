@@ -135,11 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
     def add_ann_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
             "--ann-backend",
-            choices=("exact", "ivf", "ivfpq"),
+            choices=("exact", "ivf", "ivfpq", "hnsw"),
             default="exact",
             help="neighbour-search backend: exact (bit-identical brute "
-            "force), ivf (inverted-file approximate search), or ivfpq "
-            "(inverted file + product-quantized codes, compressed)",
+            "force), ivf (inverted-file approximate search), ivfpq "
+            "(inverted file + product-quantized codes, compressed), or "
+            "hnsw (hierarchical navigable small-world graph)",
         )
         cmd.add_argument(
             "--ann-nlist",
@@ -165,6 +166,51 @@ def build_parser() -> argparse.ArgumentParser:
             default=8,
             help="ivfpq bits per code, 1..8 (codebook of 2^bits entries)",
         )
+        cmd.add_argument(
+            "--ann-hnsw-m",
+            type=int,
+            default=16,
+            help="hnsw graph degree: links per node on upper layers "
+            "(layer 0 keeps 2m)",
+        )
+        cmd.add_argument(
+            "--ann-hnsw-ef-build",
+            type=int,
+            default=80,
+            help="hnsw construction beam width",
+        )
+        cmd.add_argument(
+            "--ann-hnsw-ef-search",
+            type=int,
+            default=8,
+            help="hnsw query beam width (the speed/recall knob)",
+        )
+
+    def add_ann_override_flags(cmd: argparse.ArgumentParser) -> None:
+        # update/serve operate on a saved state: every flag defaults to
+        # None so an unset flag keeps the state's own ANN config.
+        cmd.add_argument(
+            "--ann-backend",
+            choices=("exact", "ivf", "ivfpq", "hnsw"),
+            default=None,
+            help="override the state's neighbour-search backend",
+        )
+        for flag, dest, help_ in (
+            ("--ann-nlist", "ann_nlist", "IVF coarse centroids"),
+            ("--ann-nprobe", "ann_nprobe", "IVF lists probed per query"),
+            ("--ann-pq-m", "ann_pq_m", "ivfpq subspaces per vector"),
+            ("--ann-pq-bits", "ann_pq_bits", "ivfpq bits per code"),
+            ("--ann-hnsw-m", "ann_hnsw_m", "hnsw graph degree"),
+            ("--ann-hnsw-ef-build", "ann_hnsw_ef_build", "hnsw build beam"),
+            ("--ann-hnsw-ef-search", "ann_hnsw_ef_search", "hnsw query beam"),
+        ):
+            cmd.add_argument(
+                flag,
+                dest=dest,
+                type=int,
+                default=None,
+                help=f"override the state's {help_}",
+            )
 
     def add_scale_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument(
@@ -334,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the state's corpus/vocab shard size",
     )
+    add_ann_override_flags(update)
     add_telemetry_flags(update)
 
     evaluate = sub.add_parser("evaluate", help="leave-one-out 7-NN report")
@@ -560,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the promoted model back to the state directory "
         "on clean shutdown",
     )
+    add_ann_override_flags(serve)
     add_live_flags(serve)
     serve.add_argument(
         "--metrics-out",
@@ -596,7 +644,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="read the daemon port from this file (waits for it)",
     )
     query.add_argument(
-        "--ip", default=None, help="sender address for classify/neighbors/members"
+        "--ip",
+        default=None,
+        help="sender address for classify/neighbors/members; classify "
+        "and neighbors accept a comma-separated list, answered by the "
+        "daemon in one vectorized batch",
     )
     query.add_argument(
         "--k", type=int, default=None, help="neighbours (neighbors op)"
@@ -754,6 +806,9 @@ def _cmd_run(args) -> int:
         ann_nprobe=args.ann_nprobe,
         ann_pq_m=args.ann_pq_m,
         ann_pq_bits=args.ann_pq_bits,
+        ann_hnsw_m=args.ann_hnsw_m,
+        ann_hnsw_ef_build=args.ann_hnsw_ef_build,
+        ann_hnsw_ef_search=args.ann_hnsw_ef_search,
         shard_size=args.shard_size,
         use_mmap=args.use_mmap,
         pool_backend=args.pool_backend,
@@ -799,7 +854,7 @@ def _cmd_update(args) -> int:
     darkvec = DarkVec.load_state(state_dir)
     # Scale knobs may be overridden per invocation (e.g. run the nightly
     # update under the process backend on a bigger machine).
-    overrides = {}
+    overrides = _ann_overrides(args)
     if args.pool_backend is not None:
         overrides["pool_backend"] = args.pool_backend
     if args.shard_size is not None:
@@ -857,6 +912,25 @@ def _load_embedding_for(trace, path: Path) -> KeyedVectors:
     )
 
 
+def _ann_overrides(args) -> dict:
+    """Collect the non-None ANN override flags of update/serve."""
+    fields = (
+        "ann_backend",
+        "ann_nlist",
+        "ann_nprobe",
+        "ann_pq_m",
+        "ann_pq_bits",
+        "ann_hnsw_m",
+        "ann_hnsw_ef_build",
+        "ann_hnsw_ef_search",
+    )
+    return {
+        f: getattr(args, f)
+        for f in fields
+        if getattr(args, f, None) is not None
+    }
+
+
 def _ann_spec_of(args):
     """Build the AnnSpec an evaluate/cluster invocation asked for."""
     from repro.ann.base import AnnSpec
@@ -867,6 +941,9 @@ def _ann_spec_of(args):
         nprobe=args.ann_nprobe,
         pq_m=args.ann_pq_m,
         pq_bits=args.ann_pq_bits,
+        hnsw_m=args.ann_hnsw_m,
+        hnsw_ef_build=args.ann_hnsw_ef_build,
+        hnsw_ef_search=args.ann_hnsw_ef_search,
     )
 
 
@@ -1316,6 +1393,11 @@ def _cmd_serve(args) -> int:
         print("serve needs --state or --cache-dir", file=sys.stderr)
         return 2
     darkvec = DarkVec.load_state(state_dir)
+    overrides = _ann_overrides(args)
+    if overrides:
+        from dataclasses import replace
+
+        darkvec.config = replace(darkvec.config, **overrides)
     truth = _read_labels(args.labels) if args.labels is not None else None
     service = DarkVecService(
         darkvec,
@@ -1382,7 +1464,10 @@ def _cmd_query(args) -> int:
                 return 2
             response = client.ingest_path(args.trace.resolve())
         elif args.op in needs_ip:
-            fields = {"ip": args.ip}
+            ip = args.ip
+            if args.op in ("classify", "neighbors") and "," in ip:
+                ip = [part.strip() for part in ip.split(",") if part.strip()]
+            fields = {"ip": ip}
             if args.op == "neighbors":
                 fields["k"] = args.k
             if args.op == "members":

@@ -40,6 +40,9 @@ STAGE_CONFIG_FIELDS: dict[str, tuple[str, ...]] = {
         "ann_nprobe",
         "ann_pq_m",
         "ann_pq_bits",
+        "ann_hnsw_m",
+        "ann_hnsw_ef_build",
+        "ann_hnsw_ef_search",
     ),
     "ann-index": (
         "ann_backend",
@@ -47,6 +50,9 @@ STAGE_CONFIG_FIELDS: dict[str, tuple[str, ...]] = {
         "ann_nprobe",
         "ann_pq_m",
         "ann_pq_bits",
+        "ann_hnsw_m",
+        "ann_hnsw_ef_build",
+        "ann_hnsw_ef_search",
         "seed",
     ),
 }
@@ -102,6 +108,12 @@ class DarkVecConfig:
             (default) picks ``min(16, max(1, dim // 4))`` at build.
         ann_pq_bits: bits per PQ code for ``"ivfpq"`` (codebook size
             ``2**bits`` per subspace, 1..8).
+        ann_hnsw_m: HNSW graph degree for ``"hnsw"`` — links kept per
+            node on the upper layers (layer 0 keeps ``2 * m``).
+        ann_hnsw_ef_build: construction beam width for ``"hnsw"``;
+            wider beams find better link candidates at build time.
+        ann_hnsw_ef_search: query beam width for ``"hnsw"`` (the
+            speed/recall knob, IVF's ``ann_nprobe`` analogue).
         ann_recall_sample: queries per search that are exactly
             re-scored to measure ``ann.recall_at_k``; 0 disables the
             audit.  Observation only — it never changes results, so it
@@ -152,6 +164,9 @@ class DarkVecConfig:
     ann_nprobe: int = 8
     ann_pq_m: int = 0
     ann_pq_bits: int = 8
+    ann_hnsw_m: int = 16
+    ann_hnsw_ef_build: int = 80
+    ann_hnsw_ef_search: int = 8
     ann_recall_sample: int = 32
     window_days: float = 30.0
     update_epochs: int = 3
@@ -204,6 +219,9 @@ class DarkVecConfig:
             seed=self.seed,
             pq_m=self.ann_pq_m,
             pq_bits=self.ann_pq_bits,
+            hnsw_m=self.ann_hnsw_m,
+            hnsw_ef_build=self.ann_hnsw_ef_build,
+            hnsw_ef_search=self.ann_hnsw_ef_search,
         )
 
     def resolve_service_map(self, trace: Trace) -> ServiceMap:

@@ -37,6 +37,8 @@ from repro.graph.knn_graph import KnnGraph, build_knn_graph
 from repro.graph.louvain import louvain_communities
 from repro.graph.modularity import modularity
 from repro.io.artifacts import (
+    HNSW_INDEX_CODEC,
+    HNSW_INDEX_RAW_CODEC,
     IVF_INDEX_CODEC,
     IVF_INDEX_RAW_CODEC,
     IVFPQ_INDEX_CODEC,
@@ -440,6 +442,12 @@ class DarkVec:
                 if self.config.use_mmap
                 else IVFPQ_INDEX_CODEC
             )
+        if backend == "hnsw":
+            return (
+                HNSW_INDEX_RAW_CODEC
+                if self.config.use_mmap
+                else HNSW_INDEX_CODEC
+            )
         return None
 
     def _ann_index(self) -> NeighborIndex:
@@ -486,11 +494,16 @@ class DarkVec:
         senders join their nearest list, evicted senders drop out; the
         quantizer retrains only past the imbalance threshold (see
         :meth:`repro.ann.ivf.IVFIndex.updated` and the IVF-PQ variant,
-        which additionally re-encodes every code).  Without a live
+        which additionally re-encodes every code).  HNSW evolves the
+        layered graph in place: fresh senders are inserted through the
+        normal construction beam, evicted senders become tombstones,
+        and a full rebuild happens only past the occupancy threshold
+        (see :meth:`repro.ann.hnsw.HNSWIndex.updated`).  Without a live
         approximate index of the configured backend there is nothing to
         evolve — the next consumer rebuilds lazily via
         :meth:`_ann_index`.
         """
+        from repro.ann.hnsw import HNSWIndex
         from repro.ann.ivf import IVFIndex
         from repro.ann.ivfpq import IVFPQIndex
 
@@ -502,6 +515,8 @@ class DarkVec:
             evolvable = isinstance(prior_index, IVFIndex) and not isinstance(
                 prior_index, IVFPQIndex
             )
+        elif backend == "hnsw":
+            evolvable = isinstance(prior_index, HNSWIndex)
         else:
             evolvable = False
         if not evolvable:

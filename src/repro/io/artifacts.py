@@ -286,6 +286,79 @@ def _ivfpq_from_payload(payload: dict):
     )
 
 
+def _hnsw_to_payload(index) -> dict:
+    spec = index.spec
+    payload = {
+        "units": index.units,
+        "node_row": index.node_row,
+        "levels": index.levels,
+        "links0": index.links0,
+        "params": np.array(
+            [
+                spec.hnsw_m,
+                spec.hnsw_ef_build,
+                spec.hnsw_ef_search,
+                spec.recall_sample,
+                spec.seed,
+                index.entry,
+                len(index.upper_nodes),
+            ],
+            dtype=np.int64,
+        ),
+    }
+    # Zero-size arrays break the raw container's mmap path, so empty
+    # optional sections are simply absent from the payload.
+    if index.upper_nodes:
+        payload["upper_counts"] = np.array(
+            [len(nodes) for nodes in index.upper_nodes], dtype=np.int64
+        )
+        payload["upper_nodes"] = np.concatenate(index.upper_nodes)
+        payload["upper_links"] = np.concatenate(index.upper_links, axis=0)
+    ghosts = index.ghost_vecs
+    if len(ghosts):
+        payload["ghost_vecs"] = ghosts
+    return payload
+
+
+def _hnsw_from_payload(payload: dict):
+    from repro.ann.base import AnnSpec
+    from repro.ann.hnsw import HNSWIndex
+
+    m, ef_build, ef_search, recall_sample, seed, entry, n_upper = (
+        int(v) for v in payload["params"]
+    )
+    spec = AnnSpec(
+        backend="hnsw",
+        hnsw_m=m,
+        hnsw_ef_build=ef_build,
+        hnsw_ef_search=ef_search,
+        recall_sample=recall_sample,
+        seed=seed,
+    )
+    upper_nodes: list[np.ndarray] = []
+    upper_links: list[np.ndarray] = []
+    if n_upper:
+        counts = payload["upper_counts"]
+        starts = np.concatenate(([0], np.cumsum(counts)))
+        nodes = payload["upper_nodes"]
+        links = payload["upper_links"]
+        for level in range(n_upper):
+            lo, hi = int(starts[level]), int(starts[level + 1])
+            upper_nodes.append(nodes[lo:hi])
+            upper_links.append(links[lo:hi])
+    return HNSWIndex(
+        units=payload["units"],
+        spec=spec,
+        node_row=payload["node_row"],
+        levels=payload["levels"],
+        links0=payload["links0"],
+        upper_nodes=upper_nodes,
+        upper_links=upper_links,
+        entry=entry,
+        ghost_vecs=payload.get("ghost_vecs"),
+    )
+
+
 def _graph_to_payload(graph: KnnGraph) -> dict:
     return {
         "n_nodes": np.array([graph.n_nodes], dtype=np.int64),
@@ -324,6 +397,12 @@ KNN_GRAPH_CODEC = NpzCodec(_graph_to_payload, _graph_from_payload)
 #: quantizer + list assignments; inverted lists rebuild on load).
 IVF_INDEX_CODEC = NpzCodec(_ivf_to_payload, _ivf_from_payload)
 
+#: Codec for :class:`~repro.ann.hnsw.HNSWIndex` artifacts (layered
+#: graph, internal-id maps, tombstone vectors and spec knobs — the f32
+#: navigation matrix is reconstructed on load, so round-trips are
+#: bit-identical).
+HNSW_INDEX_CODEC = NpzCodec(_hnsw_to_payload, _hnsw_from_payload)
+
 #: Codec for :class:`~repro.ann.ivfpq.IVFPQIndex` artifacts (coarse
 #: quantizer, PQ codebooks, and the compressed codes).
 IVFPQ_INDEX_CODEC = NpzCodec(_ivfpq_to_payload, _ivfpq_from_payload)
@@ -338,6 +417,7 @@ KEYEDVECTORS_RAW_CODEC = RawCodec(
 )
 IVF_INDEX_RAW_CODEC = RawCodec(_ivf_to_payload, _ivf_from_payload)
 IVFPQ_INDEX_RAW_CODEC = RawCodec(_ivfpq_to_payload, _ivfpq_from_payload)
+HNSW_INDEX_RAW_CODEC = RawCodec(_hnsw_to_payload, _hnsw_from_payload)
 
 #: Codec for service-map spec documents.
 SERVICE_MAP_CODEC = JsonCodec()

@@ -140,19 +140,39 @@ METRICS: dict[str, MetricSpec] = {
     ),
     "ann.candidates_scored": MetricSpec(
         "counter",
-        "candidate similarities scored inside probed IVF lists",
+        "candidate similarities scored inside probed IVF lists or "
+        "along HNSW graph traversals",
         deterministic=False,
     ),
     "ann.recall_at_k": MetricSpec(
         "gauge",
-        "recall@k of the last IVF search vs an exact rescore of a "
+        "recall@k of the last ANN search vs an exact rescore of a "
         "seeded query sample",
         deterministic=False,
     ),
     "ann.retrains": MetricSpec(
         "counter",
-        "IVF coarse quantizers retrained because incremental updates "
-        "crossed the list-imbalance threshold",
+        "ANN indexes rebuilt because incremental updates crossed the "
+        "IVF list-imbalance or HNSW tombstone-occupancy threshold",
+        deterministic=False,
+    ),
+    "ann.graph_build_seconds": MetricSpec(
+        "sketch",
+        "streaming quantiles of HNSW graph construction wall time",
+        unit="seconds",
+        deterministic=False,
+    ),
+    "ann.hops": MetricSpec(
+        "counter",
+        "graph nodes expanded (descent steps + beam expansions) across "
+        "HNSW searches",
+        deterministic=False,
+    ),
+    "ann.candidate_set_size": MetricSpec(
+        "sketch",
+        "streaming quantiles of per-query HNSW candidate-set size "
+        "before exact rescoring",
+        unit="candidates",
         deterministic=False,
     ),
     "graph.nodes": MetricSpec("gauge", "vertices of the last k'-NN graph"),
@@ -307,6 +327,13 @@ METRICS: dict[str, MetricSpec] = {
         "sketch",
         "streaming quantiles of snapshot build + atomic swap time per "
         "promotion",
+        unit="seconds",
+        deterministic=False,
+    ),
+    "serve.warmup_seconds": MetricSpec(
+        "sketch",
+        "streaming quantiles of pre-promotion snapshot warm-up (page "
+        "pre-touch + priming search) time",
         unit="seconds",
         deterministic=False,
     ),

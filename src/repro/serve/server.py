@@ -15,6 +15,10 @@ Supported ops:
     writer/reader state (model version, promotions, rollbacks, ...).
 ``classify`` / ``neighbors`` / ``members``
     the three read queries, keyed by ``ip`` (dotted quad or int).
+    ``classify`` and ``neighbors`` also accept a *list* of IPs and
+    answer the whole batch from one vectorized index search — the
+    response then carries per-sender ``results`` (unknown senders get
+    an ``"error"`` slot instead of failing the batch).
 ``ingest``
     enqueue one micro-batch: either ``path`` (a trace file the server
     loads) or inline ``events`` columns (times, ips, ports, protos,
@@ -183,9 +187,15 @@ class ServeServer(socketserver.ThreadingTCPServer):
         if op == "status":
             return {"ok": True, **service.status()}
         if op == "classify":
-            return {"ok": True, **service.classify(request["ip"])}
+            ip = request["ip"]
+            if isinstance(ip, (list, tuple)):
+                return {"ok": True, **service.classify_many(ip)}
+            return {"ok": True, **service.classify(ip)}
         if op == "neighbors":
-            return {"ok": True, **service.neighbors(request["ip"], k=request.get("k"))}
+            ip = request["ip"]
+            if isinstance(ip, (list, tuple)):
+                return {"ok": True, **service.neighbors_many(ip, k=request.get("k"))}
+            return {"ok": True, **service.neighbors(ip, k=request.get("k"))}
         if op == "members":
             return {
                 "ok": True,

@@ -207,13 +207,40 @@ class DarkVecService:
             obs.observe("serve.query_seconds", perf_counter() - t0)
         return result
 
+    def _timed_batch(self, fn, ips: list, **kwargs) -> dict:
+        """Like :meth:`_timed`, counting every sender of the batch."""
+        obs.add("serve.queries", len(ips))
+        t0 = perf_counter()
+        try:
+            result = fn(ips, **kwargs)
+        except Exception:
+            obs.add("serve.query_errors")
+            raise
+        finally:
+            obs.observe("serve.query_seconds", perf_counter() - t0)
+        return result
+
     def classify(self, ip: int | str) -> dict:
         """k-NN majority-vote label of a sender, from the live snapshot."""
         return self._timed(self.snapshot.classify, _as_ip(ip))
 
+    def classify_many(self, ips) -> dict:
+        """Batched classify: one vectorized search for all senders."""
+        snapshot = self.snapshot
+        return self._timed_batch(
+            snapshot.classify_many, [_as_ip(ip) for ip in ips]
+        )
+
     def neighbors(self, ip: int | str, k: int | None = None) -> dict:
         """Nearest embedded senders of ``ip``, from the live snapshot."""
         return self._timed(self.snapshot.neighbors, _as_ip(ip), k=k)
+
+    def neighbors_many(self, ips, k: int | None = None) -> dict:
+        """Batched neighbors: one vectorized search for all senders."""
+        snapshot = self.snapshot
+        return self._timed_batch(
+            snapshot.neighbors_many, [_as_ip(ip) for ip in ips], k=k
+        )
 
     def membership(self, ip: int | str, sample: int = 8) -> dict:
         """Cached Louvain cluster membership of ``ip``."""

@@ -19,6 +19,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.knn.classifier import CosineKnn
 from repro.labels.groundtruth import GroundTruth
 from repro.trace.address import ip_to_str
@@ -26,6 +27,41 @@ from repro.trace.address import ip_to_str
 
 class UnknownSenderError(KeyError):
     """Raised when a queried IP is not covered by the live embedding."""
+
+
+def _prewarm(index, k: int) -> None:
+    """Pre-touch an ANN index on the writer side before the swap.
+
+    Faults in every mmap-backed array the index holds (raw artifacts
+    load lazily, page by page; arrays the writer just built are hot
+    already) and runs one small dummy search to allocate the search
+    scratch buffers and populate lazy caches (e.g. the HNSW link-span
+    table), so the first reader query after promotion does not pay
+    those cold costs.
+    """
+
+    def touch(value) -> None:
+        if (
+            isinstance(value, np.memmap)
+            and value.size
+            and value.dtype != object
+        ):
+            np.add.reduce(value, axis=None)
+
+    for value in vars(index).values():
+        if isinstance(value, (list, tuple)):
+            for item in value:
+                touch(item)
+        else:
+            touch(value)
+    n = len(index.units)
+    if n > 1:
+        # A couple of rows is enough to allocate the search scratch
+        # buffers and populate lazy caches; a wider priming batch only
+        # lengthens the promotion pause (the search cost is paid on
+        # every promotion, the warm-up benefit only once per cache).
+        rows = np.arange(min(2, n), dtype=np.int64)
+        index.search(rows, min(k, n - 1), exclude_self=True)
 
 
 @dataclass(frozen=True)
@@ -96,6 +132,9 @@ class ModelSnapshot:
             workers=darkvec.config.workers,
             index=index,
         )
+        t_warm = perf_counter()
+        _prewarm(index, k)
+        obs.observe("serve.warmup_seconds", perf_counter() - t_warm)
         communities = modularity = None
         if with_clusters:
             result = darkvec.cluster()
@@ -129,6 +168,15 @@ class ModelSnapshot:
             f"sender {ip_to_str(int(ip))} is not covered by the live "
             f"embedding (model v{self.version}, {len(self)} senders)"
         )
+
+    def rows_of_ips(self, ips: np.ndarray) -> np.ndarray:
+        """Embedding row per sender IP; -1 where not embedded."""
+        ips = np.asarray(ips, dtype=np.uint32)
+        order = self._ip_order
+        pos = np.searchsorted(self.sender_ips, ips, sorter=order)
+        pos = np.clip(pos, 0, len(order) - 1)
+        rows = order[pos].astype(np.int64)
+        return np.where(self.sender_ips[rows] == ips, rows, -1)
 
     # ------------------------------------------------------------------
     # Query API
@@ -170,6 +218,69 @@ class ModelSnapshot:
                 for n, s in zip(neighbors[0], sims[0])
             ],
         }
+
+    def classify_many(self, ips) -> dict:
+        """Batched classify: one shared k-NN search for every sender.
+
+        Unknown senders do not fail the batch — their slot carries an
+        ``"error"`` field instead of a label.
+        """
+        ips = np.asarray(list(ips), dtype=np.uint32)
+        rows = self.rows_of_ips(ips)
+        known = rows >= 0
+        results: list[dict | None] = [None] * len(ips)
+        if known.any():
+            krows = rows[known]
+            labels = self.knn.predict_rows(krows, exclude_self=True)
+            distances = self.knn.neighbor_distances(krows, exclude_self=True)
+            for slot, label, distance in zip(
+                np.flatnonzero(known), labels, distances
+            ):
+                results[slot] = {
+                    "ip": ip_to_str(int(ips[slot])),
+                    "label": str(label),
+                    "mean_distance": float(distance),
+                    "k": self.knn.k,
+                }
+        for slot in np.flatnonzero(~known):
+            results[slot] = {
+                "ip": ip_to_str(int(ips[slot])),
+                "error": "unknown sender",
+            }
+        return {"version": self.version, "results": results}
+
+    def neighbors_many(self, ips, k: int | None = None) -> dict:
+        """Batched neighbors: one vectorized index search for all IPs."""
+        ips = np.asarray(list(ips), dtype=np.uint32)
+        rows = self.rows_of_ips(ips)
+        known = rows >= 0
+        k = self.knn.k if k is None else int(k)
+        if k < 1:
+            raise ValueError("k must be positive")
+        k = min(k, len(self) - 1)
+        results: list[dict | None] = [None] * len(ips)
+        if known.any():
+            neighbors, sims = self.knn.index.search(
+                rows[known], k, exclude_self=True
+            )
+            for j, slot in enumerate(np.flatnonzero(known)):
+                results[slot] = {
+                    "ip": ip_to_str(int(ips[slot])),
+                    "neighbors": [
+                        {
+                            "ip": ip_to_str(int(self.sender_ips[n])),
+                            "similarity": float(s),
+                            "label": str(self.knn.labels[n]),
+                        }
+                        for n, s in zip(neighbors[j], sims[j])
+                    ],
+                }
+        for slot in np.flatnonzero(~known):
+            results[slot] = {
+                "ip": ip_to_str(int(ips[slot])),
+                "error": "unknown sender",
+            }
+        return {"version": self.version, "results": results}
 
     def membership(self, ip: int, sample: int = 8) -> dict:
         """Cluster membership from the cached Louvain partition."""

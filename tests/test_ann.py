@@ -6,12 +6,24 @@ import numpy as np
 import pytest
 
 from repro import obs
-from repro.ann import AnnSpec, ExactIndex, IVFIndex, build_index, score_chunk_rows
+from repro.ann import (
+    AnnSpec,
+    ExactIndex,
+    HNSWIndex,
+    IVFIndex,
+    build_index,
+    score_chunk_rows,
+)
 from repro.ann import audit
 from repro.ann import exact as exact_mod
+from repro.ann import hnsw as hnsw_mod
 from repro.ann.ivf import RETRAIN_IMBALANCE
 from repro.core import DarkVec, DarkVecConfig
-from repro.io.artifacts import IVF_INDEX_CODEC
+from repro.io.artifacts import (
+    HNSW_INDEX_CODEC,
+    HNSW_INDEX_RAW_CODEC,
+    IVF_INDEX_CODEC,
+)
 from repro.knn.classifier import CosineKnn, knn_search
 from repro.obs.recorder import Telemetry
 from repro.store.cache import ArtifactStore
@@ -62,7 +74,7 @@ class TestAnnSpec:
 
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="backend"):
-            AnnSpec(backend="hnsw")
+            AnnSpec(backend="nope")
 
     def test_rejects_bad_knobs(self):
         with pytest.raises(ValueError, match="nlist"):
@@ -418,6 +430,181 @@ class TestPipelineIntegration:
         assert recall >= 0.9
 
 
+def _recall(nb, exact_nb):
+    k = nb.shape[1]
+    return np.mean(
+        [len(np.intersect1d(nb[i], exact_nb[i])) / k for i in range(len(nb))]
+    )
+
+
+class TestHNSWIndex:
+    # Larger than _SCAN_WINDOW so queries exercise the graph beam, not
+    # just the exhaustive id-window scan small corpora collapse to.
+    @pytest.fixture(scope="class")
+    def units(self):
+        return clustered_units(n=4096, n_clusters=24, seed=0)
+
+    @pytest.fixture(scope="class")
+    def built(self, units):
+        return HNSWIndex.build(units, AnnSpec(backend="hnsw", seed=1))
+
+    def test_recall_at_default_ef(self, units, built):
+        rows = np.arange(len(units))
+        nb, _ = built.search(rows, 7)
+        exact_nb, _ = ExactIndex(units).search(rows, 7)
+        assert _recall(nb, exact_nb) >= 0.95
+
+    def test_similarities_are_float64_exact(self, units, built):
+        # Returned sims come from a float64 rescore of the winners.
+        rows = np.arange(100)
+        nb, s = built.search(rows, 3)
+        expected = np.einsum("qkd,qd->qk", units[nb], units[rows])
+        np.testing.assert_allclose(s, expected, atol=1e-12)
+
+    def test_self_exclusion(self, units, built):
+        rows = np.arange(len(units))
+        nb, _ = built.search(rows, 5, exclude_self=True)
+        assert not (nb == rows[:, None]).any()
+
+    def test_workers_do_not_change_results(self, units, built):
+        rows = np.arange(len(units))
+        one = built.search(rows, 6, workers=1)
+        three = built.search(rows, 6, workers=3)
+        np.testing.assert_array_equal(one[0], three[0])
+        np.testing.assert_array_equal(one[1], three[1])
+
+    def test_deterministic_rebuild(self, units, built):
+        again = HNSWIndex.build(units, AnnSpec(backend="hnsw", seed=1))
+        np.testing.assert_array_equal(again.node_row, built.node_row)
+        np.testing.assert_array_equal(again.levels, built.levels)
+        np.testing.assert_array_equal(again.links0, built.links0)
+
+    def test_build_via_factory(self):
+        units = clustered_units(n=200, seed=2)
+        index = build_index(units, AnnSpec(backend="hnsw"))
+        assert isinstance(index, HNSWIndex)
+
+    def test_ef_search_is_a_recall_knob(self, units, monkeypatch):
+        # With a crippled seed window, a starved beam (ef_search=1)
+        # must lose recall vs the default: ef is the tuning knob.
+        monkeypatch.setattr(hnsw_mod, "_SCAN_WINDOW", 64)
+        rows = np.arange(len(units))
+        exact_nb, _ = ExactIndex(units).search(rows, 7)
+        starved = HNSWIndex.build(
+            units, AnnSpec(backend="hnsw", seed=1, hnsw_ef_search=1)
+        )
+        wide = HNSWIndex.build(
+            units, AnnSpec(backend="hnsw", seed=1, hnsw_ef_search=64)
+        )
+        r_starved = _recall(starved.search(rows, 7)[0], exact_nb)
+        r_wide = _recall(wide.search(rows, 7)[0], exact_nb)
+        assert r_wide > r_starved
+
+
+class TestHNSWUpdate:
+    @pytest.fixture(scope="class")
+    def built(self):
+        units = clustered_units(n=500, seed=6)
+        return units, HNSWIndex.build(units, AnnSpec(backend="hnsw", seed=1))
+
+    def test_identity_update_preserves_search(self, built):
+        units, index = built
+        evolved = index.updated(units, np.arange(len(units)))
+        rows = np.arange(len(units))
+        np.testing.assert_array_equal(
+            evolved.search(rows, 5)[0], index.search(rows, 5)[0]
+        )
+
+    def test_insert_and_evict_tracks_fresh_build(self, built):
+        units, index = built
+        kept = units[50:]
+        fresh = clustered_units(n=30, seed=9)
+        new_units = np.vstack([kept, fresh])
+        prior_rows = np.concatenate(
+            [np.arange(50, len(units)), np.full(30, -1)]
+        )
+        evolved = index.updated(new_units, prior_rows)
+        assert len(evolved.units) == len(new_units)
+        rows = np.arange(len(new_units))
+        exact_nb, _ = ExactIndex(new_units).search(rows, 5)
+        r_evolved = _recall(evolved.search(rows, 5)[0], exact_nb)
+        cold = HNSWIndex.build(new_units, index.spec)
+        r_cold = _recall(cold.search(rows, 5)[0], exact_nb)
+        assert r_evolved >= r_cold - 0.05
+        assert r_evolved >= 0.9
+
+    def test_heavy_eviction_triggers_rebuild(self, built):
+        units, index = built
+        # 100 live rows over 500 graph nodes: occupancy 5.0 crosses
+        # RETRAIN_OCCUPANCY, so the graph is rebuilt from scratch and
+        # must equal a cold build (same spec, same seed).
+        new_units = units[400:]
+        evolved = index.updated(new_units, np.arange(400, len(units)))
+        cold = HNSWIndex.build(new_units, index.spec)
+        np.testing.assert_array_equal(evolved.node_row, cold.node_row)
+        np.testing.assert_array_equal(evolved.links0, cold.links0)
+
+    def test_misaligned_prior_rows_raises(self, built):
+        units, index = built
+        with pytest.raises(ValueError, match="align"):
+            index.updated(units, np.arange(10))
+
+
+class TestHNSWStoreRoundTrip:
+    @pytest.mark.parametrize(
+        "codec",
+        [HNSW_INDEX_CODEC, HNSW_INDEX_RAW_CODEC],
+        ids=["npz", "raw"],
+    )
+    def test_codec_round_trip_search_equality(self, tmp_path, codec):
+        units = clustered_units(n=250, seed=8)
+        spec = AnnSpec(backend="hnsw", seed=2)
+        index = HNSWIndex.build(units, spec)
+        store = ArtifactStore(tmp_path)
+        store.save("ann-index", "fp-hnsw", codec, index)
+        loaded, _ = store.load("ann-index", "fp-hnsw", codec)
+        assert isinstance(loaded, HNSWIndex)
+        assert loaded.spec == spec
+        rows = np.arange(250)
+        original = index.search(rows, 5)
+        restored = loaded.search(rows, 5)
+        np.testing.assert_array_equal(original[0], restored[0])
+        np.testing.assert_array_equal(original[1], restored[1])
+
+    def test_round_trip_preserves_tombstones(self, tmp_path):
+        units = clustered_units(n=300, seed=8)
+        index = HNSWIndex.build(units, AnnSpec(backend="hnsw", seed=2))
+        new_units = units[30:]
+        evolved = index.updated(new_units, np.arange(30, 300))
+        store = ArtifactStore(tmp_path)
+        store.save("ann-index", "fp-ghost", HNSW_INDEX_CODEC, evolved)
+        loaded, _ = store.load("ann-index", "fp-ghost", HNSW_INDEX_CODEC)
+        rows = np.arange(len(new_units))
+        np.testing.assert_array_equal(
+            evolved.search(rows, 5)[0], loaded.search(rows, 5)[0]
+        )
+
+
+class TestHNSWCrossBackend:
+    def test_loo_agreement_with_exact(self):
+        units = clustered_units(n=600, seed=12)
+        rng = np.random.default_rng(12)
+        labels = np.array(list("abcdef"))[rng.integers(0, 6, size=600)]
+        exact_knn = CosineKnn(units, labels, k=7)
+        hnsw_knn = CosineKnn(
+            None,
+            labels,
+            k=7,
+            index=HNSWIndex.build(units, AnnSpec(backend="hnsw", seed=3)),
+        )
+        rows = np.arange(600)
+        agree = (
+            exact_knn.predict_rows(rows, exclude_self=True)
+            == hnsw_knn.predict_rows(rows, exclude_self=True)
+        ).mean()
+        assert agree >= 0.95
+
+
 class TestHealthMonitor:
     def test_mistuned_ivf_flags_low_recall(self, small_bundle, tmp_path):
         trace = small_bundle.trace
@@ -437,6 +624,32 @@ class TestHealthMonitor:
         darkvec.update(trace.between(cut, cut + 86400.0))
         monitors = {m.name: m for m in darkvec.last_health.monitors}
         assert "ann_recall" in monitors
+        monitor = monitors["ann_recall"]
+        assert monitor.value is not None
+        assert monitor.verdict in ("warn", "fail")
+
+    def test_mistuned_hnsw_ef_flags_low_recall(
+        self, small_bundle, tmp_path, monkeypatch
+    ):
+        # Small corpora fit inside the seed scan window, which hides a
+        # starved beam; shrink the window so ef_search=1 actually
+        # bites, then expect the recall audit to raise the monitor.
+        monkeypatch.setattr(hnsw_mod, "_SCAN_WINDOW", 64)
+        trace = small_bundle.trace
+        cut = trace.start_time + 3 * 86400.0
+        config = DarkVecConfig(
+            service="domain",
+            epochs=2,
+            seed=3,
+            window_days=3.0,
+            cache_dir=tmp_path,
+            ann_backend="hnsw",
+            ann_hnsw_ef_search=1,
+            ann_recall_sample=64,
+        )
+        darkvec = DarkVec(config).fit(trace.between(trace.start_time, cut))
+        darkvec.update(trace.between(cut, cut + 86400.0))
+        monitors = {m.name: m for m in darkvec.last_health.monitors}
         monitor = monitors["ann_recall"]
         assert monitor.value is not None
         assert monitor.verdict in ("warn", "fail")

@@ -10,6 +10,7 @@ more than once), at both worker-pool backends.
 from __future__ import annotations
 
 import copy
+import json
 import threading
 from dataclasses import replace
 
@@ -219,6 +220,53 @@ class TestModelSnapshot:
         snapshot = ModelSnapshot.of(darkvec, with_clusters=False)
         with pytest.raises(ValueError, match="disabled"):
             snapshot.membership(int(snapshot.sender_ips[0]))
+
+    def test_batched_queries_match_single(self, fresh_fit, small_bundle):
+        darkvec, _ = fresh_fit
+        snapshot = ModelSnapshot.of(darkvec, truth=small_bundle.truth)
+        ips = [int(snapshot.sender_ips[r]) for r in (0, len(snapshot) // 2, 1)]
+        batch = snapshot.classify_many(ips)
+        assert batch["version"] == snapshot.version
+        assert len(batch["results"]) == len(ips)
+        for ip, result in zip(ips, batch["results"]):
+            single = snapshot.classify(ip)
+            assert result["ip"] == single["ip"]
+            assert result["label"] == single["label"]
+            assert result["mean_distance"] == pytest.approx(
+                single["mean_distance"]
+            )
+        nbatch = snapshot.neighbors_many(ips, k=3)
+        for ip, result in zip(ips, nbatch["results"]):
+            single = snapshot.neighbors(ip, k=3)
+            # BLAS may differ in the last ulp between 1-row and batched
+            # matmuls, so compare sets exactly and sims approximately.
+            assert [n["ip"] for n in result["neighbors"]] == [
+                n["ip"] for n in single["neighbors"]
+            ]
+            for got, want in zip(result["neighbors"], single["neighbors"]):
+                assert got["label"] == want["label"]
+                assert got["similarity"] == pytest.approx(want["similarity"])
+
+    def test_batched_unknown_sender_does_not_fail_batch(self, fresh_fit):
+        darkvec, _ = fresh_fit
+        snapshot = ModelSnapshot.of(darkvec, with_clusters=False)
+        known = int(snapshot.sender_ips[0])
+        batch = snapshot.classify_many([known, 1])
+        assert batch["results"][0]["label"]
+        assert batch["results"][1]["error"] == "unknown sender"
+        nbatch = snapshot.neighbors_many([1, known], k=2)
+        assert nbatch["results"][0]["error"] == "unknown sender"
+        assert len(nbatch["results"][1]["neighbors"]) == 2
+
+    def test_snapshot_build_records_warmup(self, fresh_fit):
+        from repro import obs
+
+        darkvec, _ = fresh_fit
+        telemetry = obs.Telemetry()
+        with obs.session(telemetry):
+            ModelSnapshot.of(darkvec, with_clusters=False)
+        sketches = telemetry.snapshot().get("sketches") or {}
+        assert "serve.warmup_seconds" in sketches
 
     def test_classify_clamps_k_to_population(self, fresh_fit):
         """A model with fewer than k+1 senders still answers classify."""
@@ -431,6 +479,52 @@ class TestServerClient:
                 assert drained["version"] == 1
             with ServeClient(port=port) as client:
                 assert client.shutdown()["version"] == 1
+        finally:
+            service.close()
+            server.server_close()
+
+    def test_batched_round_trip(self, fresh_fit, tmp_path, capsys):
+        darkvec, _ = fresh_fit
+        service = DarkVecService(darkvec, with_clusters=False)
+        server = ServeServer(service, port=0)
+        server.start_background()
+        try:
+            with ServeClient(port=server.port) as client:
+                ips = [
+                    ip_to_str(int(service.snapshot.sender_ips[0])),
+                    ip_to_str(int(service.snapshot.sender_ips[1])),
+                    "0.0.0.1",
+                ]
+                batch = client.classify_many(ips)
+                assert len(batch["results"]) == 3
+                assert batch["results"][0]["ip"] == ips[0]
+                assert batch["results"][0]["label"]
+                assert batch["results"][2]["error"] == "unknown sender"
+                nbatch = client.neighbors_many(ips[:2], k=2)
+                assert all(
+                    len(r["neighbors"]) == 2 for r in nbatch["results"]
+                )
+                # the list-typed ip field rides the plain verbs too
+                assert client.classify(ips[:1])["results"][0]["ip"] == ips[0]
+            # the CLI splits a comma list into one batched request
+            from repro.cli import main
+
+            assert (
+                main(
+                    [
+                        "query",
+                        "classify",
+                        "--port",
+                        str(server.port),
+                        "--ip",
+                        f"{ips[0]},{ips[2]}",
+                    ]
+                )
+                == 0
+            )
+            out = json.loads(capsys.readouterr().out)
+            assert out["results"][0]["label"]
+            assert out["results"][1]["error"] == "unknown sender"
         finally:
             service.close()
             server.server_close()
